@@ -1,0 +1,74 @@
+// Ablation (§3.1.1): median-ESNR selection vs mean-RSSI selection.
+//
+// RSSI averages power across the band, so it cannot see a frequency-
+// selective fade that wipes out a handful of subcarriers; ESNR can. The
+// paper's claim is that ESNR-driven selection is what makes millisecond
+// switching *accurate*.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/report.h"
+
+using namespace wgtt;
+using namespace wgtt::benchx;
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation: AP-selection metric (ESNR vs RSSI) ===\n\n");
+  std::printf("%-18s %10s %14s %12s\n", "", "Mbit/s", "accuracy (%)",
+              "switches");
+
+  std::map<std::string, double> counters;
+  const std::pair<core::Controller::SelectionMetric, const char*> metrics[] = {
+      {core::Controller::SelectionMetric::kMedianEsnr, "median ESNR"},
+      {core::Controller::SelectionMetric::kMeanRssi, "RSSI"},
+  };
+  // Two channel regimes: the testbed default, and a strongly frequency-
+  // selective one (long delay spread, no line of sight) where RSSI's
+  // blindness to per-subcarrier fades costs real throughput — the regime
+  // the paper's ESNR argument (after Halperin et al.) is about.
+  for (bool selective : {false, true}) {
+    std::printf("%s channel:\n",
+                selective ? "strongly frequency-selective" : "testbed default");
+    for (const auto& [metric, name] : metrics) {
+      double mbps = 0.0;
+      double acc = 0.0;
+      double switches = 0.0;
+      constexpr int kSeeds = 3;
+      for (int s = 0; s < kSeeds; ++s) {
+        DriveConfig cfg;
+        cfg.mph = 15.0;
+        cfg.udp_rate_mbps = 30.0;
+        cfg.seed = 103 + static_cast<std::uint64_t>(s) * 1000;
+        cfg.metric = metric;
+        if (selective) {
+          scenario::GeometryConfig geo;
+          geo.link.fading.delay_spread_ns = 450.0;
+          geo.link.fading.rician_k_db = -20.0;
+          cfg.geometry = geo;
+        }
+        const DriveResult r = run_drive(cfg);
+        mbps += r.mean_mbps();
+        acc += r.mean_accuracy() * 100.0;
+        switches += static_cast<double>(r.switches);
+      }
+      std::printf("  %-18s %10.2f %14.1f %12.0f\n", name, mbps / kSeeds,
+                  acc / kSeeds, switches / kSeeds);
+      counters[std::string(selective ? "sel_" : "def_") + "mbps_" +
+               (metric == core::Controller::SelectionMetric::kMedianEsnr
+                    ? "esnr"
+                    : "rssi")] = mbps / kSeeds;
+    }
+  }
+  std::printf(
+      "\nfinding: with the same window-median machinery, the two metrics\n"
+      "perform within noise in this simulator — at switch timescales\n"
+      "(hysteresis + ~17 ms protocol) both medians track the large-scale\n"
+      "ranking, and our per-MPDU delivery model has no RSSI measurement\n"
+      "error. ESNR's decisive role here is delivery prediction for rate\n"
+      "control (the EsnrRateSelector), matching the paper's Table 2\n"
+      "observation that switching decisions, not PHY-rate tricks, carry\n"
+      "the gain. See EXPERIMENTS.md for discussion.\n");
+
+  report("abl/selection_metric", counters);
+  return finish(argc, argv);
+}

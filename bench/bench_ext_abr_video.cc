@@ -1,0 +1,124 @@
+// Extension: DASH-style adaptive-bitrate video over WGTT vs the baseline.
+//
+// The paper's §5.4 video study uses a fixed 2.5 Mbit/s stream; a modern
+// player adapts across a bitrate ladder instead. The sharper question ABR
+// asks of a vehicular network is *stability*: a stop-and-go channel forces
+// the controller down the ladder and into stalls, while a channel that is
+// merely "moderate but steady" lets it sit high. WGTT's whole design is to
+// turn a string of picocells into exactly that steady channel.
+#include <cstdio>
+#include <memory>
+
+#include "apps/abr.h"
+#include "bench/report.h"
+#include "mobility/trajectory.h"
+#include "scenario/baseline_system.h"
+#include "scenario/wgtt_system.h"
+#include "transport/tcp.h"
+
+using namespace wgtt;
+
+namespace {
+
+apps::AbrPlayer::Report run_abr(bool wgtt_system, double mph,
+                                std::uint64_t seed) {
+  net::reset_packet_uids();
+  const double lead = 15.0;
+  const Time horizon = Time::seconds((lead + 52.5 + lead) / mph_to_mps(mph));
+
+  std::unique_ptr<scenario::WgttSystem> wgtt;
+  std::unique_ptr<scenario::BaselineSystem> base;
+  sim::Scheduler* sched = nullptr;
+  mobility::LineDrive drive(-lead, 0.0, mph_to_mps(mph));
+  if (wgtt_system) {
+    scenario::WgttSystemConfig cfg;
+    cfg.geometry.seed = seed;
+    wgtt = std::make_unique<scenario::WgttSystem>(cfg);
+    wgtt->add_client(&drive);
+    wgtt->start();
+    sched = &wgtt->sched();
+  } else {
+    scenario::BaselineSystemConfig cfg;
+    cfg.geometry.seed = seed;
+    base = std::make_unique<scenario::BaselineSystem>(cfg);
+    base->add_client(&drive);
+    base->start();
+    sched = &base->sched();
+  }
+
+  transport::TcpSender sender(
+      *sched,
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        if (wgtt) {
+          wgtt->server_send(std::move(p));
+        } else {
+          base->server_send(std::move(p));
+        }
+      },
+      {.client = net::ClientId{0}});
+  transport::TcpReceiver receiver(
+      *sched,
+      [&](net::Packet p) {
+        if (wgtt) {
+          wgtt->client(0).send_uplink(std::move(p));
+        } else {
+          base->client(0).send_uplink(std::move(p));
+        }
+      },
+      {.client = net::ClientId{0}});
+  auto on_down = [&](const net::Packet& p) { receiver.on_data_packet(p); };
+  auto on_up = [&](const net::Packet& p) { sender.on_ack_packet(p); };
+  if (wgtt) {
+    wgtt->client(0).on_downlink = on_down;
+    wgtt->on_server_uplink = on_up;
+  } else {
+    base->client(0).on_downlink = on_down;
+    base->on_server_uplink = on_up;
+  }
+
+  apps::AbrPlayer player(*sched, {});
+  player.request_bytes = [&](std::uint64_t bytes) { sender.send_bytes(bytes); };
+  receiver.on_delivered = [&](std::uint64_t, Time) {
+    player.on_progress(receiver.bytes_delivered());
+  };
+  player.start();
+  if (wgtt) {
+    wgtt->run_until(horizon);
+  } else {
+    base->run_until(horizon);
+  }
+  player.stop();
+  return player.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Extension: adaptive-bitrate video during the drive ===\n\n");
+  std::printf("%-10s %10s %14s %12s %12s %12s\n", "system", "speed",
+              "played Mb/s", "rebuffer", "switches", "top rung");
+
+  std::map<std::string, double> counters;
+  for (double mph : {5.0, 15.0}) {
+    for (bool wgtt : {true, false}) {
+      const auto r = run_abr(wgtt, mph, 83);
+      std::printf("%-10s %7.0f mph %14.2f %12.2f %12d %11.0f%%\n",
+                  wgtt ? "WGTT" : "baseline", mph, r.mean_played_mbps,
+                  r.rebuffer_ratio, r.quality_switches,
+                  r.top_rung_fraction * 100.0);
+      const auto tag = std::string(wgtt ? "wgtt_" : "base_") +
+                       std::to_string(static_cast<int>(mph));
+      counters["played_mbps_" + tag] = r.mean_played_mbps;
+      counters["rebuffer_" + tag] = r.rebuffer_ratio;
+    }
+  }
+  std::printf(
+      "\nexpectation: WGTT watches most of the drive at the top of the\n"
+      "ladder with zero rebuffering; the baseline's stop-and-go channel\n"
+      "forces rung oscillation and stalls. Extends the paper's Table 4\n"
+      "fixed-rate study to modern ABR players.\n");
+
+  benchx::report("ext/abr_video", counters);
+  return benchx::finish(argc, argv);
+}

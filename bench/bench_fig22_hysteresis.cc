@@ -1,0 +1,45 @@
+// Figure 22: impact of the switching time hysteresis (120 -> 40 ms).
+//
+// A smaller hysteresis lets the controller track the fast-changing channel
+// more closely; the paper sees TCP throughput grow as the hysteresis
+// shrinks from 120 ms to 40 ms, never dropping to zero at any setting.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/report.h"
+
+using namespace wgtt;
+using namespace wgtt::benchx;
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 22: switching hysteresis sweep (TCP, 15 mph) ===\n\n");
+  std::printf("%12s %12s %12s\n", "hysteresis", "Mbit/s", "switches");
+
+  constexpr int kSeeds = 4;
+  std::map<std::string, double> counters;
+  for (int ms : {120, 80, 40}) {
+    double mbps = 0.0;
+    double switches = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      DriveConfig cfg;
+      cfg.workload = Workload::kTcpDown;
+      cfg.mph = 15.0;
+      cfg.hysteresis = Time::ms(ms);
+      cfg.seed = 61 + static_cast<std::uint64_t>(s) * 997;
+      const DriveResult r = run_drive(cfg);
+      mbps += r.mean_mbps();
+      switches += static_cast<double>(r.switches);
+    }
+    mbps /= kSeeds;
+    switches /= kSeeds;
+    std::printf("%9d ms %12.2f %12.0f\n", ms, mbps, switches);
+    counters["mbps_h" + std::to_string(ms)] = mbps;
+    counters["switches_h" + std::to_string(ms)] = switches;
+  }
+  std::printf("\npaper: throughput grows as the hysteresis shrinks (1.3 ->\n"
+              "~6.4 Mbit/s at the 2 s mark from 120 ms down to 40 ms), and\n"
+              "never collapses to zero thanks to prompt switching.\n");
+
+  report("fig22/hysteresis", counters);
+  return finish(argc, argv);
+}

@@ -1,0 +1,41 @@
+// Table 3: link-layer (block) ACK collision rate at the client.
+//
+// Every WGTT AP that decodes an uplink frame replies with a block ACK; if
+// two replies overlap in the air the client sees a collision. The paper
+// measures this almost never happens (0.001-0.004%) thanks to the
+// microsecond-level jitter the hardware adds before HT-immediate BAs.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/report.h"
+
+using namespace wgtt;
+using namespace wgtt::benchx;
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 3: uplink BA collision rate at the client ===\n\n");
+  std::printf("%-24s", "Data rate (Mbit/s)");
+  for (double r : {70.0, 80.0, 90.0}) std::printf("%10.0f", r);
+  std::printf("\n%-24s", "Ack collision rate (%)");
+
+  std::map<std::string, double> counters;
+  for (double rate : {70.0, 80.0, 90.0}) {
+    DriveConfig cfg;
+    cfg.workload = Workload::kUdpUp;  // uplink: all APs reply with BAs
+    cfg.udp_rate_mbps = rate;
+    cfg.mph = 15.0;
+    cfg.seed = 59 + static_cast<std::uint64_t>(rate);
+    const DriveResult r = run_drive(cfg);
+    const double pct = r.ba_heard > 0 ? 100.0 * static_cast<double>(r.ba_collided) /
+                                            static_cast<double>(r.ba_heard)
+                                      : 0.0;
+    std::printf("%10.3f", pct);
+    counters["collision_pct_" + std::to_string(static_cast<int>(rate))] = pct;
+  }
+  std::printf("\n\npaper: 0.001%% at 70 Mbit/s up to 0.004%% at 90 Mbit/s —\n"
+              "negligible, because BA responders jitter by microseconds and\n"
+              "directional side lobes suppress most cross-AP overlaps.\n");
+
+  report("tbl3/ack_collisions", counters);
+  return finish(argc, argv);
+}

@@ -1,0 +1,127 @@
+// Table 5: web page load time at different driving speeds (§5.4).
+//
+// The 2.1 MB eBay homepage is fetched over one TCP connection from the
+// local server while the client transits the array. If the transfer has
+// not finished by the time the client leaves coverage (or the connection
+// dies), the result is the paper's "infinity".
+// Paper: WGTT ~4.3-4.6 s flat; baseline 15.5 s / 18.2 s / inf / inf.
+#include <cstdio>
+#include <memory>
+
+#include "apps/web.h"
+#include "bench/report.h"
+#include "mobility/trajectory.h"
+#include "scenario/baseline_system.h"
+#include "scenario/wgtt_system.h"
+#include "transport/tcp.h"
+
+using namespace wgtt;
+
+namespace {
+
+// Returns load time in seconds, or a negative value for "infinite".
+double page_load_seconds(bool wgtt_system, double mph, std::uint64_t seed) {
+  net::reset_packet_uids();
+  const double lead = 15.0;
+  const Time horizon = Time::seconds((lead + 52.5 + lead) / mph_to_mps(mph));
+
+  std::unique_ptr<scenario::WgttSystem> wgtt;
+  std::unique_ptr<scenario::BaselineSystem> base;
+  sim::Scheduler* sched = nullptr;
+  mobility::LineDrive drive(-lead, 0.0, mph_to_mps(mph));
+  if (wgtt_system) {
+    scenario::WgttSystemConfig cfg;
+    cfg.geometry.seed = seed;
+    wgtt = std::make_unique<scenario::WgttSystem>(cfg);
+    wgtt->add_client(&drive);
+    wgtt->start();
+    sched = &wgtt->sched();
+  } else {
+    scenario::BaselineSystemConfig cfg;
+    cfg.geometry.seed = seed;
+    base = std::make_unique<scenario::BaselineSystem>(cfg);
+    base->add_client(&drive);
+    base->start();
+    sched = &base->sched();
+  }
+
+  apps::WebPageLoad page;  // 2.1 MB
+  transport::TcpSender sender(
+      *sched,
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        if (wgtt) {
+          wgtt->server_send(std::move(p));
+        } else {
+          base->server_send(std::move(p));
+        }
+      },
+      {.client = net::ClientId{0}});
+  transport::TcpReceiver receiver(
+      *sched,
+      [&](net::Packet p) {
+        if (wgtt) {
+          wgtt->client(0).send_uplink(std::move(p));
+        } else {
+          base->client(0).send_uplink(std::move(p));
+        }
+      },
+      {.client = net::ClientId{0}});
+  receiver.on_delivered = [&](std::uint64_t, Time now) {
+    page.on_progress(receiver.bytes_delivered(), now);
+  };
+  auto on_down = [&](const net::Packet& p) { receiver.on_data_packet(p); };
+  auto on_up = [&](const net::Packet& p) { sender.on_ack_packet(p); };
+  if (wgtt) {
+    wgtt->client(0).on_downlink = on_down;
+    wgtt->on_server_uplink = on_up;
+  } else {
+    base->client(0).on_downlink = on_down;
+    base->on_server_uplink = on_up;
+  }
+
+  page.begin(Time::zero());
+  sender.send_bytes(page.page_bytes());
+  if (wgtt) {
+    wgtt->run_until(horizon);
+  } else {
+    base->run_until(horizon);
+  }
+  const auto t = page.load_time();
+  return t ? t->to_seconds() : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 5: web page (2.1 MB) load time vs speed ===\n\n");
+  std::printf("%-20s", "Client speed (mph)");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) std::printf("%10.0f", mph);
+
+  std::map<std::string, double> counters;
+  std::printf("\n%-20s", "WGTT (s)");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) {
+    const double t = page_load_seconds(true, mph, 79);
+    if (t >= 0) {
+      std::printf("%10.2f", t);
+    } else {
+      std::printf("%10s", "inf");
+    }
+    counters["wgtt_s_" + std::to_string(static_cast<int>(mph))] = t;
+  }
+  std::printf("\n%-20s", "Enhanced 802.11r (s)");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) {
+    const double t = page_load_seconds(false, mph, 79);
+    if (t >= 0) {
+      std::printf("%10.2f", t);
+    } else {
+      std::printf("%10s", "inf");
+    }
+    counters["base_s_" + std::to_string(static_cast<int>(mph))] = t;
+  }
+  std::printf("\n\npaper: WGTT 4.44 / 4.64 / 4.34 / 4.47 s; baseline 15.49 /\n"
+              "18.21 / inf / inf (the page never completes at speed).\n");
+
+  benchx::report("tbl5/web_loading", counters);
+  return benchx::finish(argc, argv);
+}

@@ -1,0 +1,382 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "mobility/trajectory.h"
+#include "phy/mcs.h"
+#include "transport/tcp.h"
+#include "transport/udp.h"
+
+namespace wgtt::benchx {
+
+namespace {
+
+/// Builds the mobility pattern; index 0 is the "primary" client.
+std::vector<std::unique_ptr<mobility::Trajectory>> make_trajectories(
+    const DriveConfig& cfg, double road_span, double ap_spacing) {
+  std::vector<std::unique_ptr<mobility::Trajectory>> out;
+  const double v = mph_to_mps(cfg.mph);
+  const double start = -cfg.lead_in_m;
+  if (cfg.mph == 0.0) {
+    // Parked clients sit at AP boresights (good coverage, as a parked user
+    // would choose), starting from the middle of the array.
+    const double mid_ap =
+        std::round(road_span / 2.0 / ap_spacing) * ap_spacing;
+    for (int i = 0; i < cfg.num_clients; ++i) {
+      out.push_back(std::make_unique<mobility::StaticPosition>(
+          channel::Vec2{mid_ap + i * ap_spacing, 0.0}));
+    }
+    return out;
+  }
+  switch (cfg.pattern) {
+    case Pattern::kSingle:
+      for (int i = 0; i < cfg.num_clients; ++i) {
+        // Convoy with 10 m spacing when more than one client is requested.
+        out.push_back(std::make_unique<mobility::LineDrive>(start - 10.0 * i,
+                                                            0.0, v));
+      }
+      break;
+    case Pattern::kFollowing:
+      // Paper Figure 19 (a): same lane, 3 m spacing.
+      out.push_back(std::make_unique<mobility::LineDrive>(start, 0.0, v));
+      out.push_back(std::make_unique<mobility::LineDrive>(start - 3.0, 0.0, v));
+      break;
+    case Pattern::kParallel:
+      // (b): adjacent lanes, abreast.
+      out.push_back(std::make_unique<mobility::LineDrive>(start, 0.0, v));
+      out.push_back(std::make_unique<mobility::LineDrive>(start, -3.5, v));
+      break;
+    case Pattern::kOpposing:
+      // (c): opposite directions, opposite lanes.
+      out.push_back(std::make_unique<mobility::LineDrive>(start, 0.0, v));
+      out.push_back(std::make_unique<mobility::LineDrive>(
+          road_span + cfg.lead_in_m, -3.5, -v));
+      break;
+  }
+  return out;
+}
+
+/// Measurement window for a client: while it is between the first and last
+/// AP (by |x| position), or the whole run for a parked client.
+std::pair<Time, Time> measure_window(const mobility::Trajectory& tr,
+                                     double last_ap_x, Time horizon) {
+  const auto* drive = dynamic_cast<const mobility::LineDrive*>(&tr);
+  if (drive == nullptr) return {Time::zero(), horizon};
+  const Time a = drive->time_at_x(0.0);
+  const Time b = drive->time_at_x(last_ap_x);
+  return {std::min(a, b), std::max(a, b)};
+}
+
+struct Flow {
+  // Exactly one of these is active per client, by workload.
+  std::unique_ptr<transport::UdpSource> udp_src;
+  transport::UdpSink udp_sink;
+  std::unique_ptr<transport::TcpSender> tcp_tx;
+  std::unique_ptr<transport::TcpReceiver> tcp_rx;
+  bool tcp_alive = true;
+  double tcp_death_s = -1.0;
+};
+
+}  // namespace
+
+DriveResult run_drive(const DriveConfig& cfg) {
+  net::reset_packet_uids();
+  DriveResult result;
+
+  // --- geometry & horizon ---------------------------------------------------
+  scenario::GeometryConfig geo = cfg.geometry.value_or(scenario::GeometryConfig{});
+  geo.seed = cfg.seed;
+  const double last_ap_x = (geo.num_aps - 1) * geo.ap_spacing_m;
+  const double span = cfg.lead_in_m + last_ap_x + cfg.lead_in_m;
+  const Time horizon = cfg.mph > 0.0
+                           ? Time::seconds(span / mph_to_mps(cfg.mph))
+                           : Time::sec(10);
+  result.duration_s = horizon.to_seconds();
+
+  auto trajectories = make_trajectories(cfg, last_ap_x, geo.ap_spacing_m);
+  const int n = static_cast<int>(trajectories.size());
+
+  // --- system construction ----------------------------------------------------
+  std::unique_ptr<scenario::WgttSystem> wgtt;
+  std::unique_ptr<scenario::BaselineSystem> base;
+  sim::Scheduler* sched = nullptr;
+
+  if (cfg.system == System::kWgtt) {
+    scenario::WgttSystemConfig scfg;
+    scfg.geometry = geo;
+    if (cfg.selection_window) scfg.controller.selection_window = *cfg.selection_window;
+    if (cfg.hysteresis) scfg.controller.switch_hysteresis = *cfg.hysteresis;
+    scfg.controller.metric = cfg.metric;
+    scfg.ap.start_from_newest = cfg.start_from_newest;
+    wgtt = std::make_unique<scenario::WgttSystem>(scfg);
+    sched = &wgtt->sched();
+  } else {
+    scenario::BaselineSystemConfig scfg;
+    scfg.geometry = geo;
+    if (cfg.baseline_persistence) {
+      scfg.client.below_threshold_persistence = *cfg.baseline_persistence;
+      scfg.client.beacon_staleness =
+          std::max(*cfg.baseline_persistence, Time::ms(600));
+    }
+    base = std::make_unique<scenario::BaselineSystem>(scfg);
+    sched = &base->sched();
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (wgtt) {
+      wgtt->add_client(trajectories[static_cast<std::size_t>(i)].get());
+    } else {
+      base->add_client(trajectories[static_cast<std::size_t>(i)].get());
+    }
+  }
+  if (wgtt) {
+    wgtt->start();
+    if (!cfg.ba_forwarding) {
+      for (int i = 0; i < wgtt->num_aps(); ++i) wgtt->ap(i).set_ba_forwarding(false);
+    }
+  } else {
+    base->start();
+  }
+
+  // --- instrumentation ---------------------------------------------------------
+  result.clients.resize(static_cast<std::size_t>(n));
+
+  // Association timelines.
+  if (wgtt) {
+    wgtt->controller().on_serving_changed = [&](net::ClientId c, net::ApId ap,
+                                                Time t) {
+      result.clients[net::index_of(c)].assoc_timeline.emplace_back(
+          t.to_seconds(), static_cast<int>(net::index_of(ap)));
+    };
+  } else {
+    base->router().on_association = [&](net::ClientId c, net::ApId ap, Time t) {
+      result.clients[net::index_of(c)].assoc_timeline.emplace_back(
+          t.to_seconds(), static_cast<int>(net::index_of(ap)));
+    };
+  }
+
+  // Bitrate samples: the PHY rate of every downlink data frame the client
+  // actually decoded (Figure 16 plots the link bit rate observed in the
+  // client's tcpdump — i.e. of received frames, not of attempts).
+  for (int i = 0; i < n; ++i) {
+    mac::WifiMac& m = wgtt ? wgtt->client(i).mac() : base->client(i).mac();
+    // Chain with any existing handler (the baseline client tracks beacon
+    // RSSI through on_heard — clobbering it would break association).
+    m.on_heard = [&result, prev = std::move(m.on_heard)](
+                     const mac::Frame& f, bool decoded,
+                     const channel::CsiMeasurement& csi) {
+      if (prev) prev(f, decoded, csi);
+      if (!decoded) return;
+      if (const auto* df = std::get_if<mac::DataFrame>(&f.body)) {
+        result.bitrate_mbps_samples.push_back(
+            phy::mcs_info(df->mcs).data_rate_mbps);
+      }
+    };
+  }
+
+
+  // --- traffic ------------------------------------------------------------------
+  std::vector<Flow> flows(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Flow& f = flows[static_cast<std::size_t>(i)];
+    const net::ClientId cid{static_cast<std::uint32_t>(i)};
+    auto server_send = [&, i](net::Packet p) {
+      p.client = net::ClientId{static_cast<std::uint32_t>(i)};
+      if (wgtt) {
+        wgtt->server_send(std::move(p));
+      } else {
+        base->server_send(std::move(p));
+      }
+    };
+    auto client_send = [&, i](net::Packet p) {
+      if (wgtt) {
+        wgtt->client(i).send_uplink(std::move(p));
+      } else {
+        base->client(i).send_uplink(std::move(p));
+      }
+    };
+
+    switch (cfg.workload) {
+      case Workload::kUdpDown: {
+        f.udp_src = std::make_unique<transport::UdpSource>(
+            *sched, server_send,
+            transport::UdpSource::Config{.rate_mbps = cfg.udp_rate_mbps,
+                                         .client = cid});
+        auto on_down = [&f, sched](const net::Packet& p) {
+          f.udp_sink.on_packet(sched->now(), p);
+        };
+        if (wgtt) {
+          wgtt->client(i).on_downlink = on_down;
+        } else {
+          base->client(i).on_downlink = on_down;
+        }
+        f.udp_src->start();
+        break;
+      }
+      case Workload::kUdpUp: {
+        f.udp_src = std::make_unique<transport::UdpSource>(
+            *sched, client_send,
+            transport::UdpSource::Config{.rate_mbps = cfg.udp_rate_mbps,
+                                         .client = cid,
+                                         .downlink = false});
+        f.udp_src->start();
+        break;
+      }
+      case Workload::kTcpDown: {
+        transport::TcpSender::Config scfg;
+        scfg.client = cid;
+        f.tcp_tx = std::make_unique<transport::TcpSender>(*sched, server_send,
+                                                          scfg);
+        transport::TcpReceiver::Config rcfg;
+        rcfg.client = cid;
+        f.tcp_rx = std::make_unique<transport::TcpReceiver>(*sched, client_send,
+                                                            rcfg);
+        auto on_down = [&f](const net::Packet& p) { f.tcp_rx->on_data_packet(p); };
+        if (wgtt) {
+          wgtt->client(i).on_downlink = on_down;
+        } else {
+          base->client(i).on_downlink = on_down;
+        }
+        f.tcp_tx->on_dead = [&f, sched] {
+          f.tcp_alive = false;
+          f.tcp_death_s = sched->now().to_seconds();
+        };
+        f.tcp_tx->set_unlimited(true);
+        break;
+      }
+    }
+  }
+
+  // Uplink demultiplexing at the server side.
+  auto server_uplink = [&](const net::Packet& p) {
+    const auto i = static_cast<std::size_t>(net::index_of(p.client));
+    if (i >= flows.size()) return;
+    Flow& f = flows[i];
+    switch (cfg.workload) {
+      case Workload::kUdpUp:
+        f.udp_sink.on_packet(sched->now(), p);
+        break;
+      case Workload::kTcpDown:
+        if (f.tcp_tx) f.tcp_tx->on_ack_packet(p);
+        break;
+      case Workload::kUdpDown:
+        break;  // no meaningful uplink
+    }
+  };
+  if (wgtt) {
+    wgtt->on_server_uplink = server_uplink;
+  } else {
+    base->on_server_uplink = server_uplink;
+  }
+
+  // --- accuracy probe -------------------------------------------------------------
+  std::vector<int> probe_match(static_cast<std::size_t>(n), 0);
+  std::vector<int> probe_total(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<Time, Time>> windows;
+  for (int i = 0; i < n; ++i) {
+    windows.push_back(measure_window(*trajectories[static_cast<std::size_t>(i)],
+                                     last_ap_x, horizon));
+  }
+  std::function<void()> probe = [&] {
+    for (int i = 0; i < n; ++i) {
+      const auto [t0, t1] = windows[static_cast<std::size_t>(i)];
+      const Time now = sched->now();
+      if (now < t0 || now >= t1) continue;
+      const int serving = wgtt ? wgtt->serving_ap(i) : base->serving_ap(i);
+      const int optimal = wgtt ? wgtt->geometry().optimal_ap(i, now)
+                               : base->geometry().optimal_ap(i, now);
+      ++probe_total[static_cast<std::size_t>(i)];
+      if (serving == optimal) ++probe_match[static_cast<std::size_t>(i)];
+    }
+    sched->schedule_in(cfg.accuracy_probe, probe);
+  };
+  sched->schedule_in(cfg.accuracy_probe, probe);
+
+  // --- run --------------------------------------------------------------------------
+  if (wgtt) {
+    wgtt->run_until(horizon);
+  } else {
+    base->run_until(horizon);
+  }
+
+  // --- collect ------------------------------------------------------------------------
+  for (int i = 0; i < n; ++i) {
+    ClientResult& cr = result.clients[static_cast<std::size_t>(i)];
+    Flow& f = flows[static_cast<std::size_t>(i)];
+    const auto [t0, t1] = windows[static_cast<std::size_t>(i)];
+    result.in_array_s = (t1 - t0).to_seconds();
+    const transport::ThroughputRecorder* rec = nullptr;
+    if (cfg.workload == Workload::kTcpDown) {
+      rec = &f.tcp_rx->goodput();
+      cr.tcp_alive = f.tcp_alive;
+      cr.tcp_death_s = f.tcp_death_s;
+    } else {
+      rec = &f.udp_sink.throughput();
+    }
+    cr.mbps = rec->average_mbps(t0, t1);
+    cr.bytes = rec->total_bytes();
+    cr.series = rec->series();
+    if (probe_total[static_cast<std::size_t>(i)] > 0) {
+      cr.accuracy = static_cast<double>(probe_match[static_cast<std::size_t>(i)]) /
+                    probe_total[static_cast<std::size_t>(i)];
+    }
+    if (cfg.workload == Workload::kUdpUp) {
+      // Loss per 500 ms window against the offered rate, within the
+      // in-array span. (Sequence-gap accounting alone under-reports total
+      // outages: an empty window has no gaps.)
+      for (Time w = t0; w + Time::ms(500) <= t1; w += Time::ms(500)) {
+        const double got = rec->average_mbps(w, w + Time::ms(500));
+        cr.uplink_loss_windows.push_back(
+            std::clamp(1.0 - got / cfg.udp_rate_mbps, 0.0, 1.0));
+      }
+    }
+  }
+
+  if (wgtt) {
+    const auto& st = wgtt->controller().stats();
+    result.switches = st.switches_completed;
+    for (const auto& sw : wgtt->controller().switch_log()) {
+      result.switch_protocol_ms.push_back((sw.completed - sw.initiated).to_millis());
+    }
+    result.uplink_dups_dropped = st.uplink_duplicates_dropped;
+    result.uplink_packets = st.uplink_packets;
+    for (int i = 0; i < wgtt->num_aps(); ++i) {
+      const auto s = wgtt->ap(i).mac().total_stats();
+      result.retransmissions += s.retransmissions;
+      result.mpdus_delivered += s.mpdus_delivered;
+      result.delivered_via_forwarded_ba += s.mpdus_delivered_via_forwarded_ba;
+      result.stale_dropped += wgtt->ap(i).stats().stale_dropped;
+    }
+    for (int i = 0; i < n; ++i) {
+      result.ba_heard += wgtt->client(i).mac().ba_frames_heard();
+      result.ba_collided += wgtt->client(i).mac().ba_frames_collided();
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      result.switches += base->client(i).stats().handovers_completed;
+    }
+    for (int i = 0; i < base->num_aps(); ++i) {
+      const auto s = base->ap(i).mac().total_stats();
+      result.retransmissions += s.retransmissions;
+      result.mpdus_delivered += s.mpdus_delivered;
+    }
+    for (int i = 0; i < n; ++i) {
+      result.ba_heard += base->client(i).mac().ba_frames_heard();
+      result.ba_collided += base->client(i).mac().ba_frames_collided();
+    }
+  }
+  return result;
+}
+
+double mean_mbps_over_seeds(DriveConfig config, int seeds) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = config.seed * 7919 + 13;
+    total += run_drive(config).mean_mbps();
+  }
+  return total / seeds;
+}
+
+}  // namespace wgtt::benchx

@@ -1,0 +1,103 @@
+// Shared experiment harness for the reproduction benches.
+//
+// Every table and figure in the paper's evaluation reduces to "drive one or
+// more clients past the AP array under a traffic workload and measure".
+// run_drive() executes that recipe for either system (WGTT or Enhanced
+// 802.11r), either transport (bulk TCP, downlink UDP CBR, uplink UDP CBR),
+// any speed, any multi-client pattern (Figure 19), and the ablation knobs,
+// and returns the measurements the benches print as paper-style rows.
+//
+// Throughput is averaged over the in-array window (between the first and
+// last AP's road coordinates), matching the paper's "while the client
+// transits through eight APs".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/controller.h"
+#include "scenario/baseline_system.h"
+#include "scenario/wgtt_system.h"
+#include "transport/flow_stats.h"
+
+namespace wgtt::benchx {
+
+enum class System { kWgtt, kBaseline };
+enum class Workload { kUdpDown, kTcpDown, kUdpUp };
+enum class Pattern { kSingle, kFollowing, kParallel, kOpposing };
+
+struct DriveConfig {
+  System system = System::kWgtt;
+  Workload workload = Workload::kUdpDown;
+  double mph = 15.0;  // 0 = parked mid-array
+  double udp_rate_mbps = 30.0;
+  std::uint64_t seed = 1;
+  int num_clients = 1;
+  Pattern pattern = Pattern::kSingle;
+  double lead_in_m = 15.0;
+
+  // Knobs (paper parameters / ablations).
+  std::optional<Time> selection_window;  // W (Figure 21)
+  std::optional<Time> hysteresis;        // Figure 22
+  bool ba_forwarding = true;             // ablation
+  bool uplink_dedup = true;              // ablation (counts only)
+  bool start_from_newest = false;        // queue-management ablation
+  core::Controller::SelectionMetric metric =
+      core::Controller::SelectionMetric::kMedianEsnr;
+  std::optional<scenario::GeometryConfig> geometry;  // density sweeps
+  std::optional<Time> baseline_persistence;          // stock vs enhanced
+  /// Sampling period of the serving-vs-optimal accuracy probe.
+  Time accuracy_probe = Time::ms(10);
+};
+
+struct ClientResult {
+  double mbps = 0.0;       // in-array average goodput
+  double accuracy = 0.0;   // fraction of probes with serving == optimal AP
+  bool tcp_alive = true;   // TCP connection survived the drive
+  double tcp_death_s = -1.0;  // when it died (if it did)
+  std::uint64_t bytes = 0;
+  std::vector<transport::ThroughputRecorder::Point> series;  // 100 ms bins
+  /// (time s, ap index) association/serving timeline.
+  std::vector<std::pair<double, int>> assoc_timeline;
+  /// Uplink loss rate per 500 ms window (Workload::kUdpUp).
+  std::vector<double> uplink_loss_windows;
+};
+
+struct DriveResult {
+  std::vector<ClientResult> clients;
+  double duration_s = 0.0;
+  double in_array_s = 0.0;
+  std::uint64_t switches = 0;
+  std::vector<double> switch_protocol_ms;  // per-switch stop->ack latency
+  std::vector<double> bitrate_mbps_samples;  // per-A-MPDU PHY rate samples
+  std::uint64_t ba_collided = 0;   // BA frames that collided at the client
+  std::uint64_t ba_heard = 0;      // BA frames heard at the client
+  std::uint64_t retransmissions = 0;
+  std::uint64_t mpdus_delivered = 0;
+  std::uint64_t delivered_via_forwarded_ba = 0;
+  std::uint64_t uplink_dups_dropped = 0;
+  std::uint64_t uplink_packets = 0;
+  std::uint64_t stale_dropped = 0;
+
+  [[nodiscard]] double mean_mbps() const {
+    if (clients.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& c : clients) s += c.mbps;
+    return s / static_cast<double>(clients.size());
+  }
+  [[nodiscard]] double mean_accuracy() const {
+    if (clients.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& c : clients) s += c.accuracy;
+    return s / static_cast<double>(clients.size());
+  }
+};
+
+/// Runs one drive-by experiment. Deterministic per config.
+DriveResult run_drive(const DriveConfig& config);
+
+/// Mean over `seeds` runs of the in-array throughput.
+double mean_mbps_over_seeds(DriveConfig config, int seeds);
+
+}  // namespace wgtt::benchx

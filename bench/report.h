@@ -1,0 +1,37 @@
+// Reporting glue for the reproduction benches.
+//
+// Each bench binary prints its table/figure in the paper's shape on stdout
+// and also registers the headline numbers as google-benchmark counters
+// (zero-iteration benchmarks), so tooling that consumes benchmark output
+// (JSON, CSV) can track them across builds.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+namespace wgtt::benchx {
+
+/// Registers `name` as a benchmark whose only payload is `counters`.
+inline void report(const std::string& name,
+                   const std::map<std::string, double>& counters) {
+  benchmark::RegisterBenchmark(name.c_str(), [counters](benchmark::State& st) {
+    for (auto _ : st) {
+      // Measurement happened up front; nothing to time here.
+    }
+    for (const auto& [key, value] : counters) {
+      st.counters[key] = value;
+    }
+  })->Iterations(1);
+}
+
+/// Runs the registered benchmarks; call at the end of main().
+inline int finish(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wgtt::benchx

@@ -1,0 +1,64 @@
+// Example: three vehicles sharing the array (paper §5.2.2).
+//
+// A convoy of three clients drives past at 15 mph, each receiving its own
+// bulk UDP stream. Shows per-client throughput, the controller's switching
+// activity, and the uplink de-duplication at work.
+#include <cstdio>
+
+#include "mobility/trajectory.h"
+#include "scenario/wgtt_system.h"
+#include "transport/udp.h"
+
+using namespace wgtt;
+
+int main() {
+  scenario::WgttSystemConfig cfg;
+  cfg.geometry.seed = 11;
+  scenario::WgttSystem system(cfg);
+
+  std::vector<std::unique_ptr<mobility::LineDrive>> drives;
+  for (int i = 0; i < 3; ++i) {
+    drives.push_back(
+        std::make_unique<mobility::LineDrive>(-15.0 - 10.0 * i, 0.0,
+                                              mph_to_mps(15.0)));
+    system.add_client(drives.back().get());
+  }
+  system.start();
+
+  std::vector<std::unique_ptr<transport::UdpSource>> sources;
+  std::vector<transport::UdpSink> sinks(3);
+  for (int i = 0; i < 3; ++i) {
+    sources.push_back(std::make_unique<transport::UdpSource>(
+        system.sched(),
+        [&system, i](net::Packet p) {
+          p.client = net::ClientId{static_cast<std::uint32_t>(i)};
+          system.server_send(std::move(p));
+        },
+        transport::UdpSource::Config{
+            .rate_mbps = 15.0,
+            .client = net::ClientId{static_cast<std::uint32_t>(i)}}));
+    system.client(i).on_downlink = [&sinks, &system, i](const net::Packet& p) {
+      sinks[static_cast<std::size_t>(i)].on_packet(system.now(), p);
+    };
+    sources.back()->start();
+  }
+
+  const Time horizon = Time::seconds((82.5 + 20.0) / mph_to_mps(15.0));
+  system.run_until(horizon);
+
+  std::printf("=== three-client convoy at 15 mph (15 Mbit/s offered each) ===\n\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& sink = sinks[static_cast<std::size_t>(i)];
+    std::printf("client %d: %.2f Mbit/s delivered (%llu packets, %llu dup)\n",
+                i, sink.throughput().average_mbps(Time::zero(), horizon),
+                static_cast<unsigned long long>(sink.packets_received()),
+                static_cast<unsigned long long>(sink.duplicates()));
+  }
+  const auto& st = system.controller().stats();
+  std::printf("\ncontroller: %llu switches, %llu CSI reports, "
+              "%llu duplicate uplink copies dropped\n",
+              static_cast<unsigned long long>(st.switches_completed),
+              static_cast<unsigned long long>(st.csi_reports),
+              static_cast<unsigned long long>(st.uplink_duplicates_dropped));
+  return 0;
+}

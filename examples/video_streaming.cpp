@@ -1,0 +1,75 @@
+// Example: HD video streaming to a moving vehicle (the paper's §5.4 online
+// video case study).
+//
+// A 2.5 Mbit/s HD stream is served over TCP from a local server to a client
+// driving past the eight-AP array at 15 mph, played through a VLC-like
+// player with a 1.5 s pre-buffer. Prints the playback health and the
+// per-second buffer state.
+#include <cstdio>
+
+#include "apps/video.h"
+#include "mobility/trajectory.h"
+#include "scenario/wgtt_system.h"
+#include "transport/tcp.h"
+
+using namespace wgtt;
+
+int main() {
+  scenario::WgttSystemConfig cfg;
+  cfg.geometry.seed = 7;
+  scenario::WgttSystem system(cfg);
+
+  mobility::LineDrive drive(-15.0, 0.0, mph_to_mps(15.0));
+  system.add_client(&drive);
+  system.start();
+
+  // Server-side TCP sender streams the video file; client-side receiver
+  // feeds the player as bytes arrive in order.
+  transport::TcpSender sender(
+      system.sched(),
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        system.server_send(std::move(p));
+      },
+      {.client = net::ClientId{0}});
+  transport::TcpReceiver receiver(
+      system.sched(),
+      [&](net::Packet p) { system.client(0).send_uplink(std::move(p)); },
+      {.client = net::ClientId{0}});
+  system.client(0).on_downlink = [&](const net::Packet& p) {
+    receiver.on_data_packet(p);
+  };
+  system.on_server_uplink = [&](const net::Packet& p) {
+    sender.on_ack_packet(p);
+  };
+
+  apps::VideoPlayer player(system.sched(),
+                           {.video_bitrate_mbps = 2.5,
+                            .prebuffer = Time::millis(1500.0)});
+  receiver.on_delivered = [&](std::uint64_t bytes, Time) {
+    player.on_bytes(bytes);
+  };
+
+  sender.set_unlimited(true);  // FTP-style: push as fast as TCP allows
+  player.start();
+
+  const Time horizon = Time::seconds(82.5 / mph_to_mps(15.0));
+  std::printf("streaming HD video during a %.1f s drive at 15 mph...\n\n",
+              horizon.to_seconds());
+  for (Time t = Time::sec(1); t <= horizon; t += Time::sec(1)) {
+    system.run_until(t);
+    std::printf("  t=%4.0fs  %-10s  delivered %6.2f MB  serving AP %d\n",
+                t.to_seconds(), player.playing() ? "PLAYING" : "buffering",
+                static_cast<double>(receiver.bytes_delivered()) / 1e6,
+                system.serving_ap(0));
+  }
+  player.stop();
+
+  const auto r = player.report();
+  std::printf("\nplayback report: %d rebuffer events, %.2f s stalled, "
+              "rebuffer ratio %.2f\n",
+              r.rebuffer_events, r.stalled_total.to_seconds(),
+              r.rebuffer_ratio);
+  std::printf("(the paper's Table 4: WGTT achieves ratio 0 at all speeds)\n");
+  return 0;
+}

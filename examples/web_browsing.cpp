@@ -1,0 +1,88 @@
+// Example: loading a web page from a moving vehicle (paper §5.4, Table 5),
+// comparing WGTT against the Enhanced 802.11r baseline on the same
+// radio world.
+#include <cstdio>
+#include <memory>
+
+#include "apps/web.h"
+#include "mobility/trajectory.h"
+#include "scenario/baseline_system.h"
+#include "scenario/wgtt_system.h"
+#include "transport/tcp.h"
+
+using namespace wgtt;
+
+namespace {
+
+template <typename SystemT>
+double load_page(SystemT& system, const Time horizon) {
+  apps::WebPageLoad page;  // the 2.1 MB eBay homepage
+  transport::TcpSender sender(
+      system.sched(),
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        system.server_send(std::move(p));
+      },
+      {.client = net::ClientId{0}});
+  transport::TcpReceiver receiver(
+      system.sched(),
+      [&](net::Packet p) { system.client(0).send_uplink(std::move(p)); },
+      {.client = net::ClientId{0}});
+  receiver.on_delivered = [&](std::uint64_t, Time now) {
+    page.on_progress(receiver.bytes_delivered(), now);
+  };
+  system.client(0).on_downlink = [&](const net::Packet& p) {
+    receiver.on_data_packet(p);
+  };
+  system.on_server_uplink = [&](const net::Packet& p) {
+    sender.on_ack_packet(p);
+  };
+  page.begin(Time::zero());
+  sender.send_bytes(page.page_bytes());
+  system.run_until(horizon);
+  const auto t = page.load_time();
+  return t ? t->to_seconds() : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const double mph = 15.0;
+  const Time horizon = Time::seconds(82.5 / mph_to_mps(mph));
+
+  std::printf("=== loading a 2.1 MB page at %.0f mph ===\n\n", mph);
+
+  {
+    scenario::WgttSystemConfig cfg;
+    cfg.geometry.seed = 3;
+    scenario::WgttSystem system(cfg);
+    mobility::LineDrive drive(-15.0, 0.0, mph_to_mps(mph));
+    system.add_client(&drive);
+    system.start();
+    const double t = load_page(system, horizon);
+    if (t >= 0) {
+      std::printf("WGTT:              page loaded in %.2f s\n", t);
+    } else {
+      std::printf("WGTT:              page did NOT finish loading\n");
+    }
+  }
+  {
+    scenario::BaselineSystemConfig cfg;
+    cfg.geometry.seed = 3;
+    scenario::BaselineSystem system(cfg);
+    mobility::LineDrive drive(-15.0, 0.0, mph_to_mps(mph));
+    system.add_client(&drive);
+    system.start();
+    const double t = load_page(system, horizon);
+    if (t >= 0) {
+      std::printf("Enhanced 802.11r:  page loaded in %.2f s\n", t);
+    } else {
+      std::printf("Enhanced 802.11r:  page did NOT finish loading "
+                  "(the paper's \"infinity\" row)\n");
+    }
+  }
+  std::printf("\npaper (Table 5): WGTT ~4.3-4.6 s at every speed; the "
+              "baseline needs 15-18 s\nat 5-10 mph and never finishes at "
+              "15+ mph.\n");
+  return 0;
+}

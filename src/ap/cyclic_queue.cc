@@ -1,0 +1,40 @@
+#include "ap/cyclic_queue.h"
+
+namespace wgtt::ap {
+
+CyclicQueue::CyclicQueue() : slots_(kIndexSpace) {}
+
+void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
+  index &= kIndexSpace - 1;
+  Slot& s = slots_[index];
+  if (!s.occupied) ++occupied_;
+  s.index = index;
+  s.occupied = true;
+  s.packet = std::move(packet);
+  newest_ = index;
+}
+
+const net::Packet* CyclicQueue::peek(std::uint16_t index) const {
+  index &= kIndexSpace - 1;
+  const Slot& s = slots_[index];
+  return s.occupied && s.index == index ? &s.packet : nullptr;
+}
+
+std::optional<net::Packet> CyclicQueue::take(std::uint16_t index) {
+  index &= kIndexSpace - 1;
+  Slot& s = slots_[index];
+  if (!s.occupied || s.index != index) return std::nullopt;
+  s.occupied = false;
+  --occupied_;
+  return std::move(s.packet);
+}
+
+bool CyclicQueue::has(std::uint16_t index) const { return peek(index) != nullptr; }
+
+void CyclicQueue::clear() {
+  for (auto& s : slots_) s.occupied = false;
+  occupied_ = 0;
+  newest_.reset();
+}
+
+}  // namespace wgtt::ap

@@ -1,0 +1,59 @@
+// The per-client cyclic queue (paper §3.1.2, Figure 7).
+//
+// The controller fans every downlink packet out to all in-range APs tagged
+// with a 12-bit index number that increments per packet per client. Each AP
+// stores packets in a ring indexed by that number. Only the serving AP
+// drains the ring toward the radio; the others keep accumulating, so that
+// on a switch the new AP already holds the backlog and can resume from any
+// index k it is told in start(c, k) — no packets need to cross the backhaul
+// at switch time. New packets for a slot simply overwrite what an old index
+// left behind (the ring is sized to the whole 12-bit space, so overwrite
+// only happens 4096 packets later, far beyond any realistic backlog).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace wgtt::ap {
+
+class CyclicQueue {
+ public:
+  static constexpr std::uint16_t kIndexSpace = 1u << 12;  // m = 12
+
+  CyclicQueue();
+
+  /// Stores `packet` under `index` (overwrites any stale occupant).
+  void put(std::uint16_t index, net::Packet packet);
+
+  /// Packet at `index`, if that exact index is present.
+  [[nodiscard]] const net::Packet* peek(std::uint16_t index) const;
+
+  /// Removes and returns the packet at `index`.
+  std::optional<net::Packet> take(std::uint16_t index);
+
+  [[nodiscard]] bool has(std::uint16_t index) const;
+
+  /// Number of occupied slots.
+  [[nodiscard]] std::size_t occupancy() const { return occupied_; }
+
+  /// Highest index ever stored (newest packet), if any; used to measure
+  /// backlog depth in the queue microbenchmarks.
+  [[nodiscard]] std::optional<std::uint16_t> newest() const { return newest_; }
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint16_t index = 0;
+    bool occupied = false;
+    net::Packet packet;
+  };
+  std::vector<Slot> slots_;
+  std::size_t occupied_ = 0;
+  std::optional<std::uint16_t> newest_;
+};
+
+}  // namespace wgtt::ap

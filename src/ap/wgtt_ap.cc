@@ -1,0 +1,269 @@
+#include "ap/wgtt_ap.h"
+
+#include <algorithm>
+
+#include "phy/rate_control.h"
+
+namespace wgtt::ap {
+
+using net::BackhaulMessage;
+using net::NodeId;
+
+WgttAp::WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
+               net::Backhaul& backhaul, Rng rng, Config config,
+               mac::Medium::PositionFn position)
+    : id_(id),
+      sched_(sched),
+      backhaul_(backhaul),
+      rng_(rng),
+      config_([&] {
+        Config c = config;
+        c.mac.accept_bssid = true;  // thin-AP shared BSSID
+        return c;
+      }()),
+      mac_(sched, medium, rng_.fork(), config_.mac) {
+  mac_.attach(std::move(position));
+  mac_.on_deliver = [this](mac::RadioId from, const net::Packet& pkt) {
+    // Uplink data decoded by this AP: tunnel to the controller (§3.2.2).
+    auto it = client_of_radio_.find(from);
+    if (it == client_of_radio_.end()) return;
+    ++stats_.uplink_forwarded;
+    backhaul_.send(NodeId::ap(id_), NodeId::controller(),
+                   net::UplinkData{id_, pkt});
+  };
+  mac_.on_heard = [this](const mac::Frame& f, bool decoded,
+                         const channel::CsiMeasurement& csi) {
+    on_heard(f, decoded, csi);
+  };
+  mac_.on_mpdu_acked = [this](mac::RadioId peer, std::uint16_t, const net::Packet&) {
+    auto it = client_of_radio_.find(peer);
+    if (it == client_of_radio_.end()) return;
+    ClientState* cs = client_state(it->second);
+    if (cs != nullptr) pump(*cs);
+  };
+  backhaul_.attach(NodeId::ap(id_), [this](NodeId from, BackhaulMessage msg) {
+    handle_backhaul(from, std::move(msg));
+  });
+  pump_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    pump_all();
+    pump_timer_->start(config_.pump_period);
+  });
+  pump_timer_->start(config_.pump_period);
+}
+
+void WgttAp::set_ap_directory(
+    std::function<std::optional<net::ApId>(mac::RadioId)> ap_of_radio) {
+  ap_of_radio_ = std::move(ap_of_radio);
+}
+
+void WgttAp::register_client(net::ClientId client, mac::RadioId radio) {
+  if (clients_.contains(client)) return;
+  ClientState cs;
+  cs.radio = radio;
+  clients_.emplace(client, std::move(cs));
+  client_of_radio_[radio] = client;
+  mac_.add_peer(radio);
+  // WGTT APs have per-frame CSI; drive the rate from it (§4.2 keeps the
+  // default controller, but the default Atheros controller converges to the
+  // same choice — see bench_abl_selection_metric for the comparison).
+  mac_.set_rate_controller(radio, std::make_unique<phy::EsnrRateSelector>());
+}
+
+bool WgttAp::serving(net::ClientId client) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() && it->second.serving;
+}
+
+std::size_t WgttAp::cyclic_backlog(net::ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.queue.occupancy();
+}
+
+WgttAp::ClientState* WgttAp::client_state(net::ClientId client) {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? nullptr : &it->second;
+}
+
+Time WgttAp::draw_delay(Time mean, Time std) {
+  const double ns = rng_.normal(static_cast<double>(mean.count_ns()),
+                                static_cast<double>(std.count_ns()));
+  return Time::ns(std::max<std::int64_t>(static_cast<std::int64_t>(ns),
+                                         Time::micros(100).count_ns()));
+}
+
+void WgttAp::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, net::DownlinkData>) {
+          handle_downlink(std::move(m));
+        } else if constexpr (std::is_same_v<T, net::StopMsg>) {
+          handle_stop(m);
+        } else if constexpr (std::is_same_v<T, net::StartMsg>) {
+          handle_start(m);
+        } else if constexpr (std::is_same_v<T, net::BlockAckForward>) {
+          handle_ba_forward(m);
+        }
+        // AssocSync is handled by the scenario wiring (register_client);
+        // UplinkData / CsiReport / SwitchAck never address an AP.
+      },
+      std::move(msg));
+}
+
+void WgttAp::handle_downlink(net::DownlinkData&& msg) {
+  ClientState* cs = client_state(msg.packet.client);
+  if (cs == nullptr) return;  // not yet associated here
+  ++stats_.downlink_received;
+  cs->queue.put(msg.index, std::move(msg.packet));
+  if (cs->serving) pump(*cs);
+}
+
+void WgttAp::handle_stop(const net::StopMsg& msg) {
+  ClientState* cs = client_state(msg.client);
+  if (cs == nullptr) return;
+  ++stats_.stops_handled;
+  // Control packets are prioritized but still cross the Click userspace.
+  const Time proc = draw_delay(config_.control_processing_mean,
+                               config_.control_processing_std);
+  sched_.schedule_in(proc, [this, client = msg.client, new_ap = msg.new_ap] {
+    ClientState* s = client_state(client);
+    if (s == nullptr) return;
+    // Cease sending: stop pumping. MPDUs already in the NIC hardware queue
+    // keep draining over the (deteriorating) old link — the paper measures
+    // ~6 ms of residual transmissions and accepts them.
+    s->serving = false;
+    // Query the kernel for the first unsent index (ioctl round trip), then
+    // hand off to the new AP.
+    const Time q = draw_delay(config_.ioctl_query_mean, config_.ioctl_query_std);
+    sched_.schedule_in(q, [this, client, new_ap] {
+      ClientState* s2 = client_state(client);
+      if (s2 == nullptr) return;
+      backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(new_ap),
+                     net::StartMsg{client, id_, s2->next_index});
+    });
+  });
+}
+
+void WgttAp::handle_start(const net::StartMsg& msg) {
+  ClientState* cs = client_state(msg.client);
+  if (cs == nullptr) return;
+  ++stats_.starts_handled;
+  const Time proc = draw_delay(config_.start_processing_mean,
+                               config_.start_processing_std);
+  sched_.schedule_in(proc, [this, client = msg.client, k = msg.first_unsent_index] {
+    ClientState* s = client_state(client);
+    if (s == nullptr) return;
+    s->serving = true;
+    if (config_.start_from_newest && s->queue.newest()) {
+      // Queue-management ablation: drop the handed-off backlog on the floor
+      // and continue from whatever arrives next.
+      s->next_index = (*s->queue.newest() + 1) & (CyclicQueue::kIndexSpace - 1);
+    } else {
+      s->next_index = k & (CyclicQueue::kIndexSpace - 1);
+    }
+    backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+                   net::SwitchAck{client, id_});
+    pump(*s);
+  });
+}
+
+bool WgttAp::ba_seen(ClientState& cs, std::uint64_t uid) {
+  for (std::size_t i = 0; i < cs.seen_ba_uids.size(); ++i) {
+    if (cs.seen_ba_uids.at(i) == uid) return true;
+  }
+  if (cs.seen_ba_uids.full()) cs.seen_ba_uids.pop_front();
+  cs.seen_ba_uids.push_back(uid);
+  return false;
+}
+
+void WgttAp::handle_ba_forward(const net::BlockAckForward& msg) {
+  ClientState* cs = client_state(msg.client);
+  if (cs == nullptr) return;
+  ++stats_.ba_forward_received;
+  if (ba_seen(*cs, msg.ba_uid)) {
+    // Already merged (own NIC or another AP's forward): drop (§3.2.1).
+    ++stats_.ba_forward_duplicate;
+    return;
+  }
+  mac::BaBitmap ba;
+  ba.start_seq = msg.start_seq;
+  ba.bits = msg.bitmap;
+  mac_.inject_block_ack(cs->radio, ba);
+}
+
+void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
+                      const channel::CsiMeasurement& csi) {
+  if (!decoded) return;
+  auto it = client_of_radio_.find(frame.from);
+  if (it == client_of_radio_.end()) return;
+  const net::ClientId client = it->second;
+
+  // CSI extraction on every decoded client frame (§3.1.1).
+  if (csi_reporting_) {
+    ++stats_.csi_reports_sent;
+    backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+                   net::CsiReport{id_, client, csi});
+  }
+
+  // Monitor-mode BA forwarding (§3.2.1): a client BA addressed to another
+  // AP is forwarded there; the serving AP has no monitor interface for its
+  // own client (it decodes its BAs directly).
+  if (const auto* ba = std::get_if<mac::BlockAckFrame>(&frame.body)) {
+    ClientState* cs = client_state(client);
+    if (cs == nullptr) return;
+    if (frame.to == mac_.radio()) {
+      // Our own BA: remember its identity so a forwarded copy is dropped.
+      (void)ba_seen(*cs, frame.tx_uid);
+      return;
+    }
+    if (!ba_forwarding_ || cs->serving || ap_of_radio_ == nullptr) return;
+    const std::optional<net::ApId> dest = ap_of_radio_(frame.to);
+    if (!dest || *dest == id_) return;
+    ++stats_.ba_forwarded;
+    backhaul_.send(
+        net::NodeId::ap(id_), net::NodeId::ap(*dest),
+        net::BlockAckForward{client, id_, ba->start_seq, ba->bitmap, frame.tx_uid});
+  }
+}
+
+void WgttAp::pump(ClientState& cs) {
+  if (!cs.serving) return;
+  while (mac_.queue_depth(cs.radio) < config_.mac.hw_queue_capacity) {
+    if (cs.queue.has(cs.next_index)) {
+      auto pkt = cs.queue.take(cs.next_index);
+      if (sched_.now() - pkt->created > config_.cyclic_staleness) {
+        // A slot written a lap (or a long lull) ago: useless and, worse,
+        // possibly already delivered by another AP. Discard.
+        ++stats_.stale_dropped;
+      } else {
+        mac_.enqueue(cs.radio, std::move(*pkt), cs.next_index);
+      }
+      cs.next_index = (cs.next_index + 1) & (CyclicQueue::kIndexSpace - 1);
+      continue;
+    }
+    // Gap handling: if newer packets exist (this AP joined the fan-out set
+    // after index k was assigned), skip forward to the next occupied slot.
+    const auto newest = cs.queue.newest();
+    if (!newest || cs.queue.occupancy() == 0) break;
+    const std::uint16_t end = (*newest + 1) & (CyclicQueue::kIndexSpace - 1);
+    std::uint16_t probe = cs.next_index;
+    bool found = false;
+    while (probe != end) {
+      if (cs.queue.has(probe)) {
+        found = true;
+        break;
+      }
+      probe = (probe + 1) & (CyclicQueue::kIndexSpace - 1);
+    }
+    if (!found) break;
+    cs.next_index = probe;
+  }
+}
+
+void WgttAp::pump_all() {
+  for (auto& [id, cs] : clients_) {
+    if (cs.serving) pump(cs);
+  }
+}
+
+}  // namespace wgtt::ap

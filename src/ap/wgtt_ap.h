@@ -1,0 +1,143 @@
+// The WGTT access point (paper §3, §4.2).
+//
+// Data plane: downlink packets arrive from the controller tagged with the
+// client's 12-bit index and land in the per-client cyclic queue. If this AP
+// is the client's serving AP, packets are pumped in index order into the
+// NIC hardware queue (the WifiMac), which aggregates and transmits them.
+// Non-serving APs accumulate the same packets silently, ready to take over.
+//
+// Control plane: the three-step switching protocol.
+//   stop(c)      controller -> old AP   : cease sending; report first unsent
+//   start(c, k)  old AP -> new AP       : resume from index k
+//   ack          new AP -> controller   : switch complete
+// Control messages bypass the data path (the paper prioritizes them in
+// Click); their processing delays are modelled explicitly and calibrated to
+// the paper's Table 1 (~17 ms end-to-end).
+//
+// Monitor mode: every AP overhears the client's block ACKs; when a BA is
+// addressed to a different AP, it is forwarded there over the backhaul
+// (§3.2.1). The receiving AP de-duplicates (it may have decoded the same BA
+// itself, or receive copies from several APs) and merges the bitmap into
+// its transmit scoreboard. CSI from every decoded client frame is reported
+// to the controller (§3.1.1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "ap/cyclic_queue.h"
+#include "mac/wifi_mac.h"
+#include "net/backhaul.h"
+#include "net/ids.h"
+#include "net/messages.h"
+#include "sim/scheduler.h"
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+
+namespace wgtt::ap {
+
+class WgttAp {
+ public:
+  struct Config {
+    mac::WifiMac::Config mac{};
+    /// Userspace (Click) handling of a prioritized control packet.
+    Time control_processing_mean = Time::micros(2500);
+    Time control_processing_std = Time::micros(800);
+    /// ioctl round trip to read the first-unsent index from the kernel and
+    /// install the per-client filter (paper §3.1.2 "Implementing the
+    /// switch").
+    Time ioctl_query_mean = Time::micros(9000);
+    Time ioctl_query_std = Time::micros(2500);
+    /// New AP's processing between start(c, k) and resuming transmission.
+    Time start_processing_mean = Time::micros(5000);
+    Time start_processing_std = Time::micros(1800);
+    /// Pump poll period (covers hw-queue space freed by retry drops).
+    Time pump_period = Time::ms(1);
+    /// Packets older than this are discarded instead of transmitted. Guards
+    /// against replaying stale cyclic-queue slots after this AP re-enters
+    /// the fan-out set (the 12-bit ring cannot distinguish a slot written
+    /// one lap ago from a fresh one).
+    Time cyclic_staleness = Time::ms(500);
+    /// Ablation: ignore the start(c, k) index and resume from the newest
+    /// buffered packet instead — i.e. a handover *without* the paper's
+    /// cross-AP queue management. The backlog between k and newest is lost.
+    bool start_from_newest = false;
+  };
+
+  struct Stats {
+    std::uint64_t downlink_received = 0;
+    std::uint64_t stops_handled = 0;
+    std::uint64_t starts_handled = 0;
+    std::uint64_t csi_reports_sent = 0;
+    std::uint64_t uplink_forwarded = 0;
+    std::uint64_t ba_forwarded = 0;
+    std::uint64_t ba_forward_received = 0;
+    std::uint64_t ba_forward_duplicate = 0;
+    std::uint64_t stale_dropped = 0;
+  };
+
+  WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
+         net::Backhaul& backhaul, Rng rng, Config config,
+         mac::Medium::PositionFn position);
+
+  /// Maps a peer radio to the owning AP, for BA forwarding (the overheard
+  /// BA's destination address names the serving AP's radio). Wired by the
+  /// scenario.
+  void set_ap_directory(
+      std::function<std::optional<net::ApId>(mac::RadioId)> ap_of_radio);
+
+  /// Replicated association state (paper §4.3): makes the client a MAC peer
+  /// with an ESNR-driven rate controller.
+  void register_client(net::ClientId client, mac::RadioId radio);
+
+  /// Disable/enable block-ACK forwarding (ablation).
+  void set_ba_forwarding(bool enabled) { ba_forwarding_ = enabled; }
+  /// Disable CSI reporting (ablation; starves the controller's selector).
+  void set_csi_reporting(bool enabled) { csi_reporting_ = enabled; }
+
+  [[nodiscard]] net::ApId id() const { return id_; }
+  [[nodiscard]] mac::WifiMac& mac() { return mac_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool serving(net::ClientId client) const;
+  /// Backlog currently held for `client` in the cyclic queue.
+  [[nodiscard]] std::size_t cyclic_backlog(net::ClientId client) const;
+
+ private:
+  struct ClientState {
+    mac::RadioId radio{};
+    CyclicQueue queue;
+    bool serving = false;
+    std::uint16_t next_index = 0;  // next index to push toward the NIC
+    RingBuffer<std::uint64_t> seen_ba_uids{64};
+  };
+
+  void handle_backhaul(net::NodeId from, net::BackhaulMessage msg);
+  void handle_downlink(net::DownlinkData&& msg);
+  void handle_stop(const net::StopMsg& msg);
+  void handle_start(const net::StartMsg& msg);
+  void handle_ba_forward(const net::BlockAckForward& msg);
+  void on_heard(const mac::Frame& frame, bool decoded,
+                const channel::CsiMeasurement& csi);
+  void pump(ClientState& cs);
+  void pump_all();
+  ClientState* client_state(net::ClientId client);
+  [[nodiscard]] bool ba_seen(ClientState& cs, std::uint64_t uid);
+  [[nodiscard]] Time draw_delay(Time mean, Time std);
+
+  net::ApId id_;
+  sim::Scheduler& sched_;
+  net::Backhaul& backhaul_;
+  Rng rng_;
+  Config config_;
+  mac::WifiMac mac_;
+  std::function<std::optional<net::ApId>(mac::RadioId)> ap_of_radio_;
+  std::unordered_map<net::ClientId, ClientState> clients_;
+  std::unordered_map<mac::RadioId, net::ClientId> client_of_radio_;
+  bool ba_forwarding_ = true;
+  bool csi_reporting_ = true;
+  Stats stats_;
+  std::unique_ptr<sim::Timer> pump_timer_;
+};
+
+}  // namespace wgtt::ap

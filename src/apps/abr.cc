@@ -1,0 +1,149 @@
+#include "apps/abr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wgtt::apps {
+
+AbrPlayer::AbrPlayer(sim::Scheduler& sched, Config config)
+    : sched_(sched), config_(std::move(config)) {
+  if (config_.ladder_mbps.empty()) {
+    throw std::invalid_argument("ABR ladder must not be empty");
+  }
+  tick_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    tick();
+    if (running_) tick_timer_->start(config_.tick);
+  });
+}
+
+AbrPlayer::~AbrPlayer() { stop(); }
+
+void AbrPlayer::start() {
+  if (running_) return;
+  running_ = true;
+  state_ = State::kBuffering;
+  started_ = sched_.now();
+  last_tick_ = sched_.now();
+  tick_timer_->start(config_.tick);
+  maybe_fetch_next();
+}
+
+void AbrPlayer::stop() {
+  running_ = false;
+  tick_timer_->cancel();
+}
+
+std::uint64_t AbrPlayer::segment_bytes(int rung) const {
+  const double mbps = config_.ladder_mbps[static_cast<std::size_t>(rung)];
+  return static_cast<std::uint64_t>(mbps * 1e6 / 8.0 *
+                                    config_.segment_duration.to_seconds());
+}
+
+int AbrPlayer::pick_rung() const {
+  // Buffer-based: rung i unlocks at reservoir + i * cushion seconds.
+  int rung = 0;
+  for (int i = static_cast<int>(config_.ladder_mbps.size()) - 1; i > 0; --i) {
+    if (buffer_s_ >= config_.reservoir_s + i * config_.cushion_per_rung_s) {
+      rung = i;
+      break;
+    }
+  }
+  return rung;
+}
+
+void AbrPlayer::maybe_fetch_next() {
+  if (!running_ || fetch_outstanding_ || !request_bytes) return;
+  // Cap the buffer at ~30 s like real players.
+  if (buffer_s_ > 30.0) return;
+  const int rung = pick_rung();
+  if (!fetched_rungs_.empty() && rung != fetched_rungs_.back()) {
+    ++quality_switches_;
+  }
+  fetch_rung_ = rung;
+  rung_ = rung;
+  fetched_rungs_.push_back(rung);
+  fetch_outstanding_ = true;
+  fetch_target_bytes_ = delivered_bytes_ + segment_bytes(rung);
+  request_bytes(segment_bytes(rung));
+}
+
+void AbrPlayer::on_progress(std::uint64_t total_bytes_delivered) {
+  delivered_bytes_ = total_bytes_delivered;
+  if (fetch_outstanding_ && delivered_bytes_ >= fetch_target_bytes_) {
+    fetch_outstanding_ = false;
+    buffer_rungs_.push_back(fetch_rung_);
+    if (buffer_rungs_.size() == 1) {
+      head_segment_left_s_ = config_.segment_duration.to_seconds();
+    }
+    buffer_s_ += config_.segment_duration.to_seconds();
+    maybe_fetch_next();
+  }
+}
+
+void AbrPlayer::tick() {
+  const Time now = sched_.now();
+  double dt = (now - last_tick_).to_seconds();
+  last_tick_ = now;
+
+  switch (state_) {
+    case State::kIdle:
+      break;
+    case State::kBuffering:
+    case State::kStalled:
+      if (buffer_s_ >= config_.prebuffer.to_seconds()) {
+        if (!ever_played_) {
+          ever_played_ = true;
+          first_play_ = now;
+        }
+        state_ = State::kPlaying;
+      }
+      break;
+    case State::kPlaying: {
+      // Consume media, tracking which rung is on screen.
+      while (dt > 0.0 && !buffer_rungs_.empty()) {
+        const double step = std::min(dt, head_segment_left_s_);
+        const int rung = buffer_rungs_.front();
+        played_s_ += step;
+        played_weighted_mbps_ +=
+            step * config_.ladder_mbps[static_cast<std::size_t>(rung)];
+        buffer_s_ = std::max(0.0, buffer_s_ - step);
+        head_segment_left_s_ -= step;
+        dt -= step;
+        if (head_segment_left_s_ <= 1e-12) {
+          buffer_rungs_.erase(buffer_rungs_.begin());
+          head_segment_left_s_ =
+              buffer_rungs_.empty() ? 0.0 : config_.segment_duration.to_seconds();
+        }
+      }
+      if (buffer_rungs_.empty()) state_ = State::kStalled;
+      break;
+    }
+  }
+  maybe_fetch_next();
+}
+
+AbrPlayer::Report AbrPlayer::report() const {
+  Report r;
+  r.segments_fetched = static_cast<int>(fetched_rungs_.size());
+  r.quality_switches = quality_switches_;
+  if (played_s_ > 0.0) r.mean_played_mbps = played_weighted_mbps_ / played_s_;
+  int top = 0;
+  for (int rung : fetched_rungs_) {
+    if (rung == static_cast<int>(config_.ladder_mbps.size()) - 1) ++top;
+  }
+  if (!fetched_rungs_.empty()) {
+    r.top_rung_fraction =
+        static_cast<double>(top) / static_cast<double>(fetched_rungs_.size());
+  }
+  if (ever_played_) {
+    const double watched = (sched_.now() - first_play_).to_seconds();
+    r.rebuffer_ratio =
+        watched > 0.0 ? std::clamp(1.0 - played_s_ / watched, 0.0, 1.0) : 0.0;
+  } else {
+    r.rebuffer_ratio =
+        (sched_.now() - started_) > config_.prebuffer * 3 ? 1.0 : 0.0;
+  }
+  return r;
+}
+
+}  // namespace wgtt::apps

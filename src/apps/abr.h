@@ -1,0 +1,103 @@
+// Adaptive-bitrate (DASH-style) video streaming — an extension of the
+// paper's §5.4 fixed-rate video case study.
+//
+// The paper streams a fixed 2.5 Mbit/s file; modern players instead fetch
+// 2-second segments from a bitrate ladder and adapt to the channel. The
+// AbrPlayer implements a buffer-based controller (in the spirit of BBA):
+// the fuller the playback buffer, the higher the rung it requests. Over a
+// WGTT network the buffer stays full and the player parks at the top rung;
+// over the Enhanced 802.11r baseline the stop-and-go channel forces rung
+// oscillation and stalls — a sharper lens on the same phenomenon Table 4
+// measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace wgtt::apps {
+
+class AbrPlayer {
+ public:
+  struct Config {
+    /// Bitrate ladder, Mbit/s, ascending (a 480p->1080p-ish spread).
+    std::vector<double> ladder_mbps{0.6, 1.2, 2.5, 5.0};
+    Time segment_duration = Time::sec(2);
+    /// Buffer thresholds (seconds of media) at which higher rungs unlock;
+    /// rung i requires reservoir + i * cushion_per_rung of buffer.
+    double reservoir_s = 4.0;
+    double cushion_per_rung_s = 3.0;
+    Time prebuffer = Time::millis(1500.0);
+    Time tick = Time::ms(50);
+  };
+
+  struct Report {
+    double mean_played_mbps = 0.0;   // quality actually watched
+    double rebuffer_ratio = 0.0;     // stalled fraction after first play
+    int quality_switches = 0;
+    int segments_fetched = 0;
+    double top_rung_fraction = 0.0;  // fraction of segments at max quality
+  };
+
+  AbrPlayer(sim::Scheduler& sched, Config config);
+  ~AbrPlayer();
+  AbrPlayer(const AbrPlayer&) = delete;
+  AbrPlayer& operator=(const AbrPlayer&) = delete;
+
+  /// The player requests `bytes` more video data from the origin; the
+  /// harness wires this to a TCP sender's send_bytes().
+  std::function<void(std::uint64_t bytes)> request_bytes;
+
+  /// Feed cumulative in-order received bytes (from the TCP receiver).
+  void on_progress(std::uint64_t total_bytes_delivered);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] int current_rung() const { return rung_; }
+  [[nodiscard]] double buffered_media_s() const { return buffer_s_; }
+  [[nodiscard]] bool playing() const { return state_ == State::kPlaying; }
+
+ private:
+  enum class State { kIdle, kBuffering, kPlaying, kStalled };
+
+  void tick();
+  void maybe_fetch_next();
+  [[nodiscard]] int pick_rung() const;
+  [[nodiscard]] std::uint64_t segment_bytes(int rung) const;
+
+  sim::Scheduler& sched_;
+  Config config_;
+  State state_ = State::kIdle;
+  bool running_ = false;
+  int rung_ = 0;
+
+  // Fetch state: one outstanding segment at a time.
+  bool fetch_outstanding_ = false;
+  std::uint64_t fetch_target_bytes_ = 0;   // cumulative delivery target
+  std::uint64_t delivered_bytes_ = 0;
+  int fetch_rung_ = 0;
+
+  double buffer_s_ = 0.0;       // seconds of downloaded, unplayed media
+  double played_s_ = 0.0;
+  double played_weighted_mbps_ = 0.0;  // integral of rung bitrate over play
+  std::vector<int> fetched_rungs_;
+  int quality_switches_ = 0;
+
+  Time started_;
+  Time first_play_;
+  bool ever_played_ = false;
+  Time last_tick_;
+  // Per-rung seconds of media currently in the buffer, FIFO by fetch order.
+  std::vector<int> buffer_rungs_;   // one entry per buffered segment
+  double head_segment_left_s_ = 0.0;
+
+  std::unique_ptr<sim::Timer> tick_timer_;
+};
+
+}  // namespace wgtt::apps

@@ -1,0 +1,83 @@
+#include "apps/conference.h"
+
+namespace wgtt::apps {
+
+ConferenceProfile skype_like() { return {30.0, 10'000, 1200}; }
+ConferenceProfile hangouts_like() { return {60.0, 3'750, 1200}; }
+
+ConferenceSource::ConferenceSource(sim::Scheduler& sched, SendFn send,
+                                   ConferenceProfile profile,
+                                   net::ClientId client, bool downlink)
+    : sched_(sched),
+      send_(std::move(send)),
+      profile_(profile),
+      client_(client),
+      downlink_(downlink),
+      packets_per_frame_(static_cast<int>(
+          (profile.frame_bytes + profile.packet_payload - 1) /
+          profile.packet_payload)) {
+  frame_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    if (!running_) return;
+    emit_frame();
+    frame_timer_->start(Time::seconds(1.0 / profile_.fps));
+  });
+}
+
+ConferenceSource::~ConferenceSource() { stop(); }
+
+void ConferenceSource::start() {
+  if (running_) return;
+  running_ = true;
+  frame_timer_->start(Time::zero());
+}
+
+void ConferenceSource::stop() {
+  running_ = false;
+  frame_timer_->cancel();
+}
+
+void ConferenceSource::emit_frame() {
+  const std::uint32_t frame = next_frame_++;
+  std::size_t remaining = profile_.frame_bytes;
+  for (int i = 0; i < packets_per_frame_; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = client_;
+    p.downlink = downlink_;
+    p.proto = net::Proto::kUdp;
+    p.ip_id = next_ip_id_++;
+    p.payload_bytes = std::min(remaining, profile_.packet_payload);
+    remaining -= p.payload_bytes;
+    // app_seq encodes (frame, packet-within-frame) for sink reassembly.
+    p.app_seq = frame * static_cast<std::uint32_t>(packets_per_frame_) +
+                static_cast<std::uint32_t>(i);
+    p.created = sched_.now();
+    send_(std::move(p));
+  }
+}
+
+ConferenceSink::ConferenceSink(ConferenceProfile profile, int packets_per_frame)
+    : profile_(profile), packets_per_frame_(packets_per_frame) {}
+
+void ConferenceSink::on_packet(Time now, const net::Packet& p) {
+  const std::uint32_t frame =
+      p.app_seq / static_cast<std::uint32_t>(packets_per_frame_);
+  int& seen = partial_[frame];
+  ++seen;
+  if (seen == packets_per_frame_) {
+    completions_.push_back(now);
+    partial_.erase(frame);
+  }
+}
+
+std::vector<double> ConferenceSink::fps_samples(Time horizon) const {
+  const auto seconds = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, horizon / Time::sec(1)));
+  std::vector<double> out(seconds, 0.0);
+  for (Time t : completions_) {
+    const auto idx = static_cast<std::size_t>(t / Time::sec(1));
+    if (idx < out.size()) out[idx] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace wgtt::apps

@@ -1,0 +1,106 @@
+#include "apps/video.h"
+
+#include <algorithm>
+
+namespace wgtt::apps {
+
+VideoPlayer::VideoPlayer(sim::Scheduler& sched, Config config)
+    : sched_(sched), config_(config) {
+  tick_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    tick();
+    if (running_) tick_timer_->start(config_.tick);
+  });
+}
+
+VideoPlayer::~VideoPlayer() { stop(); }
+
+void VideoPlayer::start() {
+  if (running_) return;
+  running_ = true;
+  state_ = State::kBuffering;
+  started_ = sched_.now();
+  last_tick_ = sched_.now();
+  tick_timer_->start(config_.tick);
+}
+
+void VideoPlayer::stop() {
+  if (!running_) return;
+  if (state_ == State::kStalled) {
+    stalled_total_ += sched_.now() - stall_began_;
+  }
+  running_ = false;
+  tick_timer_->cancel();
+}
+
+void VideoPlayer::on_bytes(std::uint64_t bytes) { bytes_received_ += bytes; }
+
+double VideoPlayer::buffered_media_seconds() const {
+  const double received_media_s = static_cast<double>(bytes_received_) * 8.0 /
+                                  (config_.video_bitrate_mbps * 1e6);
+  return received_media_s - media_played_s_;
+}
+
+void VideoPlayer::tick() {
+  const Time now = sched_.now();
+  const double dt = (now - last_tick_).to_seconds();
+  last_tick_ = now;
+
+  switch (state_) {
+    case State::kIdle:
+      break;
+    case State::kBuffering:
+      if (buffered_media_seconds() >= config_.prebuffer.to_seconds()) {
+        if (!ever_played_) {
+          ever_played_ = true;
+          first_play_ = now;
+        }
+        state_ = State::kPlaying;
+      }
+      break;
+    case State::kPlaying:
+      media_played_s_ += dt;
+      if (buffered_media_seconds() <= 0.0) {
+        // Ran dry: a rebuffer event begins.
+        media_played_s_ = static_cast<double>(bytes_received_) * 8.0 /
+                          (config_.video_bitrate_mbps * 1e6);
+        state_ = State::kStalled;
+        stall_began_ = now;
+        ++rebuffer_events_;
+      }
+      break;
+    case State::kStalled:
+      if (buffered_media_seconds() >= config_.prebuffer.to_seconds()) {
+        stalled_total_ += now - stall_began_;
+        state_ = State::kPlaying;
+      }
+      break;
+  }
+}
+
+VideoPlayer::Report VideoPlayer::report() const {
+  Report r;
+  r.rebuffer_events = rebuffer_events_;
+  Time stalled = stalled_total_;
+  if (state_ == State::kStalled) stalled += sched_.now() - stall_began_;
+  r.stalled_total = stalled;
+  r.watch_total = running_ || state_ != State::kIdle
+                      ? sched_.now() - started_
+                      : Time::zero();
+  // Rebuffer ratio: the fraction of time since playback first started
+  // during which no media was playing (the initial prebuffer is free). A
+  // session that never escapes buffering despite ample time (the network
+  // died) scores 1.
+  if (ever_played_) {
+    const double watched = (sched_.now() - first_play_).to_seconds();
+    r.rebuffer_ratio =
+        watched > 0.0
+            ? std::clamp(1.0 - media_played_s_ / watched, 0.0, 1.0)
+            : 0.0;
+  } else {
+    r.rebuffer_ratio =
+        r.watch_total > config_.prebuffer * 3 ? 1.0 : 0.0;
+  }
+  return r;
+}
+
+}  // namespace wgtt::apps

@@ -1,0 +1,70 @@
+// Streaming-video player model for the paper's §5.4 "online video" case
+// study: a VLC-style player consuming an HD stream delivered over TCP, with
+// a 1500 ms pre-buffer and rebuffer accounting.
+//
+// Feed it the in-order byte arrivals from a TcpReceiver; it plays media at
+// the nominal bitrate, stalls when the buffer runs dry, and resumes after
+// re-accumulating the pre-buffer. The rebuffer ratio is stalled time over
+// total watch time (the paper's Table 4 metric).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace wgtt::apps {
+
+class VideoPlayer {
+ public:
+  struct Config {
+    double video_bitrate_mbps = 2.5;   // 1280x720 HD stream
+    Time prebuffer = Time::millis(1500.0);
+    Time tick = Time::ms(20);
+  };
+
+  VideoPlayer(sim::Scheduler& sched, Config config);
+  ~VideoPlayer();
+  VideoPlayer(const VideoPlayer&) = delete;
+  VideoPlayer& operator=(const VideoPlayer&) = delete;
+
+  /// New in-order media bytes arrived.
+  void on_bytes(std::uint64_t bytes);
+
+  void start();
+  void stop();
+
+  struct Report {
+    int rebuffer_events = 0;
+    Time stalled_total;
+    Time watch_total;
+    double rebuffer_ratio = 0.0;  // stalled / watch
+  };
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] bool playing() const { return state_ == State::kPlaying; }
+
+ private:
+  enum class State { kIdle, kBuffering, kPlaying, kStalled };
+
+  void tick();
+  [[nodiscard]] double buffered_media_seconds() const;
+
+  sim::Scheduler& sched_;
+  Config config_;
+  State state_ = State::kIdle;
+  std::uint64_t bytes_received_ = 0;
+  double media_played_s_ = 0.0;
+  Time started_;
+  Time first_play_;
+  bool ever_played_ = false;
+  Time stall_began_;
+  Time stalled_total_ = Time::zero();
+  int rebuffer_events_ = 0;
+  Time last_tick_;
+  bool running_ = false;
+  std::unique_ptr<sim::Timer> tick_timer_;
+};
+
+}  // namespace wgtt::apps

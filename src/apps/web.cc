@@ -1,0 +1,2 @@
+// WebPageLoad is header-only; this TU anchors the library target.
+#include "apps/web.h"

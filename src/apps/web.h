@@ -1,0 +1,44 @@
+// Web page load model for the paper's §5.4 web-browsing case study: the
+// 2.1 MB eBay homepage fetched from a local server over one TCP connection;
+// the metric is launch-to-fully-loaded time, with "infinity" when the
+// transfer never completes during the drive (paper Table 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "util/units.h"
+
+namespace wgtt::apps {
+
+class WebPageLoad {
+ public:
+  explicit WebPageLoad(std::size_t page_bytes = 2'100'000)
+      : page_bytes_(page_bytes) {}
+
+  /// Call when the fetch begins.
+  void begin(Time now) { begun_ = now; }
+
+  /// Feed cumulative in-order received bytes; records completion time.
+  void on_progress(std::uint64_t bytes_delivered, Time now) {
+    if (!completed_ && bytes_delivered >= page_bytes_) completed_ = now;
+  }
+
+  [[nodiscard]] bool complete() const { return completed_.has_value(); }
+
+  /// Load duration, or nullopt = the paper's "infinite" outcome.
+  [[nodiscard]] std::optional<Time> load_time() const {
+    if (!completed_) return std::nullopt;
+    return *completed_ - begun_;
+  }
+
+  [[nodiscard]] std::size_t page_bytes() const { return page_bytes_; }
+
+ private:
+  std::size_t page_bytes_;
+  Time begun_;
+  std::optional<Time> completed_;
+};
+
+}  // namespace wgtt::apps

@@ -1,0 +1,34 @@
+#include "channel/antenna.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wgtt::channel {
+
+ParabolicAntenna::ParabolicAntenna(double peak_gain_dbi, double beamwidth_deg,
+                                   double boresight_rad,
+                                   double sidelobe_attenuation_db,
+                                   double rolloff_exponent)
+    : peak_gain_dbi_(peak_gain_dbi),
+      half_beamwidth_rad_(deg_to_rad(beamwidth_deg) / 2.0),
+      boresight_rad_(boresight_rad),
+      sidelobe_attenuation_db_(sidelobe_attenuation_db),
+      rolloff_exponent_(rolloff_exponent) {
+  if (beamwidth_deg <= 0.0) throw std::invalid_argument("beamwidth must be positive");
+  if (sidelobe_attenuation_db <= 0.0) throw std::invalid_argument("side-lobe attenuation must be positive");
+  if (rolloff_exponent <= 0.0) throw std::invalid_argument("rolloff exponent must be positive");
+}
+
+double ParabolicAntenna::gain_dbi(double toward_rad) const {
+  const double off = angle_between(toward_rad, boresight_rad_);
+  const double ratio = off / half_beamwidth_rad_;
+  const double rolloff =
+      std::min(3.0 * std::pow(ratio, rolloff_exponent_), sidelobe_attenuation_db_);
+  return peak_gain_dbi_ - rolloff;
+}
+
+double ParabolicAntenna::gain_toward(Vec2 self, Vec2 target) const {
+  return gain_dbi(angle_of(target - self));
+}
+
+}  // namespace wgtt::channel

@@ -1,0 +1,130 @@
+#include "channel/fading.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wgtt::channel {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kSubcarrierSpacingHz = 312.5e3;
+}  // namespace
+
+double CsiSnapshot::mean_power() const {
+  if (gains.empty()) return 0.0;
+  double p = 0.0;
+  for (const auto& g : gains) p += std::norm(g);
+  return p / static_cast<double>(gains.size());
+}
+
+double subcarrier_offset_hz(int i) {
+  // 56 tones at indices -28..-1, +1..+28 (DC skipped), 312.5 kHz spacing.
+  const int k = i < 28 ? i - 28 : i - 27;
+  return k * kSubcarrierSpacingHz;
+}
+
+SpatialTap::SpatialTap(int num_sinusoids, double env_doppler_hz, Rng& rng) {
+  if (num_sinusoids <= 0) throw std::invalid_argument("need at least one sinusoid");
+  comps_.reserve(static_cast<std::size_t>(num_sinusoids));
+  const double k_mag = kTwoPi / kWavelength;
+  const double amp = 1.0 / std::sqrt(static_cast<double>(num_sinusoids));
+  for (int m = 0; m < num_sinusoids; ++m) {
+    const double alpha = rng.uniform(0.0, kTwoPi);  // arrival direction
+    Component c{};
+    c.kx = k_mag * std::cos(alpha);
+    c.ky = k_mag * std::sin(alpha);
+    // Environmental Doppler: each scatterer drifts at a random rate within
+    // +/- env_doppler_hz, so a static client still sees slow variation.
+    c.omega = kTwoPi * rng.uniform(-env_doppler_hz, env_doppler_hz);
+    c.phase = rng.uniform(0.0, kTwoPi);
+    c.amplitude = amp;
+    comps_.push_back(c);
+  }
+}
+
+std::complex<double> SpatialTap::gain(Vec2 pos, Time t) const {
+  const double ts = t.to_seconds();
+  double re = 0.0;
+  double im = 0.0;
+  for (const auto& c : comps_) {
+    const double ph = c.kx * pos.x + c.ky * pos.y + c.omega * ts + c.phase;
+    re += c.amplitude * std::cos(ph);
+    im += c.amplitude * std::sin(ph);
+  }
+  return {re, im};
+}
+
+TappedDelayChannel::TappedDelayChannel(const Config& config, Rng& rng) {
+  if (config.num_taps <= 0) throw std::invalid_argument("need at least one tap");
+  // Rician K: power ratio of the LoS component to all scattered power.
+  const double k_lin = from_db(config.rician_k_db);
+  los_power_ = k_lin / (k_lin + 1.0);
+  const double scatter_power = 1.0 / (k_lin + 1.0);
+  los_phase_rate_ = kTwoPi / kWavelength;  // LoS phase advances with motion
+
+  // Exponential power-delay profile over num_taps taps.
+  std::vector<double> raw(static_cast<std::size_t>(config.num_taps));
+  const double tap_spacing_ns =
+      config.num_taps > 1 ? config.delay_spread_ns * 2.0 / (config.num_taps - 1) : 0.0;
+  double total = 0.0;
+  for (int l = 0; l < config.num_taps; ++l) {
+    const double delay = l * tap_spacing_ns;
+    raw[static_cast<std::size_t>(l)] =
+        config.delay_spread_ns > 0.0 ? std::exp(-delay / config.delay_spread_ns) : (l == 0 ? 1.0 : 0.0);
+    total += raw[static_cast<std::size_t>(l)];
+  }
+
+  taps_.reserve(static_cast<std::size_t>(config.num_taps));
+  subcarrier_rotation_.reserve(static_cast<std::size_t>(config.num_taps));
+  for (int l = 0; l < config.num_taps; ++l) {
+    Tap tap{
+        .power = scatter_power * raw[static_cast<std::size_t>(l)] / total,
+        .delay_ns = l * tap_spacing_ns,
+        .field = SpatialTap(config.sinusoids_per_tap, config.env_doppler_hz, rng),
+    };
+    std::vector<std::complex<double>> rot(kNumSubcarriers);
+    for (int i = 0; i < kNumSubcarriers; ++i) {
+      const double phase = -kTwoPi * subcarrier_offset_hz(i) * tap.delay_ns * 1e-9;
+      rot[static_cast<std::size_t>(i)] = {std::cos(phase), std::sin(phase)};
+    }
+    taps_.push_back(std::move(tap));
+    subcarrier_rotation_.push_back(std::move(rot));
+  }
+}
+
+CsiSnapshot TappedDelayChannel::csi(Vec2 pos, Time t) const {
+  CsiSnapshot snap;
+  snap.when = t;
+  snap.gains.assign(kNumSubcarriers, {0.0, 0.0});
+
+  // LoS term: flat across frequency (delay 0), phase tracks position.
+  const std::complex<double> los =
+      std::sqrt(los_power_) *
+      std::complex<double>{std::cos(los_phase_rate_ * pos.x),
+                           std::sin(los_phase_rate_ * pos.x)};
+
+  for (std::size_t l = 0; l < taps_.size(); ++l) {
+    const std::complex<double> g =
+        std::sqrt(taps_[l].power) * taps_[l].field.gain(pos, t);
+    const auto& rot = subcarrier_rotation_[l];
+    for (int i = 0; i < kNumSubcarriers; ++i) {
+      snap.gains[static_cast<std::size_t>(i)] += g * rot[static_cast<std::size_t>(i)];
+    }
+  }
+  for (auto& g : snap.gains) g += los;
+  return snap;
+}
+
+std::complex<double> TappedDelayChannel::flat_gain(Vec2 pos, Time t) const {
+  std::complex<double> sum =
+      std::sqrt(los_power_) *
+      std::complex<double>{std::cos(los_phase_rate_ * pos.x),
+                           std::sin(los_phase_rate_ * pos.x)};
+  for (const auto& tap : taps_) {
+    sum += std::sqrt(tap.power) * tap.field.gain(pos, t);
+  }
+  return sum;
+}
+
+}  // namespace wgtt::channel

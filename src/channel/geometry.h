@@ -1,0 +1,37 @@
+// Planar geometry for the roadside deployment. The road runs along the
+// x axis; APs sit at a perpendicular setback (the paper's third-floor
+// building facade) with directional antennas aimed at points on the road.
+#pragma once
+
+#include <cmath>
+
+namespace wgtt::channel {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Angle of vector `v` in radians, in (-pi, pi].
+[[nodiscard]] inline double angle_of(Vec2 v) { return std::atan2(v.y, v.x); }
+
+/// Smallest absolute angular difference between two directions, in [0, pi].
+[[nodiscard]] inline double angle_between(double a, double b) {
+  double d = std::fmod(std::fabs(a - b), 2.0 * M_PI);
+  return d > M_PI ? 2.0 * M_PI - d : d;
+}
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) { return deg * M_PI / 180.0; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) { return rad * 180.0 / M_PI; }
+
+}  // namespace wgtt::channel

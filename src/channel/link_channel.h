@@ -1,0 +1,82 @@
+// LinkChannel: the complete radio channel between one AP and one client,
+// combining the link budget (tx power, antenna patterns, cable/splitter
+// losses), log-distance path loss, shadowing, and the frequency-selective
+// fast-fading field. Channel reciprocity is assumed within a coherence time
+// (as the paper does: downlink delivery is predicted from uplink CSI), so
+// one LinkChannel serves both directions.
+//
+// measure() is const/pure: the channel at (position, time) is a fixed
+// realization, so protocol code and ground-truth measurement code can both
+// sample it without disturbing each other.
+#pragma once
+
+#include <vector>
+
+#include "channel/antenna.h"
+#include "channel/fading.h"
+#include "channel/geometry.h"
+#include "channel/pathloss.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace wgtt::channel {
+
+/// Fixed gains/losses on the AP-client link.
+struct LinkBudget {
+  double tx_power_dbm = 18.0;         // TP-Link N750 class
+  double ap_antenna_peak_dbi = 14.0;  // Laird parabolic
+  double ap_beamwidth_deg = 21.0;
+  double client_antenna_dbi = 0.0;
+  /// Splitter (~5 dB for the 3-way Mini-Circuits combiner), cables, vehicle
+  /// body penetration. Folded into one implementation-loss number.
+  double system_loss_db = 23.0;
+  double noise_floor_dbm = -94.0;  // kTB over 20 MHz + 7 dB noise figure
+};
+
+/// What an AP's NIC reports for one received frame: per-subcarrier SNR plus
+/// the scalar RSSI legacy systems (the Enhanced 802.11r baseline) use.
+struct CsiMeasurement {
+  Time when;
+  std::vector<double> subcarrier_snr_db;  // size kNumSubcarriers
+  double rssi_dbm = 0.0;
+  double mean_snr_db = 0.0;
+};
+
+class LinkChannel {
+ public:
+  struct Config {
+    LinkBudget budget{};
+    double pathloss_exponent = 2.9;
+    double shadowing_sigma_db = 2.5;
+    double shadowing_decorrelation_m = 8.0;
+    TappedDelayChannel::Config fading{};
+  };
+
+  /// `boresight_target`: road point the AP's dish is aimed at.
+  LinkChannel(Vec2 ap_position, Vec2 boresight_target, const Config& config,
+              Rng& rng);
+
+  /// Full CSI measurement for a frame heard at time t with the client at
+  /// `client_pos` (either direction, by reciprocity).
+  [[nodiscard]] CsiMeasurement measure(Vec2 client_pos, Time t) const;
+
+  /// Mean received power over fading (large-scale only), dBm. This is what
+  /// a long RSSI average converges to.
+  [[nodiscard]] double large_scale_rx_dbm(Vec2 client_pos) const;
+
+  /// Mean SNR over fading, dB (large-scale only).
+  [[nodiscard]] double large_scale_snr_db(Vec2 client_pos) const;
+
+  [[nodiscard]] Vec2 ap_position() const { return ap_position_; }
+  [[nodiscard]] const LinkBudget& budget() const { return config_.budget; }
+
+ private:
+  Vec2 ap_position_;
+  Config config_;
+  ParabolicAntenna ap_antenna_;
+  LogDistancePathLoss pathloss_;
+  ShadowField shadowing_;
+  TappedDelayChannel fading_;
+};
+
+}  // namespace wgtt::channel

@@ -1,0 +1,101 @@
+#include "channel/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wgtt::channel {
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent,
+                                         double reference_loss_db)
+    : exponent_(exponent), reference_loss_db_(reference_loss_db) {
+  if (exponent <= 0.0) throw std::invalid_argument("path loss exponent must be positive");
+}
+
+double LogDistancePathLoss::loss_db(double distance_m) const {
+  // Below 1 m the log-distance model is meaningless; clamp to the reference.
+  const double d = std::max(distance_m, 1.0);
+  return reference_loss_db_ + 10.0 * exponent_ * std::log10(d);
+}
+
+namespace {
+/// splitmix64-style integer hash -> uniform double in (0,1).
+double hash_to_uniform(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  // Avoid exactly 0 so the inverse-normal transform stays finite.
+  return (static_cast<double>(x >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/// Acklam-style inverse normal CDF approximation (|error| < 1.2e-8): turns
+/// the hashed uniform into a unit Gaussian, keeping the field pure.
+double inverse_normal_cdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+}  // namespace
+
+ShadowField::ShadowField(double sigma_db, double decorrelation_distance_m,
+                         std::uint64_t seed)
+    : sigma_db_(sigma_db), grid_m_(decorrelation_distance_m), seed_(seed) {
+  if (sigma_db < 0.0) throw std::invalid_argument("shadowing sigma must be >= 0");
+  if (decorrelation_distance_m <= 0.0) {
+    throw std::invalid_argument("decorrelation distance must be positive");
+  }
+}
+
+double ShadowField::node_value(std::int64_t ix, std::int64_t iy) const {
+  const std::uint64_t key = seed_ ^
+                            (static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL) ^
+                            (static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL);
+  return inverse_normal_cdf(hash_to_uniform(key));
+}
+
+double ShadowField::sample_db(Vec2 position) const {
+  if (sigma_db_ == 0.0) return 0.0;
+  const double gx = position.x / grid_m_;
+  const double gy = position.y / grid_m_;
+  const auto ix = static_cast<std::int64_t>(std::floor(gx));
+  const auto iy = static_cast<std::int64_t>(std::floor(gy));
+  const double fx = gx - static_cast<double>(ix);
+  const double fy = gy - static_cast<double>(iy);
+
+  const double w00 = (1.0 - fx) * (1.0 - fy);
+  const double w10 = fx * (1.0 - fy);
+  const double w01 = (1.0 - fx) * fy;
+  const double w11 = fx * fy;
+  const double blend = w00 * node_value(ix, iy) + w10 * node_value(ix + 1, iy) +
+                       w01 * node_value(ix, iy + 1) +
+                       w11 * node_value(ix + 1, iy + 1);
+  // Normalize so the marginal stays N(0, sigma^2) everywhere in the cell.
+  const double norm = std::sqrt(w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11);
+  return sigma_db_ * blend / norm;
+}
+
+}  // namespace wgtt::channel

@@ -1,0 +1,212 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "phy/esnr.h"
+
+namespace wgtt::core {
+
+using net::BackhaulMessage;
+using net::NodeId;
+
+Controller::Controller(sim::Scheduler& sched, net::Backhaul& backhaul,
+                       Config config)
+    : sched_(sched),
+      backhaul_(backhaul),
+      config_(config),
+      tracker_(config.selection_window) {
+  backhaul_.attach(NodeId::controller(),
+                   [this](NodeId from, BackhaulMessage msg) {
+                     handle_backhaul(from, std::move(msg));
+                   });
+}
+
+void Controller::add_ap(net::ApId ap) {
+  if (std::find(aps_.begin(), aps_.end(), ap) == aps_.end()) aps_.push_back(ap);
+}
+
+void Controller::add_client(net::ClientId client) {
+  if (clients_.contains(client)) return;
+  ClientState cs;
+  cs.ack_timer = std::make_unique<sim::Timer>(sched_, [this, client] {
+    // stop/ack lost: retransmit the stop (paper §3.1.2, 30 ms timeout).
+    auto it = clients_.find(client);
+    if (it == clients_.end() || !it->second.switch_pending) return;
+    ++stats_.stop_retransmissions;
+    if (it->second.serving) {
+      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_from),
+                     net::StopMsg{client, it->second.pending_target});
+    } else {
+      // Bootstrap start was lost; resend it directly.
+      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_target),
+                     net::StartMsg{client, it->second.pending_target,
+                                   it->second.next_index});
+    }
+    it->second.ack_timer->start(config_.ack_timeout);
+  });
+  clients_.emplace(client, std::move(cs));
+}
+
+void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, net::CsiReport>) {
+          handle_csi(m);
+        } else if constexpr (std::is_same_v<T, net::UplinkData>) {
+          handle_uplink(std::move(m));
+        } else if constexpr (std::is_same_v<T, net::SwitchAck>) {
+          handle_switch_ack(m);
+        }
+      },
+      std::move(msg));
+}
+
+void Controller::handle_csi(const net::CsiReport& report) {
+  ++stats_.csi_reports;
+  auto it = clients_.find(report.client);
+  if (it == clients_.end()) return;
+  // The controller, not the AP, computes ESNR from raw CSI (§3.1.1). The
+  // RSSI variant exists for the selection-metric ablation.
+  const double value =
+      config_.metric == SelectionMetric::kMedianEsnr
+          ? phy::esnr_metric_db(report.measurement.subcarrier_snr_db)
+          : report.measurement.rssi_dbm;
+  tracker_.add(report.client, report.from_ap, sched_.now(), value);
+  maybe_switch(report.client);
+}
+
+void Controller::maybe_switch(net::ClientId client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  ClientState& cs = it->second;
+  if (cs.switch_pending) return;  // at most one outstanding switch
+
+  const auto best = tracker_.best_ap(client, sched_.now());
+  if (!best) return;
+
+  if (!cs.serving) {
+    bootstrap(client, *best);
+    return;
+  }
+  if (*best == *cs.serving) return;
+  if (sched_.now() - cs.last_switch_completed < config_.switch_hysteresis) return;
+
+  const auto incumbent = tracker_.median(client, *cs.serving, sched_.now());
+  if (!incumbent) {
+    // No in-window CSI from the serving AP: the window holds a partial view
+    // (e.g. only the first report of a burst arrived, or a traffic lull
+    // starved the CSI stream). While the serving AP has been silent for
+    // less than the stale timeout, judge the challenger against the serving
+    // AP's last known value — never trade a known-good AP for a worse one
+    // just because the good one was quiet for a beat. Once silence exceeds
+    // the timeout, the serving AP is presumed gone and the best known
+    // challenger wins unconditionally.
+    const auto heard = tracker_.last_heard(client, *cs.serving);
+    if (heard && sched_.now() - *heard < config_.serving_stale_timeout) {
+      const auto last_known = tracker_.last_value(client, *cs.serving);
+      const auto challenger = tracker_.median(client, *best, sched_.now());
+      if (!challenger || !last_known ||
+          *challenger <= *last_known + config_.switch_margin_db) {
+        return;
+      }
+    }
+  } else if (config_.switch_margin_db > 0.0) {
+    const auto challenger = tracker_.median(client, *best, sched_.now());
+    if (challenger && *challenger < *incumbent + config_.switch_margin_db) {
+      return;
+    }
+  }
+  initiate_switch(client, *best);
+}
+
+void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
+  ClientState& cs = clients_.at(client);
+  cs.switch_pending = true;
+  cs.pending_target = first_ap;
+  cs.pending_from = first_ap;
+  cs.pending_since = sched_.now();
+  ++stats_.switches_initiated;
+  backhaul_.send(NodeId::controller(), NodeId::ap(first_ap),
+                 net::StartMsg{client, first_ap, cs.next_index});
+  cs.ack_timer->start(config_.ack_timeout);
+}
+
+void Controller::initiate_switch(net::ClientId client, net::ApId target) {
+  ClientState& cs = clients_.at(client);
+  cs.switch_pending = true;
+  cs.pending_target = target;
+  cs.pending_from = *cs.serving;
+  cs.pending_since = sched_.now();
+  ++stats_.switches_initiated;
+  backhaul_.send(NodeId::controller(), NodeId::ap(*cs.serving),
+                 net::StopMsg{client, target});
+  cs.ack_timer->start(config_.ack_timeout);
+}
+
+void Controller::handle_switch_ack(const net::SwitchAck& msg) {
+  auto it = clients_.find(msg.client);
+  if (it == clients_.end()) return;
+  ClientState& cs = it->second;
+  if (!cs.switch_pending || msg.from_ap != cs.pending_target) return;
+  cs.ack_timer->cancel();
+  cs.switch_pending = false;
+  const net::ApId from = cs.serving.value_or(msg.from_ap);
+  cs.serving = msg.from_ap;
+  cs.last_switch_completed = sched_.now();
+  ++stats_.switches_completed;
+  switch_log_.push_back(
+      {cs.pending_since, sched_.now(), msg.client, from, msg.from_ap});
+  if (on_serving_changed) on_serving_changed(msg.client, msg.from_ap, sched_.now());
+}
+
+void Controller::send_downlink(net::Packet packet) {
+  auto it = clients_.find(packet.client);
+  if (it == clients_.end()) return;
+  ClientState& cs = it->second;
+  ++stats_.downlink_packets;
+
+  const std::uint16_t index = cs.next_index;
+  cs.next_index = (cs.next_index + 1) & 0x0fff;  // m = 12 bits
+
+  // Fan out to every AP that has recently heard the client; before any CSI
+  // exists (client just joined, or long idle), fall back to all APs.
+  std::vector<net::ApId> targets =
+      tracker_.fresh_aps(packet.client, sched_.now(), config_.fanout_freshness);
+  if (targets.empty()) targets = aps_;
+  for (net::ApId ap : targets) {
+    ++stats_.downlink_fanout_copies;
+    backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+                   net::DownlinkData{packet, index});
+  }
+}
+
+bool Controller::dedup_accept(const net::Packet& p) {
+  // 48-bit key: 32-bit source identity (client) + 16-bit IP-ID (§3.2.2).
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(net::index_of(p.client)) << 16) | p.ip_id;
+  if (dedup_set_.contains(key)) return false;
+  dedup_set_.insert(key);
+  dedup_fifo_.push_back(key);
+  if (dedup_fifo_.size() > config_.dedup_capacity) {
+    dedup_set_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+  return true;
+}
+
+void Controller::handle_uplink(net::UplinkData&& msg) {
+  ++stats_.uplink_packets;
+  if (!dedup_accept(msg.packet)) {
+    ++stats_.uplink_duplicates_dropped;
+    return;
+  }
+  if (on_uplink) on_uplink(msg.packet);
+}
+
+std::optional<net::ApId> Controller::serving_ap(net::ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? std::nullopt : it->second.serving;
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,138 @@
+// The WGTT controller (paper §3, Figure 5): the paper's primary
+// contribution lives here and in the WgttAp.
+//
+// Control plane: ingest CSI reports from every AP, compute ESNR, run the
+// sliding-window-median AP selection, and drive the three-step switching
+// protocol (stop / start / ack) with a 30 ms ack-timeout retransmission and
+// an at-most-one-outstanding-switch guarantee per client.
+//
+// Data plane: fan each downlink packet out (tagged with the client's 12-bit
+// index) to every AP that has recently heard the client; de-duplicate
+// uplink packets forwarded by multiple APs using the 48-bit
+// (source, IP-ID) key hashset (§3.2.2-§3.2.3).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/esnr_tracker.h"
+#include "net/backhaul.h"
+#include "net/ids.h"
+#include "net/messages.h"
+#include "sim/scheduler.h"
+
+namespace wgtt::core {
+
+class Controller {
+ public:
+  /// Link metric driving AP selection. The paper uses the window median of
+  /// ESNR; kMeanRssi is the ablation (what RSSI-based selection would do).
+  enum class SelectionMetric { kMedianEsnr, kMeanRssi };
+
+  struct Config {
+    SelectionMetric metric = SelectionMetric::kMedianEsnr;
+    /// W, the AP-selection sliding window (paper §5.3.1: 10 ms optimal).
+    Time selection_window = Time::ms(10);
+    /// Minimum time between completed switches (paper §5.3.3 sweeps
+    /// 40-120 ms; smaller is better down to this default).
+    Time switch_hysteresis = Time::ms(40);
+    /// stop/ack retransmission timeout (paper §3.1.2: 30 ms).
+    Time ack_timeout = Time::ms(30);
+    /// Freshness horizon for the downlink fan-out set.
+    Time fanout_freshness = Time::ms(200);
+    /// Bound on the de-duplication hashset.
+    std::size_t dedup_capacity = 1 << 16;
+    /// Require the challenger's median to beat the incumbent's by this many
+    /// dB (0 = paper's pure argmax).
+    double switch_margin_db = 0.0;
+    /// A switch away from the serving AP requires either in-window CSI from
+    /// it (so the comparison is real) or silence from it for this long.
+    /// Guards against the degenerate first-report-wins decision right after
+    /// an uplink lull, when the window holds a single AP's sample.
+    Time serving_stale_timeout = Time::ms(250);
+  };
+
+  struct Stats {
+    std::uint64_t csi_reports = 0;
+    std::uint64_t downlink_packets = 0;
+    std::uint64_t downlink_fanout_copies = 0;
+    std::uint64_t uplink_packets = 0;
+    std::uint64_t uplink_duplicates_dropped = 0;
+    std::uint64_t switches_initiated = 0;
+    std::uint64_t switches_completed = 0;
+    std::uint64_t stop_retransmissions = 0;
+  };
+
+  struct SwitchRecord {
+    Time initiated;
+    Time completed;
+    net::ClientId client;
+    net::ApId from;
+    net::ApId to;
+  };
+
+  Controller(sim::Scheduler& sched, net::Backhaul& backhaul, Config config);
+
+  void add_ap(net::ApId ap);
+  void add_client(net::ClientId client);
+
+  /// Downlink entry point (the wired/server side hands packets here).
+  void send_downlink(net::Packet packet);
+
+  /// De-duplicated uplink packets exit here toward the server side.
+  std::function<void(const net::Packet&)> on_uplink;
+
+  /// Observation hook fired whenever the serving AP of a client changes
+  /// (switch completion), for association-timeline plots (Figures 14/15/22).
+  std::function<void(net::ClientId, net::ApId, Time)> on_serving_changed;
+
+  [[nodiscard]] std::optional<net::ApId> serving_ap(net::ClientId client) const;
+  [[nodiscard]] const std::vector<SwitchRecord>& switch_log() const {
+    return switch_log_;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] EsnrTracker& tracker() { return tracker_; }
+
+ private:
+  struct ClientState {
+    std::uint16_t next_index = 0;  // 12-bit downlink index counter
+    std::optional<net::ApId> serving;
+    // In-progress switch (at most one outstanding per client).
+    bool switch_pending = false;
+    net::ApId pending_target{};
+    net::ApId pending_from{};
+    Time pending_since;
+    std::unique_ptr<sim::Timer> ack_timer;
+    Time last_switch_completed = Time::ms(-1'000'000);
+  };
+
+  void handle_backhaul(net::NodeId from, net::BackhaulMessage msg);
+  void handle_csi(const net::CsiReport& report);
+  void handle_uplink(net::UplinkData&& msg);
+  void handle_switch_ack(const net::SwitchAck& msg);
+  void maybe_switch(net::ClientId client);
+  void initiate_switch(net::ClientId client, net::ApId target);
+  void bootstrap(net::ClientId client, net::ApId first_ap);
+  [[nodiscard]] bool dedup_accept(const net::Packet& p);
+
+  sim::Scheduler& sched_;
+  net::Backhaul& backhaul_;
+  Config config_;
+  EsnrTracker tracker_;
+  std::vector<net::ApId> aps_;
+  std::unordered_map<net::ClientId, ClientState> clients_;
+
+  // Bounded FIFO hashset for uplink de-dup (48-bit key: client | ip_id).
+  std::unordered_set<std::uint64_t> dedup_set_;
+  std::deque<std::uint64_t> dedup_fifo_;
+
+  std::vector<SwitchRecord> switch_log_;
+  Stats stats_;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,78 @@
+#include "core/esnr_tracker.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace wgtt::core {
+
+EsnrTracker::EsnrTracker(Time window) : window_(window) {}
+
+void EsnrTracker::add(net::ClientId client, net::ApId ap, Time now,
+                      double esnr_db) {
+  const Key key{client, ap};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, LinkState{window_}).first;
+    auto& aps = aps_of_client_[client];
+    if (std::find(aps.begin(), aps.end(), ap) == aps.end()) aps.push_back(ap);
+  }
+  it->second.samples.add(now, esnr_db);
+  it->second.last_heard = now;
+  it->second.last_value = esnr_db;
+}
+
+std::optional<double> EsnrTracker::median(net::ClientId client, net::ApId ap,
+                                          Time now) {
+  auto it = links_.find(Key{client, ap});
+  if (it == links_.end()) return std::nullopt;
+  const auto values = it->second.samples.values(now);
+  if (values.empty()) return std::nullopt;
+  return lower_median(values);
+}
+
+std::optional<net::ApId> EsnrTracker::best_ap(net::ClientId client, Time now) {
+  auto ca = aps_of_client_.find(client);
+  if (ca == aps_of_client_.end()) return std::nullopt;
+  std::optional<net::ApId> best;
+  double best_median = 0.0;
+  for (net::ApId ap : ca->second) {
+    const auto m = median(client, ap, now);
+    if (!m) continue;
+    if (!best || *m > best_median) {
+      best = ap;
+      best_median = *m;
+    }
+  }
+  return best;
+}
+
+std::optional<Time> EsnrTracker::last_heard(net::ClientId client,
+                                            net::ApId ap) const {
+  auto it = links_.find(Key{client, ap});
+  if (it == links_.end()) return std::nullopt;
+  return it->second.last_heard;
+}
+
+std::optional<double> EsnrTracker::last_value(net::ClientId client,
+                                              net::ApId ap) const {
+  auto it = links_.find(Key{client, ap});
+  if (it == links_.end()) return std::nullopt;
+  return it->second.last_value;
+}
+
+std::vector<net::ApId> EsnrTracker::fresh_aps(net::ClientId client, Time now,
+                                              Time freshness) {
+  std::vector<net::ApId> out;
+  auto ca = aps_of_client_.find(client);
+  if (ca == aps_of_client_.end()) return out;
+  for (net::ApId ap : ca->second) {
+    auto it = links_.find(Key{client, ap});
+    if (it != links_.end() && now - it->second.last_heard <= freshness) {
+      out.push_back(ap);
+    }
+  }
+  return out;
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,74 @@
+// Sliding-window ESNR state per (client, AP) link and the paper's AP
+// selection rule (§3.1.1):
+//
+//   E(a) = sorted ESNR readings from AP a in the last W milliseconds
+//   a*   = argmax_a  e_{floor(L_a / 2)}(a)      (the window median)
+//
+// W trades agility against noise: the paper's Figure 21 sweep finds 10 ms
+// optimal at all vehicle speeds, which bench_fig21_window_size reproduces.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "util/timed_window.h"
+#include "util/units.h"
+
+namespace wgtt::core {
+
+class EsnrTracker {
+ public:
+  explicit EsnrTracker(Time window);
+
+  void add(net::ClientId client, net::ApId ap, Time now, double esnr_db);
+
+  /// Window median for one link, if any sample is in-window.
+  [[nodiscard]] std::optional<double> median(net::ClientId client,
+                                             net::ApId ap, Time now);
+
+  /// The selection rule: AP with maximal window-median ESNR.
+  [[nodiscard]] std::optional<net::ApId> best_ap(net::ClientId client, Time now);
+
+  /// APs that have heard the client within `freshness` — the controller's
+  /// downlink fan-out set (paper §3.1.2 footnote 1).
+  [[nodiscard]] std::vector<net::ApId> fresh_aps(net::ClientId client, Time now,
+                                                 Time freshness);
+
+  /// When this link last produced CSI (any age), if ever.
+  [[nodiscard]] std::optional<Time> last_heard(net::ClientId client,
+                                               net::ApId ap) const;
+
+  /// Most recent metric sample on this link, regardless of window age.
+  /// Used to judge challengers while the serving AP is briefly silent.
+  [[nodiscard]] std::optional<double> last_value(net::ClientId client,
+                                                 net::ApId ap) const;
+
+  [[nodiscard]] Time window() const { return window_; }
+
+ private:
+  struct Key {
+    net::ClientId client;
+    net::ApId ap;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (static_cast<std::size_t>(k.client) << 32) ^
+             static_cast<std::size_t>(k.ap);
+    }
+  };
+  struct LinkState {
+    TimedWindow<double> samples;
+    Time last_heard = Time::zero();
+    double last_value = 0.0;
+    explicit LinkState(Time w) : samples(w) {}
+  };
+
+  Time window_;
+  std::unordered_map<Key, LinkState, KeyHash> links_;
+  std::unordered_map<net::ClientId, std::vector<net::ApId>> aps_of_client_;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,64 @@
+#include "core/wgtt_client.h"
+
+#include "phy/rate_control.h"
+
+namespace wgtt::core {
+
+WgttClient::WgttClient(net::ClientId id, sim::Scheduler& sched,
+                       mac::Medium& medium, Rng rng, Config config,
+                       const mobility::Trajectory* trajectory)
+    : id_(id),
+      sched_(sched),
+      config_([&] {
+        Config c = config;
+        c.mac.shared_rx_scoreboard = true;  // one seq space across the array
+        return c;
+      }()),
+      trajectory_(trajectory),
+      // Fork independent streams: one for the MAC, one for rate control.
+      mac_(sched, medium, rng.fork(), config_.mac) {
+  radio_ = mac_.attach([this] { return trajectory_->position(sched_.now()); });
+  mac_.set_tx_to_bssid(true);
+  mac_.add_peer(mac::kBssidWgtt);
+  // The client has no CSI tool; its uplink rate control is the stock
+  // statistics-driven sampler.
+  mac_.set_rate_controller(mac::kBssidWgtt,
+                           std::make_unique<phy::MinstrelLite>(
+                               phy::MinstrelLite::Config{}, Rng{rng.next_u64()}));
+  mac_.on_deliver = [this](mac::RadioId, const net::Packet& p) {
+    if (on_downlink) on_downlink(p);
+  };
+  probe_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    if (!probing_) return;
+    emit_probe();
+    probe_timer_->start(config_.probe_interval);
+  });
+}
+
+void WgttClient::send_uplink(net::Packet packet) {
+  packet.client = id_;
+  packet.downlink = false;
+  packet.ip_id = next_ip_id_++;
+  if (packet.created == Time::zero()) packet.created = sched_.now();
+  mac_.enqueue(mac::kBssidWgtt, std::move(packet));
+}
+
+void WgttClient::start_probing() {
+  if (probing_) return;
+  probing_ = true;
+  probe_timer_->start(Time::us(100));  // first probe almost immediately
+}
+
+void WgttClient::stop_probing() {
+  probing_ = false;
+  probe_timer_->cancel();
+}
+
+void WgttClient::emit_probe() {
+  net::Packet p = net::make_packet();
+  p.proto = net::Proto::kArp;
+  p.payload_bytes = config_.probe_bytes;
+  send_uplink(std::move(p));
+}
+
+}  // namespace wgtt::core

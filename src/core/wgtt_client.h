@@ -1,0 +1,69 @@
+// The mobile client of a WGTT network.
+//
+// Thanks to the shared BSSID, the client is an unmodified 802.11 station:
+// it addresses uplink frames to "the AP" (the BSSID) and keeps one downlink
+// receive scoreboard that survives AP switches. It also emits a low-rate
+// background probe (ARP-class chatter every real station produces), which
+// is what gives the controller its first CSI for a client before any data
+// flows, and keeps the fan-out set warm across idle periods.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mac/wifi_mac.h"
+#include "mobility/trajectory.h"
+#include "net/ids.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::core {
+
+class WgttClient {
+ public:
+  struct Config {
+    mac::WifiMac::Config mac{};
+    Time probe_interval = Time::ms(50);
+    std::size_t probe_bytes = 42;
+  };
+
+  WgttClient(net::ClientId id, sim::Scheduler& sched, mac::Medium& medium,
+             Rng rng, Config config, const mobility::Trajectory* trajectory);
+
+  /// Sends an uplink IP packet (the client's stack assigns the IP-ID that
+  /// the controller's de-duplication keys on).
+  void send_uplink(net::Packet packet);
+
+  /// Decoded, de-duplicated downlink packets arrive here.
+  std::function<void(const net::Packet&)> on_downlink;
+
+  void start_probing();
+  void stop_probing();
+  /// Emits one background probe immediately (used by off-channel scanning
+  /// in multi-channel deployments: the client announces itself on the
+  /// channel it just retuned to).
+  void probe_now() { emit_probe(); }
+
+  [[nodiscard]] net::ClientId id() const { return id_; }
+  [[nodiscard]] mac::WifiMac& mac() { return mac_; }
+  [[nodiscard]] mac::RadioId radio() const { return radio_; }
+  [[nodiscard]] channel::Vec2 position() const {
+    return trajectory_->position(sched_.now());
+  }
+
+ private:
+  void emit_probe();
+
+  net::ClientId id_;
+  sim::Scheduler& sched_;
+  Config config_;
+  const mobility::Trajectory* trajectory_;
+  mac::WifiMac mac_;
+  mac::RadioId radio_;
+  std::uint16_t next_ip_id_ = 1;
+  bool probing_ = false;
+  std::unique_ptr<sim::Timer> probe_timer_;
+};
+
+}  // namespace wgtt::core

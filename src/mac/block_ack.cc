@@ -1,0 +1,69 @@
+#include "mac/block_ack.h"
+
+#include <bit>
+
+namespace wgtt::mac {
+
+BaBitmap BaBitmap::from_decoded(std::uint16_t base,
+                                std::span<const std::uint16_t> decoded) {
+  BaBitmap ba;
+  ba.start_seq = base & (kSeqSpace - 1);
+  for (std::uint16_t s : decoded) ba.set(s);
+  return ba;
+}
+
+bool BaBitmap::acks(std::uint16_t seq) const {
+  const std::uint16_t off = seq_sub(seq, start_seq);
+  if (off >= kBaWindow) return false;
+  return (bits >> off) & 1ULL;
+}
+
+void BaBitmap::set(std::uint16_t seq) {
+  const std::uint16_t off = seq_sub(seq, start_seq);
+  if (off < kBaWindow) bits |= 1ULL << off;
+}
+
+int BaBitmap::count() const { return std::popcount(bits); }
+
+bool RxDupFilter::accept(std::uint16_t seq) {
+  seq &= kSeqSpace - 1;
+  if (!started_) {
+    started_ = true;
+    newest_ = seq;
+    std::fill(seen_.begin(), seen_.end(), false);
+    seen_[0] = true;
+    return true;
+  }
+  if (seq == newest_) return false;
+  if (seq_less(newest_, seq)) {
+    // Advance the window: shift history by the advance amount.
+    const std::uint16_t adv = seq_sub(seq, newest_);
+    if (adv >= kWindow) {
+      std::fill(seen_.begin(), seen_.end(), false);
+    } else {
+      // seen_[i] refers to newest_ - i; new newest shifts indices up.
+      for (int i = kWindow - 1; i >= 0; --i) {
+        seen_[static_cast<std::size_t>(i)] =
+            i >= adv ? seen_[static_cast<std::size_t>(i - adv)] : false;
+      }
+    }
+    newest_ = seq;
+    seen_[0] = true;
+    return true;
+  }
+  // Behind the newest: inside the window -> dedup; far behind -> treat as
+  // stale duplicate and drop (matches hardware behaviour after reordering).
+  const std::uint16_t back = seq_sub(newest_, seq);
+  if (back >= kWindow) return false;
+  if (seen_[back]) return false;
+  seen_[back] = true;
+  return true;
+}
+
+void RxDupFilter::reset() {
+  started_ = false;
+  newest_ = 0;
+  std::fill(seen_.begin(), seen_.end(), false);
+}
+
+}  // namespace wgtt::mac

@@ -1,0 +1,78 @@
+// Over-the-air frame types. The simulator broadcasts frames on the Medium;
+// every registered radio in range decides independently (from its own
+// channel realization) whether it decoded the frame — which is what makes
+// overhearing-based designs (block-ACK forwarding, uplink diversity)
+// expressible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "net/packet.h"
+#include "phy/mcs.h"
+#include "util/units.h"
+
+namespace wgtt::mac {
+
+/// Radio-level address: node index in the Medium's registry.
+enum class RadioId : std::uint32_t {};
+inline constexpr RadioId kBroadcast{0xffffffff};
+/// Shared thin-AP BSSID: all WGTT APs accept frames addressed here, so the
+/// client sees the whole array as one AP (paper §4.3).
+inline constexpr RadioId kBssidWgtt{0xfffffffe};
+
+/// One MPDU inside an A-MPDU.
+struct Mpdu {
+  std::uint16_t seq = 0;     // 802.11 sequence number (12-bit space)
+  net::Packet packet;
+  int retries = 0;
+};
+
+struct DataFrame {
+  std::vector<Mpdu> mpdus;   // size 1 = unaggregated
+  phy::Mcs mcs = phy::Mcs::kMcs0;
+  bool needs_block_ack = true;
+};
+
+struct BlockAckFrame {
+  std::uint16_t start_seq = 0;
+  std::uint64_t bitmap = 0;          // bit i => start_seq + i received
+  std::uint64_t acked_tx_uid = 0;    // which DataFrame this responds to
+};
+
+struct BeaconFrame {};
+
+/// Management exchange used by the Enhanced 802.11r baseline: each step of
+/// auth/re-association is one frame; `step` distinguishes them.
+struct MgmtFrame {
+  enum class Kind : std::uint8_t { kAuthReq, kAuthResp, kAssocReq, kAssocResp } kind;
+};
+
+using FrameBody = std::variant<DataFrame, BlockAckFrame, BeaconFrame, MgmtFrame>;
+
+struct Frame {
+  std::uint64_t tx_uid = 0;   // unique per transmission attempt
+  RadioId from{};
+  RadioId to{};               // kBroadcast for beacons
+  FrameBody body;
+  Time air_start;
+  Time air_end;
+};
+
+/// Total MPDU payload bytes in a data frame.
+[[nodiscard]] inline std::size_t data_frame_bytes(const DataFrame& f) {
+  std::size_t total = 0;
+  for (const auto& m : f.mpdus) total += m.packet.air_bytes();
+  return total;
+}
+
+}  // namespace wgtt::mac
+
+template <>
+struct std::hash<wgtt::mac::RadioId> {
+  std::size_t operator()(wgtt::mac::RadioId id) const noexcept {
+    return static_cast<std::size_t>(id);
+  }
+};

@@ -1,0 +1,82 @@
+#include "net/backhaul.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wgtt::net {
+
+std::size_t wire_bytes(const BackhaulMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DownlinkData>) {
+          return m.packet.tunnel_bytes();
+        } else if constexpr (std::is_same_v<T, UplinkData>) {
+          return m.packet.tunnel_bytes();
+        } else if constexpr (std::is_same_v<T, CsiReport>) {
+          // 56 subcarriers x 2 bytes + UDP/IP + metadata (paper §3.1.1).
+          return 56 * 2 + 28 + 16;
+        } else if constexpr (std::is_same_v<T, StopMsg>) {
+          return 64;  // two L2 addresses + framing
+        } else if constexpr (std::is_same_v<T, StartMsg>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, SwitchAck>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, BlockAckForward>) {
+          return 28 + 2 + 8 + 14;  // UDP/IP + start seq + bitmap + addresses
+        } else {
+          static_assert(std::is_same_v<T, AssocSync>);
+          return 256;  // sta_info struct transfer
+        }
+      },
+      msg);
+}
+
+bool is_control(const BackhaulMessage& msg) {
+  return std::holds_alternative<StopMsg>(msg) ||
+         std::holds_alternative<StartMsg>(msg) ||
+         std::holds_alternative<SwitchAck>(msg);
+}
+
+Backhaul::Backhaul(sim::Scheduler& sched, const Config& config, Rng rng)
+    : sched_(sched), config_(config), rng_(rng) {}
+
+void Backhaul::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
+  if (!handlers_.contains(to)) {
+    throw std::logic_error("Backhaul::send to unattached node");
+  }
+  ++sent_;
+  if (rng_.chance(config_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  const double ser_us =
+      static_cast<double>(wire_bytes(msg)) * 8.0 / config_.line_rate_mbps;
+  Time latency = config_.switch_overhead + Time::micros(ser_us);
+  if (config_.jitter_max > Time::zero()) {
+    latency += Time::ns(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(config_.jitter_max.count_ns())));
+  }
+  // Enforce per-(src,dst) FIFO: jitter must not reorder a flow.
+  const std::uint64_t flow_key =
+      (static_cast<std::uint64_t>(std::hash<NodeId>{}(from)) << 32) ^
+      std::hash<NodeId>{}(to);
+  Time arrival = sched_.now() + latency;
+  auto [it, inserted] = last_delivery_.try_emplace(flow_key, arrival);
+  if (!inserted) {
+    if (arrival <= it->second) arrival = it->second + Time::ns(1);
+    it->second = arrival;
+  }
+  sched_.schedule_at(arrival, [this, from, to, m = std::move(msg)]() mutable {
+    // Handler looked up at delivery time: attach order vs send order must
+    // not matter, and a handler may be replaced mid-run.
+    auto it = handlers_.find(to);
+    if (it != handlers_.end()) it->second(from, std::move(m));
+  });
+}
+
+}  // namespace wgtt::net

@@ -1,0 +1,53 @@
+// Simulated switched-Ethernet backhaul connecting the controller and APs.
+//
+// Unicast store-and-forward through one switch: per-message latency =
+// serialization at line rate + switch forwarding overhead (+ optional
+// jitter). The backhaul is reliable but can be configured with a loss rate
+// to exercise the switching protocol's 30 ms retransmission timeout.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/messages.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::net {
+
+class Backhaul {
+ public:
+  struct Config {
+    double line_rate_mbps = 1000.0;     // GigE
+    Time switch_overhead = Time::us(30);  // forwarding + host stack
+    Time jitter_max = Time::us(20);
+    double loss_rate = 0.0;             // control-plane loss injection
+  };
+
+  using Handler = std::function<void(NodeId from, BackhaulMessage msg)>;
+
+  Backhaul(sim::Scheduler& sched, const Config& config, Rng rng);
+
+  /// Registers the message handler for `node`. Re-registering replaces.
+  void attach(NodeId node, Handler handler);
+
+  /// Sends `msg` from `from` to `to`; delivery is scheduled on the
+  /// simulator. Sending to an unattached node is an error.
+  void send(NodeId from, NodeId to, BackhaulMessage msg);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Config config_;
+  Rng rng_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  // FIFO discipline per (src, dst): a switched-Ethernet path never reorders
+  // packets of one flow, and the WGTT index stream depends on that.
+  std::unordered_map<std::uint64_t, Time> last_delivery_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace wgtt::net

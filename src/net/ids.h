@@ -1,0 +1,54 @@
+// Strongly typed node identifiers. An AP id doubles as the index into the
+// roadside array; clients are numbered in join order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace wgtt::net {
+
+enum class ApId : std::uint32_t {};
+enum class ClientId : std::uint32_t {};
+
+/// A backhaul endpoint: the controller or one of the APs.
+struct NodeId {
+  enum class Kind : std::uint8_t { kController, kAp } kind = Kind::kController;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] static NodeId controller() { return {Kind::kController, 0}; }
+  [[nodiscard]] static NodeId ap(ApId id) {
+    return {Kind::kAp, static_cast<std::uint32_t>(id)};
+  }
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+};
+
+[[nodiscard]] constexpr std::uint32_t index_of(ApId id) {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint32_t index_of(ClientId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace wgtt::net
+
+template <>
+struct std::hash<wgtt::net::NodeId> {
+  std::size_t operator()(const wgtt::net::NodeId& n) const noexcept {
+    return (static_cast<std::size_t>(n.kind) << 32) ^ n.index;
+  }
+};
+
+template <>
+struct std::hash<wgtt::net::ApId> {
+  std::size_t operator()(wgtt::net::ApId id) const noexcept {
+    return static_cast<std::size_t>(id);
+  }
+};
+
+template <>
+struct std::hash<wgtt::net::ClientId> {
+  std::size_t operator()(wgtt::net::ClientId id) const noexcept {
+    return static_cast<std::size_t>(id);
+  }
+};

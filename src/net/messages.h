@@ -1,0 +1,89 @@
+// Controller<->AP backhaul protocol messages (paper §3).
+//
+// Everything the WGTT control and data planes exchange over Ethernet is one
+// of these message types. Sizes are modelled so backhaul serialization time
+// is accounted for.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "channel/link_channel.h"
+#include "net/ids.h"
+#include "net/packet.h"
+
+namespace wgtt::net {
+
+/// Controller -> AP: a downlink data packet, tunnelled, carrying the
+/// client's 12-bit index number for the cyclic queue (§3.1.2).
+struct DownlinkData {
+  Packet packet;
+  std::uint16_t index;  // m = 12-bit index number
+};
+
+/// AP -> controller: an overheard uplink packet, tunnelled with the AP's
+/// addresses so the controller knows the receiving AP (§3.2.2).
+struct UplinkData {
+  ApId from_ap{};
+  Packet packet;
+};
+
+/// AP -> controller: CSI of one received uplink frame (§3.1.1); the
+/// controller computes ESNR from this.
+struct CsiReport {
+  ApId from_ap{};
+  ClientId client{};
+  channel::CsiMeasurement measurement;
+};
+
+/// Controller -> old AP: cease sending to client c; tells it who the new
+/// serving AP is (step 1 of the switching protocol).
+struct StopMsg {
+  ClientId client{};
+  ApId new_ap{};
+};
+
+/// Old AP -> new AP: first unsent index k for client c (step 2).
+struct StartMsg {
+  ClientId client{};
+  ApId from_ap{};
+  std::uint16_t first_unsent_index = 0;
+};
+
+/// New AP -> controller: switch complete (step 3).
+struct SwitchAck {
+  ClientId client{};
+  ApId from_ap{};
+};
+
+/// Overhearing AP -> serving AP: a block ACK heard in monitor mode
+/// (§3.2.1): client address, starting sequence number, and the bitmap.
+struct BlockAckForward {
+  ClientId client{};
+  ApId from_ap{};
+  std::uint16_t start_seq = 0;
+  std::uint64_t bitmap = 0;
+  std::uint64_t ba_uid = 0;  // identity of the over-the-air BA frame, for
+                             // duplicate suppression at the serving AP
+};
+
+/// First-associating AP -> all others: replicated association state
+/// (paper §4.3, the hostapd sta_info transfer).
+struct AssocSync {
+  ClientId client{};
+  ApId from_ap{};
+};
+
+using BackhaulMessage =
+    std::variant<DownlinkData, UplinkData, CsiReport, StopMsg, StartMsg,
+                 SwitchAck, BlockAckForward, AssocSync>;
+
+/// Serialized size on the backhaul wire, for latency accounting.
+[[nodiscard]] std::size_t wire_bytes(const BackhaulMessage& msg);
+
+/// Control messages (stop/start/ack) bypass data queues in the AP
+/// (paper §3.1.2: "incoming control packets are prioritized").
+[[nodiscard]] bool is_control(const BackhaulMessage& msg);
+
+}  // namespace wgtt::net

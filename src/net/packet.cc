@@ -1,0 +1,17 @@
+#include "net/packet.h"
+
+namespace wgtt::net {
+
+namespace {
+std::uint64_t g_next_uid = 1;
+}  // namespace
+
+Packet make_packet() {
+  Packet p;
+  p.uid = g_next_uid++;
+  return p;
+}
+
+void reset_packet_uids() { g_next_uid = 1; }
+
+}  // namespace wgtt::net

@@ -1,0 +1,82 @@
+// The simulator's packet representation.
+//
+// Packets carry metadata rather than serialized bytes: the simulation needs
+// sizes, addresses, sequence numbers and the WGTT bookkeeping fields, not
+// payload contents. Byte counts include the real header overheads so that
+// airtime and throughput accounting match a wire implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ids.h"
+#include "util/units.h"
+
+namespace wgtt::net {
+
+enum class Proto : std::uint8_t { kUdp, kTcp, kArp };
+
+/// TCP header fields the Reno model needs. Sequence numbers are 64-bit to
+/// sidestep wraparound (a modelling convenience; wrap handling is not what
+/// this reproduction studies).
+struct TcpFields {
+  std::uint64_t seq = 0;       // first payload byte
+  std::uint64_t ack = 0;       // cumulative ack
+  bool is_ack = false;
+  /// Timestamp echo (mirrors the TCP timestamp option): the ack carries the
+  /// `created` time of the segment that triggered it, for RTT estimation.
+  Time ts_echo;
+};
+
+inline constexpr std::size_t kIpUdpHeaderBytes = 28;   // IPv4 + UDP
+inline constexpr std::size_t kIpTcpHeaderBytes = 40;   // IPv4 + TCP
+inline constexpr std::size_t kMacHeaderBytes = 34;     // 802.11 QoS data + FCS
+/// Controller<->AP tunnel: outer IP/UDP + 4-byte WGTT index (paper §3.1.3).
+inline constexpr std::size_t kTunnelHeaderBytes = 32;
+
+struct Packet {
+  std::uint64_t uid = 0;       // globally unique, assigned by make_packet()
+  ClientId client{};           // which mobile this packet belongs to
+  bool downlink = true;
+  Proto proto = Proto::kUdp;
+
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// IPv4 identification: with src_ip it forms the controller's 48-bit
+  /// de-duplication key (paper §3.2.2).
+  std::uint16_t ip_id = 0;
+
+  std::size_t payload_bytes = 0;
+  std::optional<TcpFields> tcp;
+  /// Application-level sequence number for UDP flows (loss/ordering
+  /// accounting at the sink).
+  std::uint32_t app_seq = 0;
+
+  Time created;                // when the source emitted it
+
+  /// Size at the IP layer (payload + transport/IP headers).
+  [[nodiscard]] std::size_t ip_bytes() const {
+    return payload_bytes +
+           (proto == Proto::kTcp ? kIpTcpHeaderBytes : kIpUdpHeaderBytes);
+  }
+  /// Size as an MPDU over the air.
+  [[nodiscard]] std::size_t air_bytes() const {
+    return ip_bytes() + kMacHeaderBytes;
+  }
+  /// Size when tunnelled controller<->AP over the backhaul.
+  [[nodiscard]] std::size_t tunnel_bytes() const {
+    return ip_bytes() + kTunnelHeaderBytes;
+  }
+};
+
+/// Creates a packet with a fresh process-wide uid. Uids only disambiguate
+/// copies inside one run; determinism across runs is preserved because
+/// allocation order is itself deterministic.
+[[nodiscard]] Packet make_packet();
+
+/// Resets the uid counter (between independent experiments in one binary).
+void reset_packet_uids();
+
+}  // namespace wgtt::net

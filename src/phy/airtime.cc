@@ -1,0 +1,52 @@
+#include "phy/airtime.h"
+
+namespace wgtt::phy {
+
+const PhyTimings& default_timings() {
+  static const PhyTimings t{};
+  return t;
+}
+
+namespace {
+Time payload_time(double rate_mbps, std::size_t bytes) {
+  // bits / (Mbit/s) = microseconds; round up to the 4 us symbol boundary.
+  const double us = static_cast<double>(bytes) * 8.0 / rate_mbps;
+  const auto symbols = static_cast<std::int64_t>((us + 3.999) / 4.0);
+  return Time::us(symbols * 4);
+}
+}  // namespace
+
+Time ampdu_duration(Mcs mcs, std::size_t total_bytes) {
+  const auto& t = default_timings();
+  // MPDU delimiters + padding: ~4% of aggregate size.
+  const auto padded = static_cast<std::size_t>(static_cast<double>(total_bytes) * 1.04);
+  return t.ht_preamble + payload_time(mcs_info(mcs).data_rate_mbps, padded);
+}
+
+Time mpdu_duration(Mcs mcs, std::size_t bytes) {
+  const auto& t = default_timings();
+  return t.ht_preamble + payload_time(mcs_info(mcs).data_rate_mbps, bytes);
+}
+
+Time block_ack_duration() {
+  const auto& t = default_timings();
+  return t.legacy_preamble + payload_time(t.control_rate_mbps, 32);
+}
+
+Time ack_duration() {
+  const auto& t = default_timings();
+  return t.legacy_preamble + payload_time(t.control_rate_mbps, 14);
+}
+
+Time beacon_duration() {
+  const auto& t = default_timings();
+  return t.legacy_preamble + payload_time(t.control_rate_mbps, 300);
+}
+
+Time txop_duration(Mcs mcs, std::size_t total_bytes, int backoff_slots) {
+  const auto& t = default_timings();
+  return t.difs + t.slot * backoff_slots + ampdu_duration(mcs, total_bytes) +
+         t.sifs + block_ack_duration();
+}
+
+}  // namespace wgtt::phy

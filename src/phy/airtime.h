@@ -1,0 +1,48 @@
+// 802.11n airtime accounting (2.4 GHz, HT-mixed format, 20 MHz).
+// The MAC charges the shared medium with these durations; they set the
+// ratio of useful data time to fixed overhead that makes frame aggregation
+// matter (paper §1: ~20 ms / ~100-packet driver queues exist to feed
+// aggregation).
+#pragma once
+
+#include <cstddef>
+
+#include "phy/mcs.h"
+#include "util/units.h"
+
+namespace wgtt::phy {
+
+struct PhyTimings {
+  Time sifs = Time::us(10);
+  Time difs = Time::us(28);          // DIFS = SIFS + 2 * slot
+  Time slot = Time::us(9);
+  Time ht_preamble = Time::us(36);   // L-STF/LTF/SIG + HT-SIG/STF/LTF
+  Time legacy_preamble = Time::us(20);
+  double control_rate_mbps = 24.0;   // rate for ACK / Block ACK / beacons
+  int cw_min = 15;
+  int cw_max = 1023;
+};
+
+[[nodiscard]] const PhyTimings& default_timings();
+
+/// Duration of an A-MPDU carrying `total_bytes` of MPDU payload (including
+/// per-MPDU delimiters/padding, which we fold into a 4% overhead) at `mcs`.
+[[nodiscard]] Time ampdu_duration(Mcs mcs, std::size_t total_bytes);
+
+/// Single (non-aggregated) data MPDU duration.
+[[nodiscard]] Time mpdu_duration(Mcs mcs, std::size_t bytes);
+
+/// Compressed Block ACK frame (32 B at the control rate) + preamble.
+[[nodiscard]] Time block_ack_duration();
+
+/// Legacy ACK (14 B at the control rate) + preamble.
+[[nodiscard]] Time ack_duration();
+
+/// Beacon frame duration (~300 B management frame at the control rate).
+[[nodiscard]] Time beacon_duration();
+
+/// Complete data exchange: DIFS + backoff(slots) + A-MPDU + SIFS + BA.
+[[nodiscard]] Time txop_duration(Mcs mcs, std::size_t total_bytes,
+                                 int backoff_slots);
+
+}  // namespace wgtt::phy

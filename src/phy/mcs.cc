@@ -1,0 +1,56 @@
+#include "phy/mcs.h"
+
+#include <stdexcept>
+
+namespace wgtt::phy {
+
+std::string_view to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+int bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+namespace {
+constexpr std::array<McsInfo, kNumMcs> kTable{{
+    {Mcs::kMcs0, Modulation::kBpsk, 0.50, 7.2, 4.0},
+    {Mcs::kMcs1, Modulation::kQpsk, 0.50, 14.4, 7.0},
+    {Mcs::kMcs2, Modulation::kQpsk, 0.75, 21.7, 9.5},
+    {Mcs::kMcs3, Modulation::kQam16, 0.50, 28.9, 12.5},
+    {Mcs::kMcs4, Modulation::kQam16, 0.75, 43.3, 16.0},
+    {Mcs::kMcs5, Modulation::kQam64, 0.6667, 57.8, 20.5},
+    {Mcs::kMcs6, Modulation::kQam64, 0.75, 65.0, 22.0},
+    {Mcs::kMcs7, Modulation::kQam64, 0.8333, 72.2, 24.0},
+}};
+}  // namespace
+
+const McsInfo& mcs_info(Mcs mcs) {
+  const auto i = static_cast<std::size_t>(mcs);
+  if (i >= kTable.size()) throw std::out_of_range("bad MCS index");
+  return kTable[i];
+}
+
+const std::array<McsInfo, kNumMcs>& all_mcs() { return kTable; }
+
+Mcs highest_mcs_for_esnr(double esnr_db, double margin_db) {
+  Mcs best = Mcs::kMcs0;
+  for (const auto& info : kTable) {
+    if (info.min_esnr_db <= esnr_db - margin_db) best = info.index;
+  }
+  return best;
+}
+
+}  // namespace wgtt::phy

@@ -1,0 +1,49 @@
+// 802.11n single-spatial-stream MCS table (20 MHz), matching the testbed
+// hardware: the splitter-combined parabolic antenna yields one spatial
+// stream (paper §4.2 footnote 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wgtt::phy {
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+[[nodiscard]] std::string_view to_string(Modulation m);
+
+/// Bits per subcarrier per symbol.
+[[nodiscard]] int bits_per_symbol(Modulation m);
+
+enum class Mcs : std::uint8_t {
+  kMcs0 = 0,  // BPSK 1/2
+  kMcs1,      // QPSK 1/2
+  kMcs2,      // QPSK 3/4
+  kMcs3,      // 16-QAM 1/2
+  kMcs4,      // 16-QAM 3/4
+  kMcs5,      // 64-QAM 2/3
+  kMcs6,      // 64-QAM 3/4
+  kMcs7,      // 64-QAM 5/6
+};
+
+inline constexpr int kNumMcs = 8;
+
+struct McsInfo {
+  Mcs index;
+  Modulation modulation;
+  double coding_rate;
+  double data_rate_mbps;        // short guard interval (matches the paper's
+                                // "around 70 Mbit/s" top bit rate, MCS7 = 72.2)
+  /// Minimum effective SNR (dB) for ~10% PER on a 1500 B MPDU, per the
+  /// ESNR literature (Halperin et al.) receiver sensitivity ladder.
+  double min_esnr_db;
+};
+
+[[nodiscard]] const McsInfo& mcs_info(Mcs mcs);
+[[nodiscard]] const std::array<McsInfo, kNumMcs>& all_mcs();
+
+/// Highest MCS whose min ESNR is <= esnr_db - margin_db; MCS0 if none.
+[[nodiscard]] Mcs highest_mcs_for_esnr(double esnr_db, double margin_db = 0.0);
+
+}  // namespace wgtt::phy

@@ -1,0 +1,78 @@
+#include "phy/rate_control.h"
+
+#include <algorithm>
+
+namespace wgtt::phy {
+
+MinstrelLite::MinstrelLite(const Config& config, Rng rng)
+    : config_(config), rng_(rng) {
+  success_.fill(config_.initial_success);
+}
+
+Mcs MinstrelLite::select() {
+  if (rng_.chance(config_.sample_fraction)) {
+    return static_cast<Mcs>(rng_.uniform_int(kNumMcs));
+  }
+  double best_tput = -1.0;
+  Mcs best = Mcs::kMcs0;
+  for (const auto& info : all_mcs()) {
+    const double tput =
+        info.data_rate_mbps * success_[static_cast<std::size_t>(info.index)];
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = info.index;
+    }
+  }
+  return best;
+}
+
+void MinstrelLite::report(Mcs used, int attempted, int delivered) {
+  if (attempted <= 0) return;
+  const double rate = static_cast<double>(delivered) / attempted;
+  double& s = success_[static_cast<std::size_t>(used)];
+  s = config_.ewma_alpha * rate + (1.0 - config_.ewma_alpha) * s;
+}
+
+void MinstrelLite::observe_csi(std::span<const double>) {}
+
+double MinstrelLite::success_estimate(Mcs mcs) const {
+  return success_[static_cast<std::size_t>(mcs)];
+}
+
+EsnrRateSelector::EsnrRateSelector(std::size_t reference_mpdu_bytes,
+                                   double margin_db)
+    : reference_bytes_(reference_mpdu_bytes), margin_db_(margin_db) {}
+
+Mcs EsnrRateSelector::select() { return current_; }
+
+void EsnrRateSelector::report(Mcs used, int attempted, int delivered) {
+  if (attempted <= 0) return;
+  // Track recent failure rate to add margin when CSI is stale: if the last
+  // few aggregates mostly failed, retreat one MCS until fresh CSI arrives.
+  failure_backoff_.add(1.0 - static_cast<double>(delivered) / attempted);
+  if (failure_backoff_.value() > 0.6 && used == current_ &&
+      current_ != Mcs::kMcs0) {
+    current_ = static_cast<Mcs>(static_cast<int>(current_) - 1);
+  }
+}
+
+void EsnrRateSelector::observe_csi(std::span<const double> subcarrier_snr_db) {
+  // Derate the CSI by the staleness margin, then pick the expected-goodput
+  // maximizer.
+  std::vector<double> derated(subcarrier_snr_db.begin(), subcarrier_snr_db.end());
+  for (double& s : derated) s -= margin_db_;
+  double best_goodput = -1.0;
+  Mcs best = Mcs::kMcs0;
+  for (const auto& info : all_mcs()) {
+    const double g =
+        expected_goodput_mbps(derated, info.index, reference_bytes_);
+    if (g > best_goodput) {
+      best_goodput = g;
+      best = info.index;
+    }
+  }
+  current_ = best;
+  failure_backoff_.reset();
+}
+
+}  // namespace wgtt::phy

@@ -1,0 +1,84 @@
+// The roadside testbed geometry (paper §4, Figure 9): eight APs on a
+// building facade overlooking the road, 7.5 m apart, each aiming a 21°
+// parabolic antenna at its patch of road; cells ~5.2 m wide with 6-10 m of
+// radio overlap between neighbours.
+//
+// TestbedGeometry owns the per-(AP, client) LinkChannel matrix and the
+// ground-truth helpers (instantaneous optimal AP, ESNR heatmaps) used by
+// the evaluation harness. Both the WGTT system and the baseline system
+// build on it, so comparisons run over identical radio environments when
+// given the same seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "channel/link_channel.h"
+#include "mobility/trajectory.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace wgtt::scenario {
+
+struct GeometryConfig {
+  int num_aps = 8;
+  double ap_spacing_m = 7.5;
+  double ap_setback_m = 15.0;   // perpendicular distance facade -> road
+  double boresight_lane_y = 0.0;
+  /// Installation imperfections, drawn once per AP: dish aiming error along
+  /// the road and peak-gain spread. These make the coverage patchy and
+  /// uneven like the paper's measured Figure 10 heatmaps (some AP pairs
+  /// overlap 10 m, others barely 6 m) rather than perfectly periodic.
+  double aim_jitter_m = 1.5;
+  double gain_jitter_db = 1.5;
+  channel::LinkChannel::Config link{};
+  std::uint64_t seed = 1;
+};
+
+class TestbedGeometry {
+ public:
+  explicit TestbedGeometry(const GeometryConfig& config);
+
+  /// Adds a client slot; builds its channel to every AP. Returns the index.
+  int add_client(const mobility::Trajectory* trajectory);
+
+  [[nodiscard]] int num_aps() const { return config_.num_aps; }
+  [[nodiscard]] int num_clients() const { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] channel::Vec2 ap_position(int ap) const;
+  [[nodiscard]] const channel::LinkChannel& link(int ap, int client) const;
+  [[nodiscard]] channel::Vec2 client_position(int client, Time now) const;
+  [[nodiscard]] const mobility::Trajectory& trajectory(int client) const;
+
+  /// Road x-coordinates covered by the array (first and last AP), for
+  /// aligning measurement windows with the transit.
+  [[nodiscard]] double first_ap_x() const { return 0.0; }
+  [[nodiscard]] double last_ap_x() const {
+    return (config_.num_aps - 1) * config_.ap_spacing_m;
+  }
+
+  /// Ground truth: the AP with maximal instantaneous ESNR to the client
+  /// (the "optimal AP" of the paper's switching-accuracy metric, Table 2).
+  [[nodiscard]] int optimal_ap(int client, Time now) const;
+
+  /// Instantaneous ESNR of one link (pure; does not disturb anything).
+  [[nodiscard]] double esnr_db(int ap, int client, Time now) const;
+
+  /// Large-scale mean SNR (no fast fading), e.g. for the Figure 10 heatmap.
+  [[nodiscard]] double large_scale_snr_db(int ap, channel::Vec2 at) const;
+
+  [[nodiscard]] const GeometryConfig& config() const { return config_; }
+
+ private:
+  GeometryConfig config_;
+  Rng rng_;
+  struct ApInstall {
+    double aim_offset_m = 0.0;   // boresight target slid along the road
+    double gain_delta_db = 0.0;  // peak gain deviation
+  };
+  std::vector<ApInstall> installs_;
+  std::vector<const mobility::Trajectory*> clients_;
+  // channels_[client][ap]
+  std::vector<std::vector<std::unique_ptr<channel::LinkChannel>>> channels_;
+};
+
+}  // namespace wgtt::scenario

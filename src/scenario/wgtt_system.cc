@@ -1,0 +1,216 @@
+#include "scenario/wgtt_system.h"
+
+#include <limits>
+
+namespace wgtt::scenario {
+
+WgttSystem::WgttSystem(const WgttSystemConfig& config)
+    : config_(config),
+      rng_(config.geometry.seed ^ 0x5747745747ULL),
+      medium_(sched_, config.medium),
+      backhaul_(sched_, config.backhaul, Rng{config.geometry.seed ^ 0xbacc}),
+      geometry_(config.geometry) {
+  controller_ = std::make_unique<core::Controller>(sched_, backhaul_,
+                                                   config_.controller);
+  for (int i = 0; i < config_.geometry.num_aps; ++i) {
+    const net::ApId ap_id{static_cast<std::uint32_t>(i)};
+    auto ap = std::make_unique<ap::WgttAp>(
+        ap_id, sched_, medium_, backhaul_, rng_.fork(), config_.ap,
+        [this, i] { return geometry_.ap_position(i); });
+    ap_idx_of_radio_[ap->mac().radio()] = i;
+    ap->mac().set_channel_sampler([this, i](mac::RadioId peer) {
+      return sample_for_ap(i, peer);
+    });
+    ap->mac().set_interest_filter([this](mac::RadioId from) {
+      return client_idx_of_radio_.contains(from);
+    });
+    ap->set_ap_directory([this](mac::RadioId r) -> std::optional<net::ApId> {
+      auto it = ap_idx_of_radio_.find(r);
+      if (it == ap_idx_of_radio_.end()) return std::nullopt;
+      return net::ApId{static_cast<std::uint32_t>(it->second)};
+    });
+    controller_->add_ap(ap_id);
+    aps_.push_back(std::move(ap));
+  }
+  // Capture-effect power oracle: large-scale rx power of any transmitter at
+  // any point, from the link-budget models.
+  medium_.set_power_oracle([this](mac::RadioId tx, channel::Vec2 at) -> double {
+    if (geometry_.num_clients() == 0) return -90.0;
+    if (auto it = ap_idx_of_radio_.find(tx); it != ap_idx_of_radio_.end()) {
+      return geometry_.link(it->second, 0).large_scale_rx_dbm(at);
+    }
+    if (auto it = client_idx_of_radio_.find(tx); it != client_idx_of_radio_.end()) {
+      // Reciprocal: the client's power at `at` equals an AP-at-`at`'s power
+      // at the client; use the nearest AP's link as the estimate.
+      const channel::Vec2 cpos =
+          geometry_.client_position(it->second, sched_.now());
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int i = 0; i < geometry_.num_aps(); ++i) {
+        const double d = channel::distance(at, geometry_.ap_position(i));
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      return geometry_.link(best, it->second).large_scale_rx_dbm(cpos);
+    }
+    return -90.0;
+  });
+
+  controller_->on_uplink = [this](const net::Packet& p) {
+    if (p.proto == net::Proto::kArp) return;  // background probes stop here
+    if (!on_server_uplink) return;
+    sched_.schedule_in(config_.server_latency,
+                       [this, p] { on_server_uplink(p); });
+  };
+}
+
+int WgttSystem::add_client(const mobility::Trajectory* trajectory) {
+  const int idx = geometry_.add_client(trajectory);
+  const net::ClientId cid{static_cast<std::uint32_t>(idx)};
+  auto client = std::make_unique<core::WgttClient>(
+      cid, sched_, medium_, rng_.fork(), config_.client, trajectory);
+  client_idx_of_radio_[client->radio()] = idx;
+  client->mac().set_channel_sampler([this, idx](mac::RadioId peer) {
+    return sample_for_client(idx, peer);
+  });
+  controller_->add_client(cid);
+  clients_.push_back(std::move(client));
+  return idx;
+}
+
+void WgttSystem::start() {
+  if (started_) return;
+  started_ = true;
+  // Replicated association (§4.3): every AP learns every client.
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    const net::ClientId cid{static_cast<std::uint32_t>(c)};
+    for (auto& ap : aps_) ap->register_client(cid, clients_[c]->radio());
+    clients_[c]->start_probing();
+  }
+
+  if (config_.channel_reuse > 1) {
+    // §7 multi-channel: AP i on channel i mod N; each client follows its
+    // serving AP's channel (checked every millisecond — optimistic: a real
+    // client needs a channel-switch announcement, so this is a LOWER bound
+    // on the cost of multi-channel operation).
+    for (int i = 0; i < num_aps(); ++i) {
+      medium_.set_radio_channel(aps_[static_cast<std::size_t>(i)]->mac().radio(),
+                                1 + i % config_.channel_reuse);
+    }
+    client_retuning_.assign(clients_.size(), false);
+    scan_next_offset_.assign(clients_.size(), 1);
+
+    // Off-channel scanning: periodically hop to another channel, announce
+    // with a probe, and return — that is how APs on other channels obtain
+    // CSI for this client, making cross-channel switches possible at all.
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      scan_timers_.push_back(std::make_unique<sim::Timer>(sched_, [this, c] {
+        if (!client_retuning_[c]) {
+          const mac::RadioId radio = clients_[c]->radio();
+          const int current = medium_.radio_channel(radio);
+          if (current != mac::Medium::kNoChannel) {
+            int& off = scan_next_offset_[c];
+            const int scan_ch =
+                1 + (current - 1 + off) % config_.channel_reuse;
+            off = 1 + off % (config_.channel_reuse - 1);
+            client_retuning_[c] = true;  // suspend channel-follow
+            medium_.set_radio_channel(radio, scan_ch);
+            clients_[c]->probe_now();
+            sched_.schedule_in(config_.scan_dwell, [this, c, radio, current] {
+              medium_.set_radio_channel(radio, current);
+              client_retuning_[c] = false;
+            });
+          }
+        }
+        scan_timers_[c]->start(config_.scan_period);
+      }));
+      // Stagger scans so clients do not hop in lockstep.
+      scan_timers_.back()->start(config_.scan_period +
+                                 Time::ms(static_cast<std::int64_t>(c) * 37));
+    }
+
+    channel_follow_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+      for (std::size_t c = 0; c < clients_.size(); ++c) {
+        if (client_retuning_[c]) continue;
+        const int serving = serving_ap(static_cast<int>(c));
+        if (serving < 0) continue;
+        const int want = 1 + serving % config_.channel_reuse;
+        const mac::RadioId radio = clients_[c]->radio();
+        if (medium_.radio_channel(radio) == want) continue;
+        // Retune: blackout, then land on the new channel.
+        client_retuning_[c] = true;
+        medium_.set_radio_channel(radio, mac::Medium::kNoChannel);
+        sched_.schedule_in(config_.retune_blackout, [this, c, radio, want] {
+          medium_.set_radio_channel(radio, want);
+          client_retuning_[c] = false;
+        });
+      }
+      channel_follow_timer_->start(Time::ms(1));
+    });
+    channel_follow_timer_->start(Time::ms(1));
+  }
+}
+
+void WgttSystem::server_send(net::Packet packet) {
+  sched_.schedule_in(config_.server_latency, [this, p = std::move(packet)] {
+    controller_->send_downlink(p);
+  });
+}
+
+int WgttSystem::serving_ap(int client) const {
+  const auto ap =
+      controller_->serving_ap(net::ClientId{static_cast<std::uint32_t>(client)});
+  return ap ? static_cast<int>(net::index_of(*ap)) : -1;
+}
+
+channel::CsiMeasurement WgttSystem::fallback_csi() const {
+  // Channel between two nodes we do not model (AP-AP, client-client):
+  // weak flat channel so decode draws almost always fail.
+  channel::CsiMeasurement m;
+  m.when = sched_.now();
+  m.subcarrier_snr_db.assign(kNumSubcarriers, 0.0);
+  m.rssi_dbm = -94.0;
+  m.mean_snr_db = 0.0;
+  return m;
+}
+
+int WgttSystem::nearest_ap(int client) const {
+  const channel::Vec2 pos = geometry_.client_position(client, sched_.now());
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (int i = 0; i < geometry_.num_aps(); ++i) {
+    const double d = channel::distance(pos, geometry_.ap_position(i));
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+channel::CsiMeasurement WgttSystem::sample_for_ap(int ap, mac::RadioId peer) {
+  auto it = client_idx_of_radio_.find(peer);
+  if (it == client_idx_of_radio_.end()) return fallback_csi();
+  const int c = it->second;
+  return geometry_.link(ap, c).measure(geometry_.client_position(c, sched_.now()),
+                                       sched_.now());
+}
+
+channel::CsiMeasurement WgttSystem::sample_for_client(int client,
+                                                      mac::RadioId peer) {
+  int ap = -1;
+  if (peer == mac::kBssidWgtt) {
+    // Rate-control query against "the AP": approximate with the nearest.
+    ap = nearest_ap(client);
+  } else {
+    auto it = ap_idx_of_radio_.find(peer);
+    if (it == ap_idx_of_radio_.end()) return fallback_csi();
+    ap = it->second;
+  }
+  return geometry_.link(ap, client)
+      .measure(geometry_.client_position(client, sched_.now()), sched_.now());
+}
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,108 @@
+// Fully wired WGTT network over the roadside testbed: scheduler, medium,
+// backhaul, controller, eight WgttAps, and any number of mobile clients.
+// This is the top-level object examples and benches instantiate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ap/wgtt_ap.h"
+#include "core/controller.h"
+#include "core/wgtt_client.h"
+#include "mac/medium.h"
+#include "net/backhaul.h"
+#include "scenario/testbed.h"
+#include "sim/scheduler.h"
+
+namespace wgtt::scenario {
+
+struct WgttSystemConfig {
+  GeometryConfig geometry{};
+  mac::Medium::Config medium{};
+  net::Backhaul::Config backhaul{};
+  core::Controller::Config controller{};
+  ap::WgttAp::Config ap{};
+  core::WgttClient::Config client{};
+  /// One-way wire latency between the (local) server and the controller.
+  Time server_latency = Time::ms(1);
+  /// Channel reuse factor (paper §7 "Multi-channel settings"). 1 = the
+  /// paper's single-channel deployment. N > 1 assigns AP i to channel
+  /// i mod N; clients retune to follow their serving AP (with a brief
+  /// blackout), and APs on other channels can no longer overhear the
+  /// client — killing uplink diversity, BA forwarding and neighbour CSI.
+  int channel_reuse = 1;
+  /// Client retune blackout when following a cross-channel switch.
+  Time retune_blackout = Time::micros(1500.0);
+  /// Off-channel scan cadence in multi-channel mode: how often a client
+  /// hops to another channel to announce itself (so that channel's APs can
+  /// measure CSI on it), and how long it lingers there. Time spent off the
+  /// serving channel is dead air for downlink — the structural cost the
+  /// paper's §7 points at.
+  Time scan_period = Time::ms(150);
+  Time scan_dwell = Time::ms(8);
+};
+
+class WgttSystem {
+ public:
+  explicit WgttSystem(const WgttSystemConfig& config);
+
+  /// Adds a mobile client following `trajectory` (not owned; must outlive
+  /// the system). Returns the client index.
+  int add_client(const mobility::Trajectory* trajectory);
+
+  /// Registers all clients at all APs (replicated association, §4.3) and
+  /// starts their background probing. Call once after add_client calls.
+  void start();
+
+  /// Runs the simulation until `t`.
+  void run_until(Time t) { sched_.run_until(t); }
+
+  // --- server-side traffic attachment -------------------------------------
+  /// Sends a downlink packet from the server (adds the wire latency).
+  void server_send(net::Packet packet);
+  /// De-duplicated uplink packets (minus background probes) arrive here
+  /// after the wire latency.
+  std::function<void(const net::Packet&)> on_server_uplink;
+
+  // --- accessors ------------------------------------------------------------
+  [[nodiscard]] sim::Scheduler& sched() { return sched_; }
+  [[nodiscard]] Time now() const { return sched_.now(); }
+  [[nodiscard]] TestbedGeometry& geometry() { return geometry_; }
+  [[nodiscard]] core::Controller& controller() { return *controller_; }
+  [[nodiscard]] ap::WgttAp& ap(int i) { return *aps_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] core::WgttClient& client(int i) {
+    return *clients_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int num_aps() const { return geometry_.num_aps(); }
+  [[nodiscard]] int num_clients() const { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] mac::Medium& medium() { return medium_; }
+  /// AP index serving client i, or -1 before bootstrap.
+  [[nodiscard]] int serving_ap(int client) const;
+
+ private:
+  [[nodiscard]] channel::CsiMeasurement sample_for_ap(int ap, mac::RadioId peer);
+  [[nodiscard]] channel::CsiMeasurement sample_for_client(int client,
+                                                          mac::RadioId peer);
+  [[nodiscard]] channel::CsiMeasurement fallback_csi() const;
+  [[nodiscard]] int nearest_ap(int client) const;
+
+  WgttSystemConfig config_;
+  Rng rng_;
+  sim::Scheduler sched_;
+  mac::Medium medium_;
+  net::Backhaul backhaul_;
+  TestbedGeometry geometry_;
+  std::unique_ptr<core::Controller> controller_;
+  std::vector<std::unique_ptr<ap::WgttAp>> aps_;
+  std::vector<std::unique_ptr<core::WgttClient>> clients_;
+  std::unordered_map<mac::RadioId, int> client_idx_of_radio_;
+  std::unordered_map<mac::RadioId, int> ap_idx_of_radio_;
+  std::unique_ptr<sim::Timer> channel_follow_timer_;
+  std::vector<std::unique_ptr<sim::Timer>> scan_timers_;
+  std::vector<bool> client_retuning_;
+  std::vector<int> scan_next_offset_;
+  bool started_ = false;
+};
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,77 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wgtt::sim {
+
+EventId Scheduler::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+EventId Scheduler::schedule_in(Time delay, std::function<void()> fn) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  cancelled_.insert(static_cast<std::uint64_t>(id));
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the callback must be moved out, so copy
+    // the entry and pop. std::function copy is cheap relative to event work.
+    Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time limit) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.contains(top.seq)) {
+      cancelled_.erase(top.seq);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > limit) break;
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+void Timer::start(Time delay) {
+  cancel();
+  armed_ = true;
+  pending_ = sched_.schedule_in(delay, [this] {
+    armed_ = false;
+    on_fire_();
+  });
+}
+
+void Timer::cancel() {
+  if (armed_) {
+    sched_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+}  // namespace wgtt::sim

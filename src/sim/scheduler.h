@@ -1,0 +1,99 @@
+// Discrete-event simulation core.
+//
+// A Scheduler owns a virtual clock and a priority queue of (time, callback)
+// events. Everything in the WGTT simulation — frame transmissions, backhaul
+// deliveries, beacon timers, TCP retransmission timeouts, vehicle position
+// updates — is an event on one Scheduler, which guarantees a single total
+// order of actions and therefore exact reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wgtt::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+enum class EventId : std::uint64_t {};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` after now(). Negative delays clamp to now().
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (timeout races make that the common case).
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or the clock would pass `limit`;
+  /// the clock ends at min(limit, last event time). Events scheduled exactly
+  /// at `limit` fire.
+  void run_until(Time limit);
+
+  /// Runs until no events remain.
+  void run_all();
+
+  /// Executes exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// One-shot restartable timer bound to a Scheduler. Used for the switching
+/// protocol's 30 ms ack timeout and for TCP's RTO.
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> on_fire)
+      : sched_(sched), on_fire_(std::move(on_fire)) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer `delay` from now; a previously armed instance is
+  /// cancelled first.
+  void start(Time delay);
+  void cancel();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  Scheduler& sched_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+  bool armed_ = false;
+};
+
+}  // namespace wgtt::sim

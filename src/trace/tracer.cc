@@ -1,0 +1,142 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "scenario/wgtt_system.h"
+
+namespace wgtt::trace {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFrameTx: return "frame_tx";
+    case EventKind::kPacketDelivered: return "packet_delivered";
+    case EventKind::kUplinkAccepted: return "uplink_accepted";
+    case EventKind::kSwitchInitiated: return "switch_initiated";
+    case EventKind::kSwitchCompleted: return "switch_completed";
+    case EventKind::kCsiReport: return "csi_report";
+  }
+  return "?";
+}
+
+std::size_t Tracer::count(EventKind kind, int client) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
+        return e.kind == kind && (client < 0 || e.client == client);
+      }));
+}
+
+std::vector<double> Tracer::throughput_mbps(int client, Time bin,
+                                            Time horizon) const {
+  const auto bins = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, horizon / bin));
+  std::vector<double> out(bins, 0.0);
+  for (const Event& e : events_) {
+    if (e.kind != EventKind::kPacketDelivered || e.client != client) continue;
+    const auto idx = static_cast<std::size_t>(e.when / bin);
+    if (idx < bins) out[idx] += e.value * 8.0;  // bytes -> bits
+  }
+  const double bin_s = bin.to_seconds();
+  for (double& v : out) v = v / 1e6 / bin_s;
+  return out;
+}
+
+std::vector<double> Tracer::switch_intervals_s(int client) const {
+  std::vector<double> out;
+  double last = -1.0;
+  for (const Event& e : events_) {
+    if (e.kind != EventKind::kSwitchCompleted || e.client != client) continue;
+    const double t = e.when.to_seconds();
+    if (last >= 0.0) out.push_back(t - last);
+    last = t;
+  }
+  return out;
+}
+
+std::vector<std::pair<double, int>> Tracer::serving_timeline(int client) const {
+  std::vector<std::pair<double, int>> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kSwitchCompleted && e.client == client) {
+      out.emplace_back(e.when.to_seconds(), e.node);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Tracer::ap_tx_share(int num_aps) const {
+  std::vector<double> counts(static_cast<std::size_t>(num_aps), 0.0);
+  double total = 0.0;
+  for (const Event& e : events_) {
+    if (e.kind != EventKind::kFrameTx) continue;
+    if (e.node >= 0 && e.node < num_aps) {
+      counts[static_cast<std::size_t>(e.node)] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total > 0.0) {
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+void Tracer::write_csv(std::ostream& out) const {
+  out << "when_s,kind,client,node,aux,value\n";
+  for (const Event& e : events_) {
+    out << e.when.to_seconds() << ',' << to_string(e.kind) << ',' << e.client
+        << ',' << e.node << ',' << e.aux << ',' << e.value << '\n';
+  }
+}
+
+void attach(Tracer& tracer, scenario::WgttSystem& system) {
+  // Per-client delivery events (chain any user handler).
+  for (int i = 0; i < system.num_clients(); ++i) {
+    auto& client = system.client(i);
+    client.on_downlink = [&tracer, &system, i,
+                          prev = std::move(client.on_downlink)](
+                             const net::Packet& p) {
+      if (prev) prev(p);
+      tracer.record({system.now(), EventKind::kPacketDelivered, i, i, -1,
+                     static_cast<double>(p.payload_bytes)});
+    };
+  }
+
+  // Switch completions (+ the protocol duration from the switch log).
+  auto& ctrl = system.controller();
+  ctrl.on_serving_changed = [&tracer, &ctrl,
+                             prev = std::move(ctrl.on_serving_changed)](
+                                net::ClientId c, net::ApId ap, Time t) {
+    if (prev) prev(c, ap, t);
+    double protocol_ms = 0.0;
+    if (!ctrl.switch_log().empty()) {
+      const auto& rec = ctrl.switch_log().back();
+      protocol_ms = (rec.completed - rec.initiated).to_millis();
+    }
+    tracer.record({t, EventKind::kSwitchCompleted,
+                   static_cast<int>(net::index_of(c)),
+                   static_cast<int>(net::index_of(ap)), -1, protocol_ms});
+  };
+
+  // Transmissions per AP.
+  for (int i = 0; i < system.num_aps(); ++i) {
+    auto& mac = system.ap(i).mac();
+    mac.on_tx_attempt = [&tracer, &system, i,
+                         prev = std::move(mac.on_tx_attempt)](
+                            mac::RadioId peer, phy::Mcs mcs, int mpdus) {
+      if (prev) prev(peer, mcs, mpdus);
+      tracer.record({system.now(), EventKind::kFrameTx, -1, i, -1,
+                     static_cast<double>(mpdus)});
+    };
+  }
+
+  // Uplink packets surviving de-duplication.
+  system.on_server_uplink = [&tracer, &system,
+                             prev = std::move(system.on_server_uplink)](
+                                const net::Packet& p) {
+    if (prev) prev(p);
+    tracer.record({system.now(), EventKind::kUplinkAccepted,
+                   static_cast<int>(net::index_of(p.client)), -1, -1,
+                   static_cast<double>(p.payload_bytes)});
+  };
+}
+
+}  // namespace wgtt::trace

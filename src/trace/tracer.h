@@ -1,0 +1,82 @@
+// Event tracing: the simulator's tcpdump.
+//
+// The paper's methodology logs every packet at the controller and the
+// client with tcpdump and post-processes the traces into its figures. The
+// Tracer plays the same role here: it subscribes (non-invasively, through
+// the existing observation hooks) to a running WgttSystem, records a typed
+// event stream, and offers the post-processing queries the evaluation
+// needs — throughput series, switch timing, per-AP airtime shares, and CSV
+// export for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wgtt::scenario {
+class WgttSystem;
+}
+
+namespace wgtt::trace {
+
+enum class EventKind : std::uint8_t {
+  kFrameTx,          // an A-MPDU left an AP (node = AP, value = MPDU count)
+  kPacketDelivered,  // downlink packet reached a client (node = client, value = bytes)
+  kUplinkAccepted,   // uplink packet passed de-dup at the controller
+  kSwitchInitiated,  // node = old AP, aux = new AP
+  kSwitchCompleted,  // node = new AP, value = protocol ms
+  kCsiReport,        // node = AP
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+struct Event {
+  Time when;
+  EventKind kind;
+  int client = -1;
+  int node = -1;   // AP or client index, by kind
+  int aux = -1;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  void record(Event e) { events_.push_back(e); }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Number of events of one kind (optionally for one client).
+  [[nodiscard]] std::size_t count(EventKind kind, int client = -1) const;
+
+  /// Delivered downlink throughput (Mbit/s) in fixed bins for a client.
+  [[nodiscard]] std::vector<double> throughput_mbps(int client, Time bin,
+                                                    Time horizon) const;
+
+  /// Times between consecutive completed switches of a client (seconds).
+  [[nodiscard]] std::vector<double> switch_intervals_s(int client) const;
+
+  /// Serving-AP timeline for a client: (time s, AP index).
+  [[nodiscard]] std::vector<std::pair<double, int>> serving_timeline(
+      int client) const;
+
+  /// Fraction of transmissions contributed by each AP (index -> share).
+  [[nodiscard]] std::vector<double> ap_tx_share(int num_aps) const;
+
+  /// CSV export: when_s,kind,client,node,aux,value — one row per event.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Subscribes a tracer to a WgttSystem's observation hooks. Existing hook
+/// consumers are preserved (handlers are chained). Call after start() and
+/// after any hooks of your own are installed.
+void attach(Tracer& tracer, scenario::WgttSystem& system);
+
+}  // namespace wgtt::trace

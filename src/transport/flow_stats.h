@@ -1,0 +1,62 @@
+// Measurement helpers shared by the evaluation harness: binned throughput
+// timeseries (the paper's Figures 14/15/22), and sequence-gap loss
+// accounting (Figure 18).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wgtt::transport {
+
+/// Accumulates (time, bytes) arrivals into fixed-width bins and reports a
+/// Mbit/s timeseries.
+class ThroughputRecorder {
+ public:
+  explicit ThroughputRecorder(Time bin = Time::ms(100)) : bin_(bin) {}
+
+  void add(Time when, std::size_t bytes);
+
+  struct Point {
+    Time start;
+    double mbps;
+  };
+  /// One point per bin from time 0 through the last arrival.
+  [[nodiscard]] std::vector<Point> series() const;
+
+  /// Average Mbit/s between two times (by arrival bytes).
+  [[nodiscard]] double average_mbps(Time from, Time to) const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  Time bin_;
+  std::vector<std::uint64_t> bins_;  // bytes per bin
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// UDP loss via app_seq gaps in a windowed fashion: loss rate per interval.
+class LossRecorder {
+ public:
+  void add(Time when, std::uint32_t app_seq);
+
+  /// Fraction lost in [from, to): 1 - received / span-of-seqs-seen.
+  [[nodiscard]] double loss_rate(Time from, Time to) const;
+
+  /// Loss rate in consecutive windows of `width` covering [0, horizon).
+  struct Window {
+    Time start;
+    double loss;
+  };
+  [[nodiscard]] std::vector<Window> windows(Time width, Time horizon) const;
+
+ private:
+  struct Arrival {
+    Time when;
+    std::uint32_t seq;
+  };
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace wgtt::transport

@@ -1,0 +1,76 @@
+// Fixed-capacity ring buffer. Backbone of the AP cyclic queue and of the
+// timed sliding windows used by the ESNR tracker.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wgtt {
+
+/// FIFO ring over contiguous storage. push_back fails (returns false) when
+/// full rather than overwriting: queue-full is a meaningful event for every
+/// queue in the AP pipeline.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends; returns false (and drops the value) if full.
+  bool push_back(T value) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the oldest element. Precondition: !empty().
+  T pop_front() {
+    if (empty()) throw std::logic_error("pop_front on empty RingBuffer");
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::logic_error("front on empty RingBuffer");
+    return buf_[head_];
+  }
+
+  [[nodiscard]] const T& back() const {
+    if (empty()) throw std::logic_error("back on empty RingBuffer");
+    return buf_[(head_ + size_ - 1) % buf_.size()];
+  }
+
+  /// i-th oldest element, 0 <= i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  [[nodiscard]] T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wgtt

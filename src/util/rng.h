@@ -1,0 +1,61 @@
+// Deterministic random number generation for the simulator.
+//
+// All stochastic behaviour in WGTT's simulation (fading, packet errors,
+// contention backoff) flows from one seeded root generator, so a scenario is
+// exactly reproducible from its seed. xoshiro256++ is used for speed; the
+// fading model draws millions of variates per simulated second.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace wgtt {
+
+/// xoshiro256++ PRNG (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes by iterating splitmix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with given mean.
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derives an independently seeded child generator. Used to give each
+  /// channel tap / client / module its own stream while keeping the whole
+  /// simulation a function of one root seed.
+  Rng fork();
+
+  // UniformRandomBitGenerator interface, so std::shuffle etc. work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace wgtt

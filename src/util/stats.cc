@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wgtt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+namespace {
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median of empty span");
+  auto v = sorted_copy(xs);
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double lower_median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("lower_median of empty span");
+  auto v = sorted_copy(xs);
+  // 1-based index floor(L/2) => 0-based floor(L/2) - 1 for even L, floor(L/2)
+  // for odd L. For L = 1, both give element 0.
+  const std::size_t n = v.size();
+  const std::size_t idx = n % 2 == 1 ? n / 2 : n / 2 - 1;
+  return v[idx];
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty span");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q out of [0,1]");
+  auto v = sorted_copy(xs);
+  if (v.size() == 1) return v[0];
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  auto v = sorted_copy(xs);
+  std::vector<CdfPoint> out;
+  out.reserve(v.size());
+  const double n = static_cast<double>(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.push_back({v[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+}  // namespace wgtt

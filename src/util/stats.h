@@ -1,0 +1,71 @@
+// Small statistics toolkit used by the evaluation harness and by the
+// control-plane algorithms (median ESNR selection, EWMA rate control).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wgtt {
+
+/// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average. alpha is the weight of the newest
+/// sample; the first sample initializes the average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Median of the values (copies; does not reorder the input).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// The paper's AP selection uses the lower median e_{floor(L/2)} of the
+/// sorted window (0-based floor(L/2) is the upper median; the paper's
+/// 1-based e_{floor(L/2)} is the lower). Kept as its own function so the
+/// selection algorithm matches the paper's formula exactly.
+[[nodiscard]] double lower_median(std::span<const double> xs);
+
+/// q in [0,1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Empirical CDF: sorted (value, cumulative fraction) pairs.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+}  // namespace wgtt

@@ -1,0 +1,61 @@
+// Time-based sliding window of samples: the data structure behind the
+// paper's W-millisecond ESNR window (§3.1.1). Samples older than the window
+// duration are evicted lazily on access.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wgtt {
+
+template <typename T>
+class TimedWindow {
+ public:
+  explicit TimedWindow(Time window) : window_(window) {}
+
+  void add(Time now, T value) {
+    evict(now);
+    samples_.push_back({now, std::move(value)});
+  }
+
+  /// Drops samples with timestamp <= now - window.
+  void evict(Time now) {
+    const Time cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().when <= cutoff) {
+      samples_.pop_front();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Time window() const { return window_; }
+
+  /// Copies current values out (after eviction at `now`).
+  [[nodiscard]] std::vector<T> values(Time now) {
+    evict(now);
+    std::vector<T> out;
+    out.reserve(samples_.size());
+    for (const auto& s : samples_) out.push_back(s.value);
+    return out;
+  }
+
+  /// Timestamp of the newest sample; Time::zero() when empty.
+  [[nodiscard]] Time newest() const {
+    return samples_.empty() ? Time::zero() : samples_.back().when;
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    Time when;
+    T value;
+  };
+  Time window_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace wgtt

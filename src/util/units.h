@@ -1,0 +1,80 @@
+// Strong-typed physical units used throughout the WGTT simulator.
+//
+// Time is an integer nanosecond count: discrete-event simulation demands an
+// exact, totally ordered clock (floating-point time drifts and breaks event
+// ordering determinism). Lengths, speeds and powers are doubles because they
+// feed analog channel math.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace wgtt {
+
+/// Simulation time: signed 64-bit nanoseconds since simulation start.
+/// Signed so that differences and "not yet scheduled" sentinels are natural.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  /// From fractional seconds (rounds to nearest nanosecond).
+  [[nodiscard]] static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static constexpr Time micros(double us_) {
+    return seconds(us_ * 1e-6);
+  }
+  [[nodiscard]] static constexpr Time millis(double ms_) {
+    return seconds(ms_ * 1e-3);
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  [[nodiscard]] friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Decibel conversions.
+[[nodiscard]] inline double to_db(double linear) { return 10.0 * std::log10(linear); }
+[[nodiscard]] inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// dBm <-> milliwatt.
+[[nodiscard]] inline double dbm_to_mw(double dbm) { return from_db(dbm); }
+[[nodiscard]] inline double mw_to_dbm(double mw) { return to_db(mw); }
+
+/// Speed conversions. The paper quotes vehicle speeds in mph.
+[[nodiscard]] constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+[[nodiscard]] constexpr double mps_to_mph(double mps) { return mps / 0.44704; }
+
+/// 2.4 GHz Wi-Fi constants used by the channel model.
+inline constexpr double kSpeedOfLight = 299'792'458.0;        // m/s
+inline constexpr double kCarrierHz = 2.462e9;                 // channel 11
+inline constexpr double kWavelength = kSpeedOfLight / kCarrierHz;  // ~12.2 cm
+inline constexpr double kChannelBandwidthHz = 20e6;
+inline constexpr int kNumSubcarriers = 56;  // 802.11n 20 MHz data+pilot tones
+
+}  // namespace wgtt

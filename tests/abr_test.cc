@@ -1,0 +1,121 @@
+// Tests for the adaptive-bitrate video player extension.
+#include <gtest/gtest.h>
+
+#include "apps/abr.h"
+#include "sim/scheduler.h"
+
+namespace wgtt::apps {
+namespace {
+
+// Harness: delivers requested bytes at a configurable constant rate.
+class FakeOrigin {
+ public:
+  FakeOrigin(sim::Scheduler& sched, AbrPlayer& player, double rate_mbps)
+      : sched_(sched), player_(player), rate_mbps_(rate_mbps) {
+    player_.request_bytes = [this](std::uint64_t bytes) { enqueue(bytes); };
+  }
+
+  void set_rate(double mbps) { rate_mbps_ = mbps; }
+
+ private:
+  void enqueue(std::uint64_t bytes) {
+    pending_ += bytes;
+    pump();
+  }
+  void pump() {
+    if (pumping_ || pending_ == 0) return;
+    pumping_ = true;
+    // Deliver in 10 ms slices at the configured rate.
+    const auto slice = static_cast<std::uint64_t>(
+        std::max(1.0, rate_mbps_ * 1e6 / 8.0 * 0.010));
+    sched_.schedule_in(Time::ms(10), [this, slice] {
+      const std::uint64_t d = std::min(slice, pending_);
+      pending_ -= d;
+      delivered_ += d;
+      pumping_ = false;
+      player_.on_progress(delivered_);
+      pump();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  AbrPlayer& player_;
+  double rate_mbps_;
+  std::uint64_t pending_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool pumping_ = false;
+};
+
+TEST(AbrPlayerTest, ClimbsToTopRungOnFastLink) {
+  sim::Scheduler sched;
+  AbrPlayer player(sched, {});
+  FakeOrigin origin(sched, player, 40.0);  // link >> top rung
+  player.start();
+  sched.run_until(Time::sec(60));
+  const auto r = player.report();
+  EXPECT_NEAR(r.rebuffer_ratio, 0.0, 1e-6);
+  EXPECT_GT(r.top_rung_fraction, 0.5);
+  EXPECT_GT(r.mean_played_mbps, 2.5);  // well above the ladder bottom
+  EXPECT_GT(r.segments_fetched, 20);
+}
+
+TEST(AbrPlayerTest, StaysLowOnSlowLink) {
+  sim::Scheduler sched;
+  AbrPlayer player(sched, {});
+  FakeOrigin origin(sched, player, 1.0);  // only the bottom rung sustainable
+  player.start();
+  sched.run_until(Time::sec(60));
+  const auto r = player.report();
+  EXPECT_LT(r.mean_played_mbps, 1.3);
+  EXPECT_LT(r.top_rung_fraction, 0.2);
+}
+
+TEST(AbrPlayerTest, AdaptsDownwardWhenLinkDegrades) {
+  sim::Scheduler sched;
+  AbrPlayer player(sched, {});
+  FakeOrigin origin(sched, player, 40.0);
+  player.start();
+  sched.run_until(Time::sec(30));
+  const int rung_fast = player.current_rung();
+  origin.set_rate(0.8);
+  sched.run_until(Time::sec(90));
+  const auto r = player.report();
+  EXPECT_GT(rung_fast, 0);
+  EXPECT_LT(player.current_rung(), rung_fast);
+  EXPECT_GT(r.quality_switches, 0);
+}
+
+TEST(AbrPlayerTest, StallsWithoutData) {
+  sim::Scheduler sched;
+  AbrPlayer player(sched, {});
+  // No origin wired beyond the first request sink: nothing ever arrives.
+  player.request_bytes = [](std::uint64_t) {};
+  player.start();
+  sched.run_until(Time::sec(30));
+  const auto r = player.report();
+  EXPECT_FALSE(player.playing());
+  EXPECT_DOUBLE_EQ(r.rebuffer_ratio, 1.0);  // never started = fully stalled
+}
+
+TEST(AbrPlayerTest, OneOutstandingFetchAtATime) {
+  sim::Scheduler sched;
+  AbrPlayer player(sched, {});
+  int outstanding = 0;
+  int max_outstanding = 0;
+  std::uint64_t delivered = 0;
+  player.request_bytes = [&](std::uint64_t bytes) {
+    ++outstanding;
+    max_outstanding = std::max(max_outstanding, outstanding);
+    sched.schedule_in(Time::ms(100), [&, bytes] {
+      --outstanding;
+      delivered += bytes;
+      player.on_progress(delivered);
+    });
+  };
+  player.start();
+  sched.run_until(Time::sec(20));
+  EXPECT_EQ(max_outstanding, 1);
+}
+
+}  // namespace
+}  // namespace wgtt::apps

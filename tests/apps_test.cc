@@ -1,0 +1,137 @@
+// Tests for the application models: video player buffering, conference
+// frame accounting, web page load timing.
+#include <gtest/gtest.h>
+
+#include "apps/conference.h"
+#include "apps/video.h"
+#include "apps/web.h"
+#include "sim/scheduler.h"
+
+namespace wgtt::apps {
+namespace {
+
+TEST(VideoPlayerTest, WaitsForPrebuffer) {
+  sim::Scheduler sched;
+  VideoPlayer::Config cfg;
+  cfg.video_bitrate_mbps = 2.0;
+  cfg.prebuffer = Time::sec(1);
+  VideoPlayer player(sched, cfg);
+  player.start();
+  sched.run_until(Time::ms(500));
+  EXPECT_FALSE(player.playing());
+  // 1 s of media at 2 Mbit/s = 250 kB.
+  player.on_bytes(250'000);
+  sched.run_until(Time::ms(600));
+  EXPECT_TRUE(player.playing());
+}
+
+TEST(VideoPlayerTest, SmoothPlaybackHasZeroRebufferRatio) {
+  sim::Scheduler sched;
+  VideoPlayer::Config cfg;
+  cfg.video_bitrate_mbps = 2.0;
+  VideoPlayer player(sched, cfg);
+  player.start();
+  // Feed media faster than realtime: 2.5 Mbit/s of a 2 Mbit/s stream.
+  for (int i = 0; i < 100; ++i) {
+    sched.schedule_at(Time::ms(i * 100), [&player] { player.on_bytes(31'250); });
+  }
+  sched.run_until(Time::sec(10));
+  const auto r = player.report();
+  EXPECT_EQ(r.rebuffer_events, 0);
+  EXPECT_NEAR(r.rebuffer_ratio, 0.0, 1e-9);
+}
+
+TEST(VideoPlayerTest, StallsWhenStarved) {
+  sim::Scheduler sched;
+  VideoPlayer::Config cfg;
+  cfg.video_bitrate_mbps = 2.0;
+  cfg.prebuffer = Time::ms(500);
+  VideoPlayer player(sched, cfg);
+  player.start();
+  // Enough for prebuffer + ~1 s of playback, then nothing for 3 s.
+  player.on_bytes(375'000);  // 1.5 s of media
+  sched.run_until(Time::sec(4));
+  EXPECT_FALSE(player.playing());
+  const auto mid = player.report();
+  EXPECT_EQ(mid.rebuffer_events, 1);
+  EXPECT_GT(mid.stalled_total, Time::sec(1));
+  // Refill: playback resumes and the ratio reflects the stall.
+  player.on_bytes(1'000'000);
+  sched.run_until(Time::sec(5));
+  EXPECT_TRUE(player.playing());
+  const auto r = player.report();
+  EXPECT_GT(r.rebuffer_ratio, 0.2);
+  EXPECT_LT(r.rebuffer_ratio, 0.9);
+}
+
+TEST(ConferenceTest, ProfilesMatchPaperApplications) {
+  const auto skype = skype_like();
+  const auto hangouts = hangouts_like();
+  EXPECT_LT(skype.fps, hangouts.fps);          // Hangouts: more fps...
+  EXPECT_GT(skype.frame_bytes, hangouts.frame_bytes);  // ...smaller frames
+}
+
+TEST(ConferenceTest, SourceEmitsFramesAtRate) {
+  sim::Scheduler sched;
+  int packets = 0;
+  ConferenceSource src(
+      sched, [&](net::Packet) { ++packets; }, skype_like(), net::ClientId{0},
+      true);
+  src.start();
+  sched.run_until(Time::sec(1));
+  // 30 fps x ceil(10000/1200)=9 packets.
+  EXPECT_NEAR(packets, 30 * src.packets_per_frame(), src.packets_per_frame());
+  EXPECT_GE(src.frames_sent(), 30u);
+}
+
+TEST(ConferenceTest, SinkCountsOnlyCompleteFrames) {
+  ConferenceSink sink(skype_like(), 3);
+  // Frame 0: all 3 packets -> complete. Frame 1: only 2 -> incomplete.
+  net::Packet p = net::make_packet();
+  for (std::uint32_t i : {0u, 1u, 2u, 3u, 4u}) {
+    p.app_seq = i;
+    sink.on_packet(Time::ms(10 * i), p);
+  }
+  EXPECT_EQ(sink.frames_completed(), 1u);
+  const auto fps = sink.fps_samples(Time::sec(1));
+  ASSERT_EQ(fps.size(), 1u);
+  EXPECT_DOUBLE_EQ(fps[0], 1.0);
+}
+
+TEST(ConferenceTest, FpsSamplesBinnedPerSecond) {
+  ConferenceSink sink(skype_like(), 1);
+  net::Packet p = net::make_packet();
+  for (std::uint32_t i = 0; i < 45; ++i) {
+    p.app_seq = i;
+    // 30 frames in second 0, 15 in second 1.
+    sink.on_packet(i < 30 ? Time::ms(i * 30) : Time::ms(1000 + (i - 30) * 60), p);
+  }
+  const auto fps = sink.fps_samples(Time::sec(2));
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_DOUBLE_EQ(fps[0], 30.0);
+  EXPECT_DOUBLE_EQ(fps[1], 15.0);
+}
+
+TEST(WebPageLoadTest, CompletesAtPageSize) {
+  WebPageLoad load(1'000'000);
+  load.begin(Time::sec(1));
+  load.on_progress(500'000, Time::sec(2));
+  EXPECT_FALSE(load.complete());
+  load.on_progress(1'000'000, Time::sec(3));
+  ASSERT_TRUE(load.complete());
+  EXPECT_EQ(load.load_time().value(), Time::sec(2));
+  // Later progress does not change the recorded completion.
+  load.on_progress(2'000'000, Time::sec(9));
+  EXPECT_EQ(load.load_time().value(), Time::sec(2));
+}
+
+TEST(WebPageLoadTest, IncompleteIsInfinity) {
+  WebPageLoad load;
+  load.begin(Time::zero());
+  load.on_progress(100, Time::sec(1));
+  EXPECT_FALSE(load.load_time().has_value());  // the paper's "∞" row
+  EXPECT_EQ(load.page_bytes(), 2'100'000u);
+}
+
+}  // namespace
+}  // namespace wgtt::apps

@@ -1,0 +1,354 @@
+// Unit tests for the channel substrate: path loss, shadowing field, antenna
+// pattern, fading statistics, and the composite LinkChannel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "channel/antenna.h"
+#include "channel/fading.h"
+#include "channel/geometry.h"
+#include "channel/link_channel.h"
+#include "channel/pathloss.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wgtt::channel {
+namespace {
+
+TEST(GeometryTest, VectorOps) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, a), 5.0);
+  const Vec2 b = a + Vec2{1.0, -1.0};
+  EXPECT_EQ(b, (Vec2{4.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{6.0, 8.0}));
+}
+
+TEST(GeometryTest, Angles) {
+  EXPECT_NEAR(angle_of({1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_of({0.0, 1.0}), M_PI / 2, 1e-12);
+  EXPECT_NEAR(angle_between(0.1, -0.1), 0.2, 1e-12);
+  // Wraps correctly across +/- pi.
+  EXPECT_NEAR(angle_between(M_PI - 0.05, -M_PI + 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(deg_to_rad(180.0), M_PI, 1e-12);
+  EXPECT_NEAR(rad_to_deg(M_PI / 2), 90.0, 1e-12);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  LogDistancePathLoss pl(2.9);
+  double prev = pl.loss_db(1.0);
+  for (double d = 2.0; d < 200.0; d *= 1.5) {
+    const double cur = pl.loss_db(d);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLossTest, TenXDistanceCostsTenNdb) {
+  LogDistancePathLoss pl(2.9, 40.0);
+  EXPECT_NEAR(pl.loss_db(10.0) - pl.loss_db(1.0), 29.0, 1e-9);
+  EXPECT_NEAR(pl.loss_db(100.0) - pl.loss_db(10.0), 29.0, 1e-9);
+}
+
+TEST(PathLossTest, ClampsBelowOneMetre) {
+  LogDistancePathLoss pl(3.0, 40.0);
+  EXPECT_DOUBLE_EQ(pl.loss_db(0.01), 40.0);
+  EXPECT_THROW(LogDistancePathLoss(-1.0), std::invalid_argument);
+}
+
+TEST(ShadowFieldTest, PureAndDeterministic) {
+  ShadowField f(4.0, 8.0, 42);
+  const Vec2 p{13.7, -2.4};
+  const double v1 = f.sample_db(p);
+  const double v2 = f.sample_db(p);
+  EXPECT_DOUBLE_EQ(v1, v2);  // pure: repeated queries identical
+  ShadowField g(4.0, 8.0, 42);
+  EXPECT_DOUBLE_EQ(g.sample_db(p), v1);  // same seed, same field
+  ShadowField h(4.0, 8.0, 43);
+  EXPECT_NE(h.sample_db(p), v1);  // different seed, different field
+}
+
+TEST(ShadowFieldTest, ZeroSigmaIsZero) {
+  ShadowField f(0.0, 8.0, 1);
+  EXPECT_DOUBLE_EQ(f.sample_db({5.0, 5.0}), 0.0);
+}
+
+TEST(ShadowFieldTest, MarginalStatistics) {
+  ShadowField f(4.0, 8.0, 7);
+  RunningStats s;
+  // Sample far-apart points so they are nearly independent.
+  for (int i = 0; i < 4000; ++i) {
+    s.add(f.sample_db({i * 37.0, (i % 13) * 29.0}));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.3);
+  EXPECT_NEAR(s.stddev(), 4.0, 0.4);
+}
+
+TEST(ShadowFieldTest, SpatialCorrelation) {
+  ShadowField f(4.0, 8.0, 9);
+  // Nearby points are similar; distant points are not.
+  RunningStats near_diff;
+  RunningStats far_diff;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{i * 23.0, 0.0};
+    near_diff.add(std::fabs(f.sample_db(p) - f.sample_db(p + Vec2{0.5, 0.0})));
+    far_diff.add(std::fabs(f.sample_db(p) - f.sample_db(p + Vec2{40.0, 0.0})));
+  }
+  EXPECT_LT(near_diff.mean(), far_diff.mean() * 0.5);
+}
+
+TEST(AntennaTest, BoresightPeak) {
+  ParabolicAntenna a(14.0, 21.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.gain_dbi(0.0), 14.0);
+}
+
+TEST(AntennaTest, ThreeDbAtBeamEdge) {
+  ParabolicAntenna a(14.0, 21.0, 0.0);
+  const double half = deg_to_rad(21.0) / 2.0;
+  EXPECT_NEAR(a.gain_dbi(half), 11.0, 1e-9);
+  EXPECT_NEAR(a.gain_dbi(-half), 11.0, 1e-9);  // symmetric
+}
+
+TEST(AntennaTest, SidelobeFloor) {
+  ParabolicAntenna a(14.0, 21.0, 0.0, 32.0);
+  EXPECT_NEAR(a.gain_dbi(M_PI), 14.0 - 32.0, 1e-9);
+  EXPECT_NEAR(a.gain_dbi(M_PI / 2), 14.0 - 32.0, 1e-9);
+}
+
+TEST(AntennaTest, MonotoneRolloffInMainLobe) {
+  ParabolicAntenna a(14.0, 21.0, 0.0);
+  double prev = a.gain_dbi(0.0);
+  for (double deg = 2.0; deg <= 20.0; deg += 2.0) {
+    const double g = a.gain_dbi(deg_to_rad(deg));
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(AntennaTest, GainToward) {
+  // Dish at origin aiming +x: a target on +x gets peak gain.
+  ParabolicAntenna a(14.0, 21.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.gain_toward({0, 0}, {10, 0}), 14.0);
+  EXPECT_LT(a.gain_toward({0, 0}, {0, 10}), 0.0);
+}
+
+TEST(AntennaTest, InvalidArgs) {
+  EXPECT_THROW(ParabolicAntenna(14.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ParabolicAntenna(14.0, 21.0, 0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(ParabolicAntenna(14.0, 21.0, 0.0, 30.0, 0.0), std::invalid_argument);
+}
+
+TEST(SubcarrierTest, OffsetsSpanTwentyMhz) {
+  EXPECT_EQ(kNumSubcarriers, 56);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(0), -28 * 312.5e3);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(27), -1 * 312.5e3);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(28), 1 * 312.5e3);  // DC skipped
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(55), 28 * 312.5e3);
+}
+
+TEST(SpatialTapTest, UnitAveragePower) {
+  Rng rng(5);
+  SpatialTap tap(16, 1.0, rng);
+  RunningStats power;
+  for (int i = 0; i < 5000; ++i) {
+    // Far-separated positions decorrelate the field.
+    const Vec2 p{i * 3.1, (i % 7) * 2.3};
+    power.add(std::norm(tap.gain(p, Time::zero())));
+  }
+  EXPECT_NEAR(power.mean(), 1.0, 0.1);
+}
+
+TEST(SpatialTapTest, StaticInTimeAtZeroEnvDoppler) {
+  Rng rng(6);
+  SpatialTap tap(16, 0.0, rng);
+  const Vec2 p{1.0, 2.0};
+  const auto g0 = tap.gain(p, Time::zero());
+  const auto g1 = tap.gain(p, Time::sec(100));
+  EXPECT_NEAR(std::abs(g0 - g1), 0.0, 1e-9);
+}
+
+TEST(TappedDelayTest, CsiShapeAndPower) {
+  Rng rng(7);
+  TappedDelayChannel::Config cfg;
+  TappedDelayChannel ch(cfg, rng);
+  RunningStats p;
+  for (int i = 0; i < 3000; ++i) {
+    const auto snap = ch.csi({i * 2.7, 0.0}, Time::zero());
+    ASSERT_EQ(snap.gains.size(), static_cast<std::size_t>(kNumSubcarriers));
+    p.add(snap.mean_power());
+  }
+  EXPECT_NEAR(p.mean(), 1.0, 0.12);  // normalized to unit average power
+}
+
+TEST(TappedDelayTest, FrequencySelectivity) {
+  // Multiple taps with spread delays -> different subcarriers fade
+  // differently (this is what makes ESNR differ from mean SNR).
+  Rng rng(8);
+  TappedDelayChannel::Config cfg;
+  cfg.rician_k_db = -100.0;  // pure scatter, maximal selectivity
+  TappedDelayChannel ch(cfg, rng);
+  double total_spread = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = ch.csi({i * 5.0, 0.0}, Time::zero());
+    RunningStats s;
+    for (const auto& g : snap.gains) s.add(std::norm(g));
+    total_spread += s.stddev() / (s.mean() + 1e-12);
+  }
+  EXPECT_GT(total_spread / 50.0, 0.3);
+}
+
+TEST(TappedDelayTest, SingleTapIsFlat) {
+  Rng rng(9);
+  TappedDelayChannel::Config cfg;
+  cfg.num_taps = 1;
+  cfg.delay_spread_ns = 0.0;
+  TappedDelayChannel ch(cfg, rng);
+  const auto snap = ch.csi({3.0, 1.0}, Time::zero());
+  // All subcarriers identical for a single zero-delay tap.
+  for (const auto& g : snap.gains) {
+    EXPECT_NEAR(std::abs(g - snap.gains[0]), 0.0, 1e-9);
+  }
+}
+
+TEST(TappedDelayTest, SpatialCoherence) {
+  // The field decorrelates on the wavelength scale: |correlation| high at
+  // lambda/20 displacement, low at 10 lambda.
+  Rng rng(10);
+  TappedDelayChannel::Config cfg;
+  cfg.rician_k_db = -100.0;
+  TappedDelayChannel ch(cfg, rng);
+  double close_corr = 0.0;
+  double far_corr = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p{i * 1.7, 0.0};
+    const auto a = ch.flat_gain(p, Time::zero());
+    const auto b = ch.flat_gain(p + Vec2{kWavelength / 20.0, 0.0}, Time::zero());
+    const auto c = ch.flat_gain(p + Vec2{10.0 * kWavelength, 0.0}, Time::zero());
+    close_corr += std::real(a * std::conj(b));
+    far_corr += std::real(a * std::conj(c));
+  }
+  EXPECT_GT(close_corr / n, 0.7);
+  EXPECT_LT(std::fabs(far_corr) / n, 0.3);
+}
+
+TEST(TappedDelayTest, RicianLosRaisesMinimumPower) {
+  Rng rng(11);
+  TappedDelayChannel::Config strong;
+  strong.rician_k_db = 12.0;
+  TappedDelayChannel::Config weak;
+  weak.rician_k_db = -100.0;
+  TappedDelayChannel ch_strong(strong, rng);
+  TappedDelayChannel ch_weak(weak, rng);
+  double min_strong = 1e9;
+  double min_weak = 1e9;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{i * 0.21, 0.0};
+    min_strong = std::min(min_strong, std::norm(ch_strong.flat_gain(p, Time::zero())));
+    min_weak = std::min(min_weak, std::norm(ch_weak.flat_gain(p, Time::zero())));
+  }
+  // A strong LoS component bounds fades away from zero.
+  EXPECT_GT(min_strong, min_weak * 10.0);
+}
+
+TEST(LinkChannelTest, SnrFallsWithDistanceAlongRoad) {
+  Rng rng(12);
+  LinkChannel::Config cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  LinkChannel link({0.0, 15.0}, {0.0, 0.0}, cfg, rng);
+  const double at_boresight = link.large_scale_snr_db({0.0, 0.0});
+  const double at_5m = link.large_scale_snr_db({5.0, 0.0});
+  const double at_15m = link.large_scale_snr_db({15.0, 0.0});
+  EXPECT_GT(at_boresight, at_5m);
+  EXPECT_GT(at_5m, at_15m);
+  EXPECT_GT(at_boresight - at_15m, 20.0);  // picocell: fast die-off
+}
+
+TEST(LinkChannelTest, MeasureIsPure) {
+  Rng rng(13);
+  LinkChannel::Config cfg;
+  LinkChannel link({0.0, 15.0}, {0.0, 0.0}, cfg, rng);
+  const auto a = link.measure({1.0, 0.0}, Time::ms(5));
+  const auto b = link.measure({1.0, 0.0}, Time::ms(5));
+  ASSERT_EQ(a.subcarrier_snr_db.size(), b.subcarrier_snr_db.size());
+  for (std::size_t i = 0; i < a.subcarrier_snr_db.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.subcarrier_snr_db[i], b.subcarrier_snr_db[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.rssi_dbm, b.rssi_dbm);
+}
+
+TEST(LinkChannelTest, MeasurementFieldsConsistent) {
+  Rng rng(14);
+  LinkChannel::Config cfg;
+  LinkChannel link({0.0, 15.0}, {0.0, 0.0}, cfg, rng);
+  const auto m = link.measure({0.5, 0.0}, Time::ms(1));
+  ASSERT_EQ(m.subcarrier_snr_db.size(), static_cast<std::size_t>(kNumSubcarriers));
+  // Mean SNR lies within the subcarrier range.
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double s : m.subcarrier_snr_db) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_GE(m.mean_snr_db, lo);
+  EXPECT_LE(m.mean_snr_db, hi + 1e-9);
+  // RSSI = noise floor + mean power: consistent with the budget.
+  EXPECT_GT(m.rssi_dbm, -95.0);
+  EXPECT_LT(m.rssi_dbm, 0.0);
+}
+
+// Physics property: driving through the fading field yields the classic
+// Clarke coherence behaviour — the autocorrelation of the channel gain
+// falls off on the scale of ~lambda/2 of TRAVEL DISTANCE, so the coherence
+// TIME halves when the speed doubles.
+class CoherenceProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoherenceProperty, CoherenceTimeScalesInverselyWithSpeed) {
+  const double mph = GetParam();
+  const double v = mph_to_mps(mph);
+  Rng rng(31);
+  TappedDelayChannel::Config cfg;
+  cfg.rician_k_db = -100.0;  // Rayleigh: cleanest statistics
+  cfg.env_doppler_hz = 0.0;  // isolate motion-induced decorrelation
+  TappedDelayChannel ch(cfg, rng);
+
+  // Sample the flat gain along a drive at speed v and find the lag at which
+  // the (complex) autocorrelation first drops below 0.5.
+  const double dt = 0.0002;  // 0.2 ms sampling
+  const int n = 20000;
+  std::vector<std::complex<double>> g;
+  g.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    g.push_back(ch.flat_gain({v * i * dt, 0.0}, Time::zero()));
+  }
+  double power = 0.0;
+  for (const auto& x : g) power += std::norm(x);
+  power /= n;
+  int lag = 1;
+  for (; lag < 2000; ++lag) {
+    std::complex<double> acc{0.0, 0.0};
+    for (int i = 0; i + lag < n; ++i) acc += g[i] * std::conj(g[i + lag]);
+    const double corr = std::abs(acc) / ((n - lag) * power);
+    if (corr < 0.5) break;
+  }
+  const double coherence_ms = lag * dt * 1e3;
+  // Clarke: Tc ~ 9 lambda / (16 pi v) ... various constants; what must hold
+  // exactly is the inverse-speed scaling. Check the product v * Tc lands in
+  // a fixed band (equivalent to a decorrelation distance of ~2-8 cm).
+  const double decorrelation_m = v * coherence_ms * 1e-3;
+  EXPECT_GT(decorrelation_m, 0.02) << "at " << mph << " mph";
+  EXPECT_LT(decorrelation_m, 0.08) << "at " << mph << " mph";
+  // And the paper's quoted regime: ~2-3 ms coherence at 2.4 GHz driving
+  // speeds (we accept a wider band across the sweep).
+  if (mph >= 15.0) {
+    EXPECT_GT(coherence_ms, 0.5);
+    EXPECT_LT(coherence_ms, 12.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, CoherenceProperty,
+                         ::testing::Values(5.0, 15.0, 25.0, 35.0));
+
+}  // namespace
+}  // namespace wgtt::channel

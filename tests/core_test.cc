@@ -1,0 +1,374 @@
+// Tests for the controller: ESNR tracking, AP selection, the switching
+// protocol driver (timeout retransmission, single-outstanding-switch), the
+// downlink fan-out and the uplink de-duplication.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/controller.h"
+#include "core/esnr_tracker.h"
+#include "net/backhaul.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::core {
+namespace {
+
+using net::ApId;
+using net::BackhaulMessage;
+using net::ClientId;
+using net::NodeId;
+
+constexpr ClientId kClient{0};
+
+TEST(EsnrTrackerTest, MedianOverWindow) {
+  EsnrTracker t(Time::ms(10));
+  t.add(kClient, ApId{0}, Time::ms(0), 10.0);
+  t.add(kClient, ApId{0}, Time::ms(2), 30.0);
+  t.add(kClient, ApId{0}, Time::ms(4), 20.0);
+  // Lower median of {10,20,30} = 20.
+  EXPECT_DOUBLE_EQ(t.median(kClient, ApId{0}, Time::ms(5)).value(), 20.0);
+  // After 12 ms, the t=0 sample ages out: lower median of {20,30} = 20.
+  EXPECT_DOUBLE_EQ(t.median(kClient, ApId{0}, Time::ms(12)).value(), 20.0);
+  // After everything ages out: no value.
+  EXPECT_FALSE(t.median(kClient, ApId{0}, Time::ms(50)).has_value());
+}
+
+TEST(EsnrTrackerTest, BestApIsArgmaxOfMedians) {
+  EsnrTracker t(Time::ms(10));
+  t.add(kClient, ApId{0}, Time::ms(1), 15.0);
+  t.add(kClient, ApId{1}, Time::ms(1), 25.0);
+  t.add(kClient, ApId{2}, Time::ms(1), 20.0);
+  EXPECT_EQ(t.best_ap(kClient, Time::ms(2)).value(), ApId{1});
+}
+
+TEST(EsnrTrackerTest, UnknownClientHasNoBest) {
+  EsnrTracker t(Time::ms(10));
+  EXPECT_FALSE(t.best_ap(ClientId{9}, Time::ms(1)).has_value());
+}
+
+TEST(EsnrTrackerTest, FreshApsHonoursHorizon) {
+  EsnrTracker t(Time::ms(10));
+  t.add(kClient, ApId{0}, Time::ms(0), 10.0);
+  t.add(kClient, ApId{1}, Time::ms(90), 10.0);
+  auto fresh = t.fresh_aps(kClient, Time::ms(100), Time::ms(50));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], ApId{1});
+}
+
+TEST(EsnrTrackerTest, LastHeard) {
+  EsnrTracker t(Time::ms(10));
+  EXPECT_FALSE(t.last_heard(kClient, ApId{0}).has_value());
+  t.add(kClient, ApId{0}, Time::ms(7), 10.0);
+  EXPECT_EQ(t.last_heard(kClient, ApId{0}).value(), Time::ms(7));
+}
+
+// --- Controller fixture ------------------------------------------------------
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : backhaul_(sched_, {}, Rng{3}) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      backhaul_.attach(NodeId::ap(ApId{i}),
+                       [this, i](NodeId from, BackhaulMessage msg) {
+                         ap_log_[i].emplace_back(from, std::move(msg));
+                       });
+    }
+  }
+
+  // Returned by reference: the Controller registers `this` with the
+  // backhaul, so it must stay at a fixed address.
+  Controller& make(Controller::Config cfg = {}) {
+    controller_ = std::make_unique<Controller>(sched_, backhaul_, cfg);
+    for (std::uint32_t i = 0; i < 3; ++i) controller_->add_ap(ApId{i});
+    controller_->add_client(kClient);
+    return *controller_;
+  }
+
+  net::CsiReport report(ApId ap, double snr_db) {
+    net::CsiReport r;
+    r.from_ap = ap;
+    r.client = kClient;
+    r.measurement.when = sched_.now();
+    r.measurement.subcarrier_snr_db.assign(kNumSubcarriers, snr_db);
+    r.measurement.rssi_dbm = -94.0 + snr_db;
+    r.measurement.mean_snr_db = snr_db;
+    return r;
+  }
+
+  void send_csi(ApId ap, double snr_db) {
+    backhaul_.send(NodeId::ap(ap), NodeId::controller(), report(ap, snr_db));
+  }
+
+  void ack_from(ApId ap) {
+    backhaul_.send(NodeId::ap(ap), NodeId::controller(),
+                   net::SwitchAck{kClient, ap});
+  }
+
+  template <typename T>
+  int count_to_ap(std::uint32_t ap) const {
+    int n = 0;
+    auto it = ap_log_.find(ap);
+    if (it == ap_log_.end()) return 0;
+    for (const auto& [from, msg] : it->second) {
+      if (std::holds_alternative<T>(msg)) ++n;
+    }
+    return n;
+  }
+
+  sim::Scheduler sched_;
+  net::Backhaul backhaul_;
+  std::unique_ptr<Controller> controller_;
+  std::map<std::uint32_t, std::vector<std::pair<NodeId, BackhaulMessage>>> ap_log_;
+};
+
+TEST_F(ControllerTest, BootstrapsToFirstHeardAp) {
+  Controller& c = make();
+  send_csi(ApId{1}, 20.0);
+  sched_.run_until(Time::ms(5));
+  // Bootstrap sends a StartMsg directly to the best AP.
+  EXPECT_EQ(count_to_ap<net::StartMsg>(1), 1);
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(10));
+  EXPECT_EQ(c.serving_ap(kClient).value(), ApId{1});
+}
+
+TEST_F(ControllerTest, SwitchesToBetterApViaStop) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(50));  // hysteresis expires
+  // AP1 is clearly better, and the serving AP has fresh in-window CSI.
+  send_csi(ApId{0}, 15.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(55));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 1);
+  // The stop names the new AP; completion comes from the new AP's ack.
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(60));
+  EXPECT_EQ(c.serving_ap(kClient).value(), ApId{1});
+  ASSERT_EQ(c.switch_log().size(), 2u);  // bootstrap + 1 switch
+  EXPECT_EQ(c.switch_log()[1].from, ApId{0});
+  EXPECT_EQ(c.switch_log()[1].to, ApId{1});
+}
+
+TEST_F(ControllerTest, HysteresisBlocksRapidSwitches) {
+  Controller::Config cfg;
+  cfg.switch_hysteresis = Time::ms(500);
+  Controller& c = make(cfg);
+  (void)c;
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(10));
+  // Better AP appears immediately, but hysteresis must hold it back.
+  send_csi(ApId{0}, 15.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(100));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 0);
+}
+
+TEST_F(ControllerTest, SilentServingJudgedByLastKnownValue) {
+  Controller::Config cfg;
+  cfg.serving_stale_timeout = Time::ms(100);
+  Controller& c = make(cfg);
+  (void)c;
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(60));
+  // Serving AP briefly silent; a WEAKER challenger reports. The controller
+  // must not trade a known-20 dB AP for a 15 dB one just because the good
+  // one was quiet for a beat (first-report-wins guard).
+  send_csi(ApId{1}, 15.0);
+  sched_.run_until(Time::ms(70));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 0);
+  // A clearly BETTER challenger during the same silence does win. (Sent
+  // after the 10 ms window has flushed the 15 dB sample, so the challenger
+  // median is unambiguously 30 dB.)
+  sched_.run_until(Time::ms(85));
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(95));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 1);
+}
+
+TEST_F(ControllerTest, StaleServingAbandonedUnconditionally) {
+  Controller::Config cfg;
+  cfg.serving_stale_timeout = Time::ms(100);
+  Controller& c = make(cfg);
+  (void)c;
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  // Serving AP silent far beyond the stale timeout: even a weaker
+  // challenger takes over (the serving AP is presumed out of range).
+  sched_.run_until(Time::ms(250));
+  send_csi(ApId{1}, 12.0);
+  sched_.run_until(Time::ms(260));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 1);
+}
+
+TEST_F(ControllerTest, StopRetransmittedAfterAckTimeout) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(50));
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(55));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 1);
+  // No ack arrives: 30 ms later the stop is retransmitted (paper §3.1.2).
+  sched_.run_until(Time::ms(90));
+  EXPECT_GE(count_to_ap<net::StopMsg>(0), 2);
+  EXPECT_GE(c.stats().stop_retransmissions, 1u);
+  // Ack finally arrives; retransmissions cease.
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(95));
+  const int total = count_to_ap<net::StopMsg>(0);
+  sched_.run_until(Time::ms(400));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), total);
+}
+
+TEST_F(ControllerTest, SingleOutstandingSwitch) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(50));
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(52));
+  // While the switch to AP1 is unacked, an even better AP2 appears: the
+  // controller must NOT issue a second switch (§3.1.2 footnote 2).
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{2}, 40.0);
+  sched_.run_until(Time::ms(60));
+  EXPECT_EQ(count_to_ap<net::StopMsg>(0), 1);
+  EXPECT_EQ(c.stats().switches_initiated, 2u);  // bootstrap + one switch
+}
+
+TEST_F(ControllerTest, DownlinkFanoutToFreshAps) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  send_csi(ApId{1}, 22.0);
+  sched_.run_until(Time::ms(5));
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  p.payload_bytes = 1000;
+  c.send_downlink(p);
+  sched_.run_until(Time::ms(10));
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(0), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(1), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(2), 0);  // AP2 never heard the client
+}
+
+TEST_F(ControllerTest, DownlinkFallsBackToAllAps) {
+  Controller& c = make();
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  c.send_downlink(p);  // no CSI at all yet
+  sched_.run_until(Time::ms(5));
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(0), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(1), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(2), 1);
+}
+
+TEST_F(ControllerTest, IndexNumbersIncrementPerClientModulo4096) {
+  Controller& c = make();
+  std::vector<std::uint16_t> indices;
+  backhaul_.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<net::DownlinkData>(&msg)) {
+      indices.push_back(d->index);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    c.send_downlink(p);
+  }
+  sched_.run_until(Time::ms(5));
+  ASSERT_EQ(indices.size(), 3u);
+  EXPECT_EQ(indices[0], 0);
+  EXPECT_EQ(indices[1], 1);
+  EXPECT_EQ(indices[2], 2);
+}
+
+TEST_F(ControllerTest, UplinkDeduplication) {
+  Controller& c = make();
+  int delivered = 0;
+  c.on_uplink = [&](const net::Packet&) { ++delivered; };
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  p.ip_id = 42;
+  // Three APs forward the same uplink packet (same client, same IP-ID).
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    backhaul_.send(NodeId::ap(ApId{i}), NodeId::controller(),
+                   net::UplinkData{ApId{i}, p});
+  }
+  sched_.run_until(Time::ms(5));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(c.stats().uplink_duplicates_dropped, 2u);
+  // A different IP-ID passes.
+  p.ip_id = 43;
+  backhaul_.send(NodeId::ap(ApId{0}), NodeId::controller(),
+                 net::UplinkData{ApId{0}, p});
+  sched_.run_until(Time::ms(10));
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(ControllerTest, DedupSetIsBounded) {
+  Controller::Config cfg;
+  cfg.dedup_capacity = 8;
+  Controller& c = make(cfg);
+  int delivered = 0;
+  c.on_uplink = [&](const net::Packet&) { ++delivered; };
+  // Push 20 distinct keys through a capacity-8 set; all pass.
+  for (std::uint16_t i = 0; i < 20; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    p.ip_id = i;
+    backhaul_.send(NodeId::ap(ApId{0}), NodeId::controller(),
+                   net::UplinkData{ApId{0}, p});
+  }
+  sched_.run_until(Time::ms(5));
+  EXPECT_EQ(delivered, 20);
+  // An early key has been evicted: its duplicate now passes (bounded memory
+  // trades exactness at horizon edges).
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  p.ip_id = 0;
+  backhaul_.send(NodeId::ap(ApId{0}), NodeId::controller(),
+                 net::UplinkData{ApId{0}, p});
+  sched_.run_until(Time::ms(10));
+  EXPECT_EQ(delivered, 21);
+}
+
+TEST_F(ControllerTest, IndexNumbersWrapAt4096) {
+  // m = 12 bits: the per-client index must wrap cleanly (the cyclic queues
+  // and the shared 802.11 sequence space both rely on modular continuity).
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  std::vector<std::uint16_t> indices;
+  backhaul_.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<net::DownlinkData>(&msg)) {
+      indices.push_back(d->index);
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    c.send_downlink(p);
+  }
+  sched_.run_until(Time::sec(2));
+  ASSERT_EQ(indices.size(), 5000u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], static_cast<std::uint16_t>(i & 0x0fff));
+  }
+}
+
+}  // namespace
+}  // namespace wgtt::core

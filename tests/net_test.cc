@@ -1,0 +1,210 @@
+// Unit tests for packets, backhaul messages, and the simulated Ethernet.
+#include <gtest/gtest.h>
+
+#include "net/backhaul.h"
+#include "net/ids.h"
+#include "net/messages.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::net {
+namespace {
+
+TEST(PacketTest, UidsUniqueAndResettable) {
+  reset_packet_uids();
+  const Packet a = make_packet();
+  const Packet b = make_packet();
+  EXPECT_NE(a.uid, b.uid);
+  EXPECT_EQ(a.uid, 1u);
+  reset_packet_uids();
+  EXPECT_EQ(make_packet().uid, 1u);
+}
+
+TEST(PacketTest, SizeAccounting) {
+  Packet p = make_packet();
+  p.proto = Proto::kUdp;
+  p.payload_bytes = 1400;
+  EXPECT_EQ(p.ip_bytes(), 1400 + kIpUdpHeaderBytes);
+  EXPECT_EQ(p.air_bytes(), p.ip_bytes() + kMacHeaderBytes);
+  EXPECT_EQ(p.tunnel_bytes(), p.ip_bytes() + kTunnelHeaderBytes);
+  p.proto = Proto::kTcp;
+  EXPECT_EQ(p.ip_bytes(), 1400 + kIpTcpHeaderBytes);
+}
+
+TEST(MessagesTest, WireBytes) {
+  Packet p = make_packet();
+  p.payload_bytes = 1000;
+  EXPECT_EQ(wire_bytes(DownlinkData{p, 5}), p.tunnel_bytes());
+  EXPECT_EQ(wire_bytes(UplinkData{ApId{0}, p}), p.tunnel_bytes());
+  EXPECT_EQ(wire_bytes(StopMsg{}), 64u);
+  EXPECT_EQ(wire_bytes(StartMsg{}), 64u);
+  EXPECT_EQ(wire_bytes(SwitchAck{}), 64u);
+  // CSI: 56 subcarriers x 2 B + headers (paper §3.1.1 packs CSI in UDP).
+  EXPECT_GT(wire_bytes(CsiReport{}), 112u);
+  EXPECT_GT(wire_bytes(AssocSync{}), 0u);
+  EXPECT_GT(wire_bytes(BlockAckForward{}), 0u);
+}
+
+TEST(MessagesTest, ControlClassification) {
+  EXPECT_TRUE(is_control(BackhaulMessage{StopMsg{}}));
+  EXPECT_TRUE(is_control(BackhaulMessage{StartMsg{}}));
+  EXPECT_TRUE(is_control(BackhaulMessage{SwitchAck{}}));
+  EXPECT_FALSE(is_control(BackhaulMessage{DownlinkData{}}));
+  EXPECT_FALSE(is_control(BackhaulMessage{CsiReport{}}));
+  EXPECT_FALSE(is_control(BackhaulMessage{BlockAckForward{}}));
+}
+
+TEST(NodeIdTest, IdentityAndHash) {
+  EXPECT_EQ(NodeId::controller(), NodeId::controller());
+  EXPECT_EQ(NodeId::ap(ApId{3}), NodeId::ap(ApId{3}));
+  EXPECT_NE(NodeId::ap(ApId{3}), NodeId::ap(ApId{4}));
+  EXPECT_NE(NodeId::controller(), NodeId::ap(ApId{0}));
+  std::hash<NodeId> h;
+  EXPECT_NE(h(NodeId::controller()), h(NodeId::ap(ApId{0})));
+}
+
+class BackhaulTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched_;
+};
+
+TEST_F(BackhaulTest, DeliversWithLatency) {
+  Backhaul bh(sched_, {}, Rng{1});
+  Time delivered_at;
+  bool got = false;
+  bh.attach(NodeId::controller(), [&](NodeId from, BackhaulMessage msg) {
+    EXPECT_EQ(from, NodeId::ap(ApId{2}));
+    EXPECT_TRUE(std::holds_alternative<SwitchAck>(msg));
+    delivered_at = sched_.now();
+    got = true;
+  });
+  bh.attach(NodeId::ap(ApId{2}), [](NodeId, BackhaulMessage) {});
+  bh.send(NodeId::ap(ApId{2}), NodeId::controller(), SwitchAck{});
+  sched_.run_all();
+  EXPECT_TRUE(got);
+  EXPECT_GT(delivered_at, Time::zero());
+  EXPECT_LT(delivered_at, Time::ms(1));  // GigE switch: tens of microseconds
+}
+
+TEST_F(BackhaulTest, LargerMessagesTakeLonger) {
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  Backhaul bh(sched_, cfg, Rng{1});
+  Time small_at;
+  Time big_at;
+  int count = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage msg) {
+    if (std::holds_alternative<StopMsg>(msg)) small_at = sched_.now();
+    if (std::holds_alternative<DownlinkData>(msg)) big_at = sched_.now();
+    ++count;
+  });
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 1400;
+  bh.send(NodeId::ap(ApId{0}), NodeId::controller(), StopMsg{});
+  bh.send(NodeId::ap(ApId{0}), NodeId::controller(), DownlinkData{p, 0});
+  sched_.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_LT(small_at, big_at);
+}
+
+TEST_F(BackhaulTest, UnattachedDestinationThrows) {
+  Backhaul bh(sched_, {}, Rng{1});
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {});
+  EXPECT_THROW(bh.send(NodeId::ap(ApId{0}), NodeId::controller(), StopMsg{}),
+               std::logic_error);
+}
+
+TEST_F(BackhaulTest, LossInjection) {
+  Backhaul::Config cfg;
+  cfg.loss_rate = 1.0;
+  Backhaul bh(sched_, cfg, Rng{1});
+  int got = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++got; });
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {});
+  for (int i = 0; i < 10; ++i) {
+    bh.send(NodeId::ap(ApId{0}), NodeId::controller(), SwitchAck{});
+  }
+  sched_.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(bh.messages_dropped(), 10u);
+  EXPECT_EQ(bh.messages_sent(), 10u);
+}
+
+TEST_F(BackhaulTest, PartialLossStatistics) {
+  Backhaul::Config cfg;
+  cfg.loss_rate = 0.3;
+  Backhaul bh(sched_, cfg, Rng{5});
+  int got = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++got; });
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {});
+  for (int i = 0; i < 2000; ++i) {
+    bh.send(NodeId::ap(ApId{0}), NodeId::controller(), SwitchAck{});
+  }
+  sched_.run_all();
+  EXPECT_NEAR(got, 1400, 100);
+}
+
+TEST_F(BackhaulTest, HandlerReplacement) {
+  Backhaul bh(sched_, {}, Rng{1});
+  int first = 0;
+  int second = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++first; });
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {});
+  bh.send(NodeId::ap(ApId{0}), NodeId::controller(), SwitchAck{});
+  // Replace before delivery: the new handler receives it (lookup happens at
+  // delivery time).
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++second; });
+  sched_.run_all();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(BackhaulTest, PerFlowFifoDespiteJitter) {
+  // Regression test: random per-message jitter must never reorder messages
+  // between one (src, dst) pair — the WGTT index stream depends on it.
+  // (An early version of the backhaul reordered closely spaced sends,
+  // which made rejoining APs replay stale cyclic-queue slots.)
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::us(200);  // much larger than the serialization gap
+  Backhaul bh(sched_, cfg, Rng{11});
+  std::vector<std::uint16_t> received;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) {
+      received.push_back(d->index);
+    }
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    Packet p = make_packet();
+    p.payload_bytes = 100;
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  ASSERT_EQ(received.size(), 500u);
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(received[i], i) << "backhaul reordered a flow";
+  }
+}
+
+TEST_F(BackhaulTest, IndependentFlowsMayInterleave) {
+  // FIFO is per flow, not global: flows to different destinations are
+  // delivered independently.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  Backhaul bh(sched_, cfg, Rng{12});
+  std::vector<int> order;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage) { order.push_back(0); });
+  bh.attach(NodeId::ap(ApId{1}), [&](NodeId, BackhaulMessage) { order.push_back(1); });
+  Packet big = make_packet();
+  big.payload_bytes = 60'000;  // long serialization to AP0
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{big, 0});
+  bh.send(NodeId::controller(), NodeId::ap(ApId{1}), StopMsg{});
+  sched_.run_all();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // the tiny control message was not queued behind
+}
+
+}  // namespace
+}  // namespace wgtt::net

@@ -1,0 +1,199 @@
+// Unit tests for the discrete-event scheduler and timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::sim {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::ms(3), [&] { order.push_back(3); });
+  s.schedule_at(Time::ms(1), [&] { order.push_back(1); });
+  s.schedule_at(Time::ms(2), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::ms(3));
+}
+
+TEST(SchedulerTest, SameTimeEventsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ScheduleInIsRelative) {
+  Scheduler s;
+  Time fired;
+  s.schedule_at(Time::ms(10), [&] {
+    s.schedule_in(Time::ms(5), [&] { fired = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, Time::ms(15));
+}
+
+TEST(SchedulerTest, PastSchedulesClampToNow) {
+  Scheduler s;
+  s.run_until(Time::ms(10));
+  Time fired;
+  s.schedule_at(Time::ms(1), [&] { fired = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired, Time::ms(10));
+  s.schedule_in(Time::ms(-5), [&] { fired = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired, Time::ms(10));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(Time::ms(1), [&] { ran = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(ran);
+  // Cancelling twice or cancelling unknown ids is harmless.
+  s.cancel(id);
+  s.cancel(EventId{999'999});
+}
+
+TEST(SchedulerTest, RunUntilStopsAtLimit) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(Time::ms(i), [&] { ++count; });
+  }
+  s.run_until(Time::ms(5));
+  EXPECT_EQ(count, 5);  // events at exactly the limit fire
+  EXPECT_EQ(s.now(), Time::ms(5));
+  s.run_until(Time::ms(20));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), Time::ms(20));  // clock advances to the limit
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(Time::ms(1), recurse);
+  };
+  s.schedule_at(Time::ms(1), recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), Time::ms(5));
+}
+
+TEST(SchedulerTest, StepExecutesOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(Time::ms(1), [&] { ++count; });
+  s.schedule_at(Time::ms(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_in(Time::ms(i), [] {});
+  s.run_all();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(SchedulerTest, CancelledEventsDontBlockRunUntil) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::ms(1), [] {});
+  s.cancel(id);
+  bool ran = false;
+  s.schedule_at(Time::ms(2), [&] { ran = true; });
+  s.run_until(Time::ms(3));
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerTest, FiresOnce) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.start(Time::ms(5));
+  EXPECT_TRUE(t.armed());
+  s.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerTest, RestartReplacesPending) {
+  Scheduler s;
+  std::vector<Time> fires;
+  Timer t(s, [&] { fires.push_back(s.now()); });
+  t.start(Time::ms(5));
+  t.start(Time::ms(10));  // re-arm: only the second should fire
+  s.run_all();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], Time::ms(10));
+}
+
+TEST(TimerTest, CancelStops) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.start(Time::ms(5));
+  t.cancel();
+  s.run_all();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, PeriodicRestartFromCallback) {
+  Scheduler s;
+  int fires = 0;
+  Timer* handle = nullptr;
+  Timer t(s, [&] {
+    if (++fires < 3) handle->start(Time::ms(1));
+  });
+  handle = &t;
+  t.start(Time::ms(1));
+  s.run_until(Time::ms(100));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(TimerTest, DestructorCancels) {
+  Scheduler s;
+  int fires = 0;
+  {
+    Timer t(s, [&] { ++fires; });
+    t.start(Time::ms(1));
+  }
+  s.run_all();
+  EXPECT_EQ(fires, 0);
+}
+
+// Property: N randomly ordered schedules execute in nondecreasing time.
+class SchedulerOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerOrderProperty, MonotoneExecution) {
+  Scheduler s;
+  Rng r(static_cast<std::uint64_t>(GetParam()) * 977 + 1);
+  std::vector<Time> executed;
+  for (int i = 0; i < 200; ++i) {
+    const Time when = Time::us(static_cast<std::int64_t>(r.uniform_int(10'000)));
+    s.schedule_at(when, [&executed, &s] { executed.push_back(s.now()); });
+  }
+  s.run_all();
+  ASSERT_EQ(executed.size(), 200u);
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    EXPECT_LE(executed[i - 1], executed[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerOrderProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace wgtt::sim

@@ -1,0 +1,118 @@
+// Tests for the event tracer and its analysis queries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mobility/trajectory.h"
+#include "scenario/wgtt_system.h"
+#include "trace/tracer.h"
+#include "transport/udp.h"
+
+namespace wgtt::trace {
+namespace {
+
+TEST(TracerTest, RecordAndCount) {
+  Tracer t;
+  t.record({Time::ms(1), EventKind::kFrameTx, -1, 0, -1, 10.0});
+  t.record({Time::ms(2), EventKind::kFrameTx, -1, 1, -1, 5.0});
+  t.record({Time::ms(3), EventKind::kPacketDelivered, 0, 0, -1, 1400.0});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(EventKind::kFrameTx), 2u);
+  EXPECT_EQ(t.count(EventKind::kPacketDelivered, 0), 1u);
+  EXPECT_EQ(t.count(EventKind::kPacketDelivered, 1), 0u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TracerTest, ThroughputSeries) {
+  Tracer t;
+  // 125 kB in the first 100 ms bin = 10 Mbit/s.
+  for (int i = 0; i < 125; ++i) {
+    t.record({Time::millis(i * 0.8), EventKind::kPacketDelivered, 0, 0, -1,
+              1000.0});
+  }
+  const auto series = t.throughput_mbps(0, Time::ms(100), Time::ms(300));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series[0], 10.0, 0.1);
+  EXPECT_NEAR(series[1], 0.0, 1e-9);
+}
+
+TEST(TracerTest, SwitchIntervalsAndTimeline) {
+  Tracer t;
+  t.record({Time::ms(100), EventKind::kSwitchCompleted, 0, 2, -1, 17.0});
+  t.record({Time::ms(300), EventKind::kSwitchCompleted, 0, 3, -1, 18.0});
+  t.record({Time::ms(450), EventKind::kSwitchCompleted, 0, 4, -1, 16.0});
+  t.record({Time::ms(500), EventKind::kSwitchCompleted, 1, 7, -1, 17.0});
+  const auto iv = t.switch_intervals_s(0);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_NEAR(iv[0], 0.2, 1e-9);
+  EXPECT_NEAR(iv[1], 0.15, 1e-9);
+  const auto tl = t.serving_timeline(0);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[1].second, 3);
+}
+
+TEST(TracerTest, ApTxShare) {
+  Tracer t;
+  for (int i = 0; i < 3; ++i) t.record({Time::ms(i), EventKind::kFrameTx, -1, 0});
+  t.record({Time::ms(9), EventKind::kFrameTx, -1, 1});
+  const auto share = t.ap_tx_share(2);
+  EXPECT_NEAR(share[0], 0.75, 1e-9);
+  EXPECT_NEAR(share[1], 0.25, 1e-9);
+}
+
+TEST(TracerTest, CsvExport) {
+  Tracer t;
+  t.record({Time::ms(5), EventKind::kSwitchCompleted, 0, 2, -1, 17.5});
+  std::ostringstream out;
+  t.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("when_s,kind,client,node,aux,value"), std::string::npos);
+  EXPECT_NE(csv.find("switch_completed"), std::string::npos);
+  EXPECT_NE(csv.find("17.5"), std::string::npos);
+}
+
+TEST(TracerAttachTest, CapturesLiveSystem) {
+  scenario::WgttSystemConfig cfg;
+  cfg.geometry.seed = 91;
+  scenario::WgttSystem system(cfg);
+  mobility::LineDrive drive(-10.0, 0.0, mph_to_mps(25.0));
+  const int c = system.add_client(&drive);
+  system.start();
+
+  // A user handler installed before attach must keep firing (chaining).
+  int user_deliveries = 0;
+  system.client(c).on_downlink = [&](const net::Packet&) { ++user_deliveries; };
+
+  Tracer tracer;
+  attach(tracer, system);
+
+  transport::UdpSource src(
+      system.sched(),
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        system.server_send(std::move(p));
+      },
+      {.rate_mbps = 12.0, .client = net::ClientId{0}});
+  src.start();
+  system.run_until(Time::sec(5));
+
+  EXPECT_GT(tracer.count(trace::EventKind::kPacketDelivered, 0), 100u);
+  EXPECT_GT(tracer.count(trace::EventKind::kFrameTx), 50u);
+  EXPECT_GT(tracer.count(trace::EventKind::kSwitchCompleted, 0), 2u);
+  EXPECT_EQ(user_deliveries,
+            static_cast<int>(tracer.count(trace::EventKind::kPacketDelivered, 0)));
+  // The tx share concentrates on the APs the client actually drove past.
+  const auto share = tracer.ap_tx_share(system.num_aps());
+  double total = 0.0;
+  for (double s : share) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Throughput series integrates to the delivered byte count.
+  const auto series = tracer.throughput_mbps(0, Time::ms(100), Time::sec(5));
+  double mbit = 0.0;
+  for (double v : series) mbit += v * 0.1;
+  EXPECT_GT(mbit, 1.0);
+}
+
+}  // namespace
+}  // namespace wgtt::trace
