@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_blockack_fwd.dir/bench_abl_blockack_fwd.cc.o"
+  "CMakeFiles/bench_abl_blockack_fwd.dir/bench_abl_blockack_fwd.cc.o.d"
+  "bench_abl_blockack_fwd"
+  "bench_abl_blockack_fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_blockack_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_queue_flush.dir/bench_abl_queue_flush.cc.o"
+  "CMakeFiles/bench_abl_queue_flush.dir/bench_abl_queue_flush.cc.o.d"
+  "bench_abl_queue_flush"
+  "bench_abl_queue_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_queue_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_selection_metric.dir/bench_abl_selection_metric.cc.o"
+  "CMakeFiles/bench_abl_selection_metric.dir/bench_abl_selection_metric.cc.o.d"
+  "bench_abl_selection_metric"
+  "bench_abl_selection_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_selection_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_abr_video.dir/bench_ext_abr_video.cc.o"
+  "CMakeFiles/bench_ext_abr_video.dir/bench_ext_abr_video.cc.o.d"
+  "bench_ext_abr_video"
+  "bench_ext_abr_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_abr_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vifi.dir/bench_ext_vifi.cc.o"
+  "CMakeFiles/bench_ext_vifi.dir/bench_ext_vifi.cc.o.d"
+  "bench_ext_vifi"
+  "bench_ext_vifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_picocell_regime.dir/bench_fig02_picocell_regime.cc.o"
+  "CMakeFiles/bench_fig02_picocell_regime.dir/bench_fig02_picocell_regime.cc.o.d"
+  "bench_fig02_picocell_regime"
+  "bench_fig02_picocell_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_picocell_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

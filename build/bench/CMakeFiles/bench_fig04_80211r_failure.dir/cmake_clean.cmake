@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_80211r_failure.dir/bench_fig04_80211r_failure.cc.o"
+  "CMakeFiles/bench_fig04_80211r_failure.dir/bench_fig04_80211r_failure.cc.o.d"
+  "bench_fig04_80211r_failure"
+  "bench_fig04_80211r_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_80211r_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_throughput_vs_speed.dir/bench_fig13_throughput_vs_speed.cc.o"
+  "CMakeFiles/bench_fig13_throughput_vs_speed.dir/bench_fig13_throughput_vs_speed.cc.o.d"
+  "bench_fig13_throughput_vs_speed"
+  "bench_fig13_throughput_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_throughput_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_conference_fps.dir/bench_fig24_conference_fps.cc.o"
+  "CMakeFiles/bench_fig24_conference_fps.dir/bench_fig24_conference_fps.cc.o.d"
+  "bench_fig24_conference_fps"
+  "bench_fig24_conference_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_conference_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

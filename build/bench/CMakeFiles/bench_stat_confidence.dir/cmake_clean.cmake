@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stat_confidence.dir/bench_stat_confidence.cc.o"
+  "CMakeFiles/bench_stat_confidence.dir/bench_stat_confidence.cc.o.d"
+  "bench_stat_confidence"
+  "bench_stat_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stat_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl1_switch_time.dir/bench_tbl1_switch_time.cc.o"
+  "CMakeFiles/bench_tbl1_switch_time.dir/bench_tbl1_switch_time.cc.o.d"
+  "bench_tbl1_switch_time"
+  "bench_tbl1_switch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl1_switch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

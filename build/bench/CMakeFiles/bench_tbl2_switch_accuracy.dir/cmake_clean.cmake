@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl2_switch_accuracy.dir/bench_tbl2_switch_accuracy.cc.o"
+  "CMakeFiles/bench_tbl2_switch_accuracy.dir/bench_tbl2_switch_accuracy.cc.o.d"
+  "bench_tbl2_switch_accuracy"
+  "bench_tbl2_switch_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl2_switch_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl3_ack_collisions.dir/bench_tbl3_ack_collisions.cc.o"
+  "CMakeFiles/bench_tbl3_ack_collisions.dir/bench_tbl3_ack_collisions.cc.o.d"
+  "bench_tbl3_ack_collisions"
+  "bench_tbl3_ack_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl3_ack_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl4_video_rebuffer.dir/bench_tbl4_video_rebuffer.cc.o"
+  "CMakeFiles/bench_tbl4_video_rebuffer.dir/bench_tbl4_video_rebuffer.cc.o.d"
+  "bench_tbl4_video_rebuffer"
+  "bench_tbl4_video_rebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl4_video_rebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl5_web_loading.dir/bench_tbl5_web_loading.cc.o"
+  "CMakeFiles/bench_tbl5_web_loading.dir/bench_tbl5_web_loading.cc.o.d"
+  "bench_tbl5_web_loading"
+  "bench_tbl5_web_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl5_web_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

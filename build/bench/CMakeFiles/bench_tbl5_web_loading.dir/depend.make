@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tbl5_web_loading.
+# This may be replaced when dependencies are built.

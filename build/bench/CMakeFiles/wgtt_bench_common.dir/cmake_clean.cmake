@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_bench_common.dir/harness.cc.o"
+  "CMakeFiles/wgtt_bench_common.dir/harness.cc.o.d"
+  "libwgtt_bench_common.a"
+  "libwgtt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

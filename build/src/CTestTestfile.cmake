@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("channel")
+subdirs("phy")
+subdirs("net")
+subdirs("mac")
+subdirs("ap")
+subdirs("mobility")
+subdirs("transport")
+subdirs("core")
+subdirs("baseline")
+subdirs("apps")
+subdirs("scenario")
+subdirs("trace")

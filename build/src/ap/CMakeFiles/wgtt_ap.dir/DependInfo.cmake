@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/cyclic_queue.cc" "src/ap/CMakeFiles/wgtt_ap.dir/cyclic_queue.cc.o" "gcc" "src/ap/CMakeFiles/wgtt_ap.dir/cyclic_queue.cc.o.d"
+  "/root/repo/src/ap/wgtt_ap.cc" "src/ap/CMakeFiles/wgtt_ap.dir/wgtt_ap.cc.o" "gcc" "src/ap/CMakeFiles/wgtt_ap.dir/wgtt_ap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wgtt_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_ap.dir/cyclic_queue.cc.o"
+  "CMakeFiles/wgtt_ap.dir/cyclic_queue.cc.o.d"
+  "CMakeFiles/wgtt_ap.dir/wgtt_ap.cc.o"
+  "CMakeFiles/wgtt_ap.dir/wgtt_ap.cc.o.d"
+  "libwgtt_ap.a"
+  "libwgtt_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/abr.cc" "src/apps/CMakeFiles/wgtt_apps.dir/abr.cc.o" "gcc" "src/apps/CMakeFiles/wgtt_apps.dir/abr.cc.o.d"
+  "/root/repo/src/apps/conference.cc" "src/apps/CMakeFiles/wgtt_apps.dir/conference.cc.o" "gcc" "src/apps/CMakeFiles/wgtt_apps.dir/conference.cc.o.d"
+  "/root/repo/src/apps/video.cc" "src/apps/CMakeFiles/wgtt_apps.dir/video.cc.o" "gcc" "src/apps/CMakeFiles/wgtt_apps.dir/video.cc.o.d"
+  "/root/repo/src/apps/web.cc" "src/apps/CMakeFiles/wgtt_apps.dir/web.cc.o" "gcc" "src/apps/CMakeFiles/wgtt_apps.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wgtt_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

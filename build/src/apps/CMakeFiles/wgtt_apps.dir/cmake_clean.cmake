@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_apps.dir/abr.cc.o"
+  "CMakeFiles/wgtt_apps.dir/abr.cc.o.d"
+  "CMakeFiles/wgtt_apps.dir/conference.cc.o"
+  "CMakeFiles/wgtt_apps.dir/conference.cc.o.d"
+  "CMakeFiles/wgtt_apps.dir/video.cc.o"
+  "CMakeFiles/wgtt_apps.dir/video.cc.o.d"
+  "CMakeFiles/wgtt_apps.dir/web.cc.o"
+  "CMakeFiles/wgtt_apps.dir/web.cc.o.d"
+  "libwgtt_apps.a"
+  "libwgtt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline_ap.cc" "src/baseline/CMakeFiles/wgtt_baseline.dir/baseline_ap.cc.o" "gcc" "src/baseline/CMakeFiles/wgtt_baseline.dir/baseline_ap.cc.o.d"
+  "/root/repo/src/baseline/baseline_client.cc" "src/baseline/CMakeFiles/wgtt_baseline.dir/baseline_client.cc.o" "gcc" "src/baseline/CMakeFiles/wgtt_baseline.dir/baseline_client.cc.o.d"
+  "/root/repo/src/baseline/router.cc" "src/baseline/CMakeFiles/wgtt_baseline.dir/router.cc.o" "gcc" "src/baseline/CMakeFiles/wgtt_baseline.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wgtt_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wgtt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

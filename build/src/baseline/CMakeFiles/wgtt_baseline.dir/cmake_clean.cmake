@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_baseline.dir/baseline_ap.cc.o"
+  "CMakeFiles/wgtt_baseline.dir/baseline_ap.cc.o.d"
+  "CMakeFiles/wgtt_baseline.dir/baseline_client.cc.o"
+  "CMakeFiles/wgtt_baseline.dir/baseline_client.cc.o.d"
+  "CMakeFiles/wgtt_baseline.dir/router.cc.o"
+  "CMakeFiles/wgtt_baseline.dir/router.cc.o.d"
+  "libwgtt_baseline.a"
+  "libwgtt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/antenna.cc" "src/channel/CMakeFiles/wgtt_channel.dir/antenna.cc.o" "gcc" "src/channel/CMakeFiles/wgtt_channel.dir/antenna.cc.o.d"
+  "/root/repo/src/channel/fading.cc" "src/channel/CMakeFiles/wgtt_channel.dir/fading.cc.o" "gcc" "src/channel/CMakeFiles/wgtt_channel.dir/fading.cc.o.d"
+  "/root/repo/src/channel/link_channel.cc" "src/channel/CMakeFiles/wgtt_channel.dir/link_channel.cc.o" "gcc" "src/channel/CMakeFiles/wgtt_channel.dir/link_channel.cc.o.d"
+  "/root/repo/src/channel/pathloss.cc" "src/channel/CMakeFiles/wgtt_channel.dir/pathloss.cc.o" "gcc" "src/channel/CMakeFiles/wgtt_channel.dir/pathloss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

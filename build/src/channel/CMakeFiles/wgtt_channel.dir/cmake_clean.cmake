@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_channel.dir/antenna.cc.o"
+  "CMakeFiles/wgtt_channel.dir/antenna.cc.o.d"
+  "CMakeFiles/wgtt_channel.dir/fading.cc.o"
+  "CMakeFiles/wgtt_channel.dir/fading.cc.o.d"
+  "CMakeFiles/wgtt_channel.dir/link_channel.cc.o"
+  "CMakeFiles/wgtt_channel.dir/link_channel.cc.o.d"
+  "CMakeFiles/wgtt_channel.dir/pathloss.cc.o"
+  "CMakeFiles/wgtt_channel.dir/pathloss.cc.o.d"
+  "libwgtt_channel.a"
+  "libwgtt_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

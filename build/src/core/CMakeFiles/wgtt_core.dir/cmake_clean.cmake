@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_core.dir/controller.cc.o"
+  "CMakeFiles/wgtt_core.dir/controller.cc.o.d"
+  "CMakeFiles/wgtt_core.dir/esnr_tracker.cc.o"
+  "CMakeFiles/wgtt_core.dir/esnr_tracker.cc.o.d"
+  "CMakeFiles/wgtt_core.dir/wgtt_client.cc.o"
+  "CMakeFiles/wgtt_core.dir/wgtt_client.cc.o.d"
+  "libwgtt_core.a"
+  "libwgtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

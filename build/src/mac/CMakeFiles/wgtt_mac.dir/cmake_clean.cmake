@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_mac.dir/block_ack.cc.o"
+  "CMakeFiles/wgtt_mac.dir/block_ack.cc.o.d"
+  "CMakeFiles/wgtt_mac.dir/medium.cc.o"
+  "CMakeFiles/wgtt_mac.dir/medium.cc.o.d"
+  "CMakeFiles/wgtt_mac.dir/wifi_mac.cc.o"
+  "CMakeFiles/wgtt_mac.dir/wifi_mac.cc.o.d"
+  "libwgtt_mac.a"
+  "libwgtt_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

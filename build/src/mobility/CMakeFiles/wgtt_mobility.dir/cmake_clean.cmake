@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_mobility.dir/trajectory.cc.o"
+  "CMakeFiles/wgtt_mobility.dir/trajectory.cc.o.d"
+  "libwgtt_mobility.a"
+  "libwgtt_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_net.dir/backhaul.cc.o"
+  "CMakeFiles/wgtt_net.dir/backhaul.cc.o.d"
+  "CMakeFiles/wgtt_net.dir/packet.cc.o"
+  "CMakeFiles/wgtt_net.dir/packet.cc.o.d"
+  "libwgtt_net.a"
+  "libwgtt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

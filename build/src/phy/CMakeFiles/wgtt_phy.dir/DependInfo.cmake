@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/airtime.cc" "src/phy/CMakeFiles/wgtt_phy.dir/airtime.cc.o" "gcc" "src/phy/CMakeFiles/wgtt_phy.dir/airtime.cc.o.d"
+  "/root/repo/src/phy/esnr.cc" "src/phy/CMakeFiles/wgtt_phy.dir/esnr.cc.o" "gcc" "src/phy/CMakeFiles/wgtt_phy.dir/esnr.cc.o.d"
+  "/root/repo/src/phy/mcs.cc" "src/phy/CMakeFiles/wgtt_phy.dir/mcs.cc.o" "gcc" "src/phy/CMakeFiles/wgtt_phy.dir/mcs.cc.o.d"
+  "/root/repo/src/phy/rate_control.cc" "src/phy/CMakeFiles/wgtt_phy.dir/rate_control.cc.o" "gcc" "src/phy/CMakeFiles/wgtt_phy.dir/rate_control.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

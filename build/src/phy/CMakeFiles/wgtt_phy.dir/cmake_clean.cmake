@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_phy.dir/airtime.cc.o"
+  "CMakeFiles/wgtt_phy.dir/airtime.cc.o.d"
+  "CMakeFiles/wgtt_phy.dir/esnr.cc.o"
+  "CMakeFiles/wgtt_phy.dir/esnr.cc.o.d"
+  "CMakeFiles/wgtt_phy.dir/mcs.cc.o"
+  "CMakeFiles/wgtt_phy.dir/mcs.cc.o.d"
+  "CMakeFiles/wgtt_phy.dir/rate_control.cc.o"
+  "CMakeFiles/wgtt_phy.dir/rate_control.cc.o.d"
+  "libwgtt_phy.a"
+  "libwgtt_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

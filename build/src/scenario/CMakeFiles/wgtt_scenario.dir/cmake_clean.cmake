@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_scenario.dir/baseline_system.cc.o"
+  "CMakeFiles/wgtt_scenario.dir/baseline_system.cc.o.d"
+  "CMakeFiles/wgtt_scenario.dir/testbed.cc.o"
+  "CMakeFiles/wgtt_scenario.dir/testbed.cc.o.d"
+  "CMakeFiles/wgtt_scenario.dir/wgtt_system.cc.o"
+  "CMakeFiles/wgtt_scenario.dir/wgtt_system.cc.o.d"
+  "libwgtt_scenario.a"
+  "libwgtt_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_sim.dir/scheduler.cc.o"
+  "CMakeFiles/wgtt_sim.dir/scheduler.cc.o.d"
+  "libwgtt_sim.a"
+  "libwgtt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_trace.dir/tracer.cc.o"
+  "CMakeFiles/wgtt_trace.dir/tracer.cc.o.d"
+  "libwgtt_trace.a"
+  "libwgtt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/tcp.cc" "src/transport/CMakeFiles/wgtt_transport.dir/tcp.cc.o" "gcc" "src/transport/CMakeFiles/wgtt_transport.dir/tcp.cc.o.d"
+  "/root/repo/src/transport/udp.cc" "src/transport/CMakeFiles/wgtt_transport.dir/udp.cc.o" "gcc" "src/transport/CMakeFiles/wgtt_transport.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_transport.dir/tcp.cc.o"
+  "CMakeFiles/wgtt_transport.dir/tcp.cc.o.d"
+  "CMakeFiles/wgtt_transport.dir/udp.cc.o"
+  "CMakeFiles/wgtt_transport.dir/udp.cc.o.d"
+  "libwgtt_transport.a"
+  "libwgtt_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

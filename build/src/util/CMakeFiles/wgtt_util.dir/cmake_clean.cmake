@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_util.dir/rng.cc.o"
+  "CMakeFiles/wgtt_util.dir/rng.cc.o.d"
+  "CMakeFiles/wgtt_util.dir/stats.cc.o"
+  "CMakeFiles/wgtt_util.dir/stats.cc.o.d"
+  "libwgtt_util.a"
+  "libwgtt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

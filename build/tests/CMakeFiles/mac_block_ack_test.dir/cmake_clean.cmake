@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_block_ack_test.dir/mac_block_ack_test.cc.o"
+  "CMakeFiles/mac_block_ack_test.dir/mac_block_ack_test.cc.o.d"
+  "mac_block_ack_test"
+  "mac_block_ack_test.pdb"
+  "mac_block_ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_block_ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

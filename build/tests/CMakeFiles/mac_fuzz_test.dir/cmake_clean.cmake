@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_fuzz_test.dir/mac_fuzz_test.cc.o"
+  "CMakeFiles/mac_fuzz_test.dir/mac_fuzz_test.cc.o.d"
+  "mac_fuzz_test"
+  "mac_fuzz_test.pdb"
+  "mac_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

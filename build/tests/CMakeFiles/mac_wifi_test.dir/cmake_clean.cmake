@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_wifi_test.dir/mac_wifi_test.cc.o"
+  "CMakeFiles/mac_wifi_test.dir/mac_wifi_test.cc.o.d"
+  "mac_wifi_test"
+  "mac_wifi_test.pdb"
+  "mac_wifi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_wifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

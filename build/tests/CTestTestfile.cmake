@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_block_ack_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_medium_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_wifi_test[1]_include.cmake")
+include("/root/repo/build/tests/ap_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/abr_test[1]_include.cmake")

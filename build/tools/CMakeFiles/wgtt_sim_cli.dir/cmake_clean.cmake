@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_sim_cli.dir/wgtt_sim.cc.o"
+  "CMakeFiles/wgtt_sim_cli.dir/wgtt_sim.cc.o.d"
+  "wgtt-sim"
+  "wgtt-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
