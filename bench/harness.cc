@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <memory>
 
 #include "mobility/trajectory.h"
@@ -140,6 +141,17 @@ DriveResult run_drive(const DriveConfig& cfg) {
     base->start();
   }
 
+  // --- metrics ----------------------------------------------------------------
+  const bool want_metrics =
+      (cfg.collect_metrics || !cfg.metrics_path.empty()) && wgtt != nullptr;
+  if (want_metrics) {
+    result.metrics = std::make_shared<obs::MetricsRegistry>();
+    wgtt->enable_metrics(*result.metrics, cfg.metrics_interval);
+    // Pre-register the tcp.* keys so every snapshot carries them, TCP
+    // workload or not.
+    transport::TcpSender::register_metrics(*result.metrics);
+  }
+
   // --- instrumentation ---------------------------------------------------------
   result.clients.resize(static_cast<std::size_t>(n));
 
@@ -229,6 +241,7 @@ DriveResult run_drive(const DriveConfig& cfg) {
         scfg.client = cid;
         f.tcp_tx = std::make_unique<transport::TcpSender>(*sched, server_send,
                                                           scfg);
+        if (result.metrics) f.tcp_tx->set_metrics(result.metrics.get());
         transport::TcpReceiver::Config rcfg;
         rcfg.client = cid;
         f.tcp_rx = std::make_unique<transport::TcpReceiver>(*sched, client_send,
@@ -366,6 +379,11 @@ DriveResult run_drive(const DriveConfig& cfg) {
       result.ba_heard += base->client(i).mac().ba_frames_heard();
       result.ba_collided += base->client(i).mac().ba_frames_collided();
     }
+  }
+
+  if (result.metrics && !cfg.metrics_path.empty()) {
+    std::ofstream out(cfg.metrics_path);
+    if (out) result.metrics->write_json(out);
   }
   return result;
 }

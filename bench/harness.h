@@ -13,10 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
+#include "obs/metrics.h"
 #include "scenario/baseline_system.h"
 #include "scenario/wgtt_system.h"
 #include "transport/flow_stats.h"
@@ -49,6 +52,15 @@ struct DriveConfig {
   std::optional<Time> baseline_persistence;          // stock vs enhanced
   /// Sampling period of the serving-vs-optimal accuracy probe.
   Time accuracy_probe = Time::ms(10);
+
+  /// Collect a MetricsRegistry snapshot (DriveResult::metrics). Implied by
+  /// a non-empty metrics_path. WGTT system only (the baseline predates the
+  /// metrics layer).
+  bool collect_metrics = false;
+  /// Write the JSON snapshot here after the run ("" = don't write).
+  std::string metrics_path;
+  /// System-gauge sampling period while metrics are enabled.
+  Time metrics_interval = Time::ms(100);
 };
 
 struct ClientResult {
@@ -79,6 +91,8 @@ struct DriveResult {
   std::uint64_t uplink_dups_dropped = 0;
   std::uint64_t uplink_packets = 0;
   std::uint64_t stale_dropped = 0;
+  /// Populated when DriveConfig::collect_metrics (or metrics_path) is set.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 
   [[nodiscard]] double mean_mbps() const {
     if (clients.empty()) return 0.0;

@@ -262,13 +262,17 @@ bench/CMakeFiles/bench_ext_abr_video.dir/bench_ext_abr_video.cc.o: \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/net/packet.h /root/repo/src/net/ids.h \
  /root/repo/src/phy/mcs.h /root/repo/src/mac/medium.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
  /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
  /root/repo/src/net/backhaul.h /root/repo/src/net/messages.h \
  /root/repo/src/baseline/baseline_client.h \
  /root/repo/src/baseline/router.h /root/repo/src/scenario/testbed.h \
  /root/repo/src/scenario/wgtt_system.h /root/repo/src/ap/wgtt_ap.h \
- /root/repo/src/ap/cyclic_queue.h /root/repo/src/util/ring_buffer.h \
- /root/repo/src/core/controller.h /root/repo/src/core/esnr_tracker.h \
- /root/repo/src/util/timed_window.h /root/repo/src/core/wgtt_client.h \
- /root/repo/src/transport/tcp.h /root/repo/src/transport/flow_stats.h
+ /root/repo/src/ap/cyclic_queue.h /root/repo/src/obs/span_timer.h \
+ /root/repo/src/util/ring_buffer.h /root/repo/src/core/controller.h \
+ /root/repo/src/core/esnr_tracker.h /root/repo/src/util/timed_window.h \
+ /root/repo/src/core/wgtt_client.h /root/repo/src/transport/tcp.h \
+ /root/repo/src/transport/flow_stats.h

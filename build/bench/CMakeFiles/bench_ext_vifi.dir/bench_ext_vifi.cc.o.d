@@ -249,7 +249,12 @@ bench/CMakeFiles/bench_ext_vifi.dir/bench_ext_vifi.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
  /root/repo/src/channel/pathloss.h /root/repo/src/net/packet.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/scenario/baseline_system.h \
  /root/repo/src/baseline/baseline_ap.h /root/repo/src/mac/wifi_mac.h \
  /root/repo/src/mac/block_ack.h /root/repo/src/mac/frame.h \
@@ -260,17 +265,14 @@ bench/CMakeFiles/bench_ext_vifi.dir/bench_ext_vifi.cc.o: \
  /root/repo/src/mobility/trajectory.h /root/repo/src/baseline/router.h \
  /root/repo/src/scenario/testbed.h /root/repo/src/scenario/wgtt_system.h \
  /root/repo/src/ap/wgtt_ap.h /root/repo/src/ap/cyclic_queue.h \
- /root/repo/src/util/ring_buffer.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/wgtt_client.h \
- /root/repo/src/transport/flow_stats.h /root/repo/bench/report.h \
- /usr/include/benchmark/benchmark.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/obs/span_timer.h /root/repo/src/util/ring_buffer.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/wgtt_client.h /root/repo/src/transport/flow_stats.h \
+ /root/repo/bench/report.h /usr/include/benchmark/benchmark.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/benchmark/export.h \
- /usr/include/c++/12/atomic /root/repo/src/transport/udp.h
+ /root/repo/src/transport/udp.h

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ap/CMakeFiles/wgtt_ap.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/wgtt_baseline.dir/DependInfo.cmake"
   "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/phy/CMakeFiles/wgtt_phy.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"

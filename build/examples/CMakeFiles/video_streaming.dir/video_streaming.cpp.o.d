@@ -250,15 +250,18 @@ examples/CMakeFiles/video_streaming.dir/video_streaming.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/mac/frame.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/phy/mcs.h \
- /root/repo/src/mac/medium.h /root/repo/src/phy/airtime.h \
- /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
- /root/repo/src/util/stats.h /root/repo/src/net/backhaul.h \
- /root/repo/src/net/messages.h /root/repo/src/util/ring_buffer.h \
+ /root/repo/src/mac/medium.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
+ /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
+ /root/repo/src/net/backhaul.h /root/repo/src/net/messages.h \
+ /root/repo/src/obs/span_timer.h /root/repo/src/util/ring_buffer.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/controller.h /root/repo/src/core/esnr_tracker.h \
  /root/repo/src/util/timed_window.h /root/repo/src/core/wgtt_client.h \
  /root/repo/src/scenario/testbed.h /root/repo/src/transport/tcp.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/transport/flow_stats.h

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
   "/root/repo/build/src/transport/CMakeFiles/wgtt_transport.dir/DependInfo.cmake"
   "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
   "/root/repo/build/src/phy/CMakeFiles/wgtt_phy.dir/DependInfo.cmake"
   "/root/repo/build/src/mobility/CMakeFiles/wgtt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
   )
 

@@ -245,6 +245,12 @@ src/baseline/CMakeFiles/wgtt_baseline.dir/baseline_client.cc.o: \
  /root/repo/src/phy/mcs.h /root/repo/src/mac/medium.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/phy/airtime.h \
- /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
- /root/repo/src/util/stats.h /root/repo/src/mobility/trajectory.h
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
+ /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
+ /root/repo/src/mobility/trajectory.h

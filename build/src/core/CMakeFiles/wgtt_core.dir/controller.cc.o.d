@@ -249,8 +249,13 @@ src/core/CMakeFiles/wgtt_core.dir/controller.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
  /root/repo/src/channel/pathloss.h /root/repo/src/net/packet.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/phy/esnr.h \
  /root/repo/src/phy/mcs.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgtt_obs.dir/metrics.cc.o"
+  "CMakeFiles/wgtt_obs.dir/metrics.cc.o.d"
+  "libwgtt_obs.a"
+  "libwgtt_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgtt_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

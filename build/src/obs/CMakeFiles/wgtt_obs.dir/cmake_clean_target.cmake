@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwgtt_obs.a"
+)

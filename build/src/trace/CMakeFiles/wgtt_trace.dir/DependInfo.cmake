@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
   "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/wgtt_core.dir/DependInfo.cmake"

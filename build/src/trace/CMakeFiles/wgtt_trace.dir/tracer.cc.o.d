@@ -34,23 +34,32 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/char_traits.h \
- /usr/include/c++/12/type_traits /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/bits/stl_construct.h \
- /usr/include/c++/12/new /usr/include/c++/12/bits/exception.h \
- /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception.h \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/new /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
  /usr/include/c++/12/bits/iterator_concepts.h \
- /usr/include/c++/12/bits/ptr_traits.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/bits/ptr_traits.h \
  /usr/include/c++/12/bits/ranges_cmp.h \
  /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
  /usr/include/c++/12/bits/concept_check.h \
  /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/utility.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
  /usr/include/c++/12/bits/functexcept.h \
- /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -66,17 +75,13 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/ext/numeric_traits.h \
  /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/debug/debug.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/hash_bytes.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
@@ -120,9 +125,11 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/units.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/flight_recorder.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/units.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -154,11 +161,8 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -178,8 +182,7 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
- /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -196,7 +199,6 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
@@ -236,27 +238,31 @@ src/trace/CMakeFiles/wgtt_trace.dir/tracer.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ap/wgtt_ap.h \
- /usr/include/c++/12/optional /root/repo/src/ap/cyclic_queue.h \
- /root/repo/src/net/packet.h /root/repo/src/net/ids.h \
- /root/repo/src/mac/wifi_mac.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/channel/link_channel.h /root/repo/src/channel/antenna.h \
- /root/repo/src/channel/geometry.h /root/repo/src/channel/fading.h \
- /usr/include/c++/12/complex /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/ap/cyclic_queue.h /root/repo/src/net/packet.h \
+ /root/repo/src/net/ids.h /root/repo/src/mac/wifi_mac.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/channel/link_channel.h \
+ /root/repo/src/channel/antenna.h /root/repo/src/channel/geometry.h \
+ /root/repo/src/channel/fading.h /usr/include/c++/12/complex \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
  /root/repo/src/channel/pathloss.h /root/repo/src/mac/block_ack.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/mac/frame.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/phy/mcs.h \
- /root/repo/src/mac/medium.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/phy/airtime.h \
- /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
- /root/repo/src/util/stats.h /root/repo/src/net/backhaul.h \
- /root/repo/src/net/messages.h /root/repo/src/util/ring_buffer.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/span /root/repo/src/mac/frame.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/phy/mcs.h /root/repo/src/mac/medium.h \
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
+ /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
+ /root/repo/src/net/backhaul.h /root/repo/src/net/messages.h \
+ /root/repo/src/obs/span_timer.h /root/repo/src/util/ring_buffer.h \
  /root/repo/src/core/controller.h /root/repo/src/core/esnr_tracker.h \
  /root/repo/src/util/timed_window.h /root/repo/src/core/wgtt_client.h \
  /root/repo/src/mobility/trajectory.h /root/repo/src/scenario/testbed.h

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
   "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"

@@ -327,10 +327,13 @@ tests/CMakeFiles/baseline_test.dir/baseline_test.cc.o: \
  /root/repo/src/mac/medium.h /root/repo/src/sim/scheduler.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/phy/airtime.h \
- /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
- /root/repo/src/util/stats.h /root/repo/src/net/backhaul.h \
- /root/repo/src/net/messages.h /root/repo/src/baseline/baseline_client.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
+ /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
+ /root/repo/src/net/backhaul.h /root/repo/src/net/messages.h \
+ /root/repo/src/baseline/baseline_client.h \
  /root/repo/src/mobility/trajectory.h /root/repo/src/baseline/router.h \
  /root/repo/src/scenario/baseline_system.h \
  /root/repo/src/scenario/testbed.h /root/repo/src/transport/udp.h \

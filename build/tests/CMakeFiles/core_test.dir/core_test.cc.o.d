@@ -326,4 +326,7 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/channel/fading.h /usr/include/c++/12/complex \
  /root/repo/src/util/rng.h /root/repo/src/channel/pathloss.h \
  /root/repo/src/net/packet.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -327,5 +327,8 @@ tests/CMakeFiles/mac_fuzz_test.dir/mac_fuzz_test.cc.o: \
  /root/repo/src/channel/fading.h /usr/include/c++/12/complex \
  /root/repo/src/util/rng.h /root/repo/src/channel/pathloss.h \
  /root/repo/src/mac/block_ack.h /usr/include/c++/12/span \
- /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
- /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/phy/airtime.h \
+ /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
+ /root/repo/src/util/stats.h

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/wgtt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wgtt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/wgtt_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wgtt_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wgtt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/wgtt_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/wgtt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wgtt_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/wgtt_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wgtt_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wgtt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wgtt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wgtt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wgtt_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wgtt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

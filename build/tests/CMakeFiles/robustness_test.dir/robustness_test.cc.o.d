@@ -328,10 +328,13 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/phy/mcs.h /root/repo/src/mac/medium.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/phy/airtime.h \
- /root/repo/src/phy/rate_control.h /root/repo/src/phy/esnr.h \
- /root/repo/src/util/stats.h /root/repo/src/net/backhaul.h \
- /root/repo/src/net/messages.h /root/repo/src/util/ring_buffer.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/phy/airtime.h /root/repo/src/phy/rate_control.h \
+ /root/repo/src/phy/esnr.h /root/repo/src/util/stats.h \
+ /root/repo/src/net/backhaul.h /root/repo/src/net/messages.h \
+ /root/repo/src/obs/span_timer.h /root/repo/src/util/ring_buffer.h \
  /root/repo/src/core/controller.h /root/repo/src/core/esnr_tracker.h \
  /root/repo/src/util/timed_window.h /root/repo/src/core/wgtt_client.h \
  /root/repo/src/scenario/testbed.h /root/repo/src/transport/udp.h \

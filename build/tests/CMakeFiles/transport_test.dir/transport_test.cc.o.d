@@ -322,4 +322,7 @@ tests/CMakeFiles/transport_test.dir/transport_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/transport/flow_stats.h /root/repo/src/transport/tcp.h \
  /root/repo/src/net/packet.h /root/repo/src/net/ids.h \
- /root/repo/src/transport/udp.h /root/repo/src/util/rng.h
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/transport/udp.h \
+ /root/repo/src/util/rng.h

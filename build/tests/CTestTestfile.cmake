@@ -20,6 +20,7 @@ include("/root/repo/build/tests/apps_test[1]_include.cmake")
 include("/root/repo/build/tests/scenario_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/mac_fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/tcp_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_check.dir/metrics_check.cc.o"
+  "CMakeFiles/metrics_check.dir/metrics_check.cc.o.d"
+  "metrics_check"
+  "metrics_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

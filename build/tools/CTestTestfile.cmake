@@ -4,3 +4,9 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(metrics_snapshot_check "/root/repo/build/tools/metrics_check" "/root/repo/build/tools/wgtt-sim")
+set_tests_properties(metrics_snapshot_check PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wgtt_sim_unknown_flag_fails "/root/repo/build/tools/wgtt-sim" "--no-such-flag")
+set_tests_properties(wgtt_sim_unknown_flag_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wgtt_sim_help_ok "/root/repo/build/tools/wgtt-sim" "--help")
+set_tests_properties(wgtt_sim_help_ok PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -7,7 +7,12 @@ CyclicQueue::CyclicQueue() : slots_(kIndexSpace) {}
 void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
   index &= kIndexSpace - 1;
   Slot& s = slots_[index];
-  if (!s.occupied) ++occupied_;
+  ++puts_;
+  if (!s.occupied) {
+    ++occupied_;
+  } else {
+    ++overwrites_;
+  }
   s.index = index;
   s.occupied = true;
   s.packet = std::move(packet);

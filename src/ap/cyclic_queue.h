@@ -43,6 +43,14 @@ class CyclicQueue {
   /// backlog depth in the queue microbenchmarks.
   [[nodiscard]] std::optional<std::uint16_t> newest() const { return newest_; }
 
+  /// Lifetime put() calls, for occupancy/drop accounting.
+  [[nodiscard]] std::uint64_t puts() const { return puts_; }
+  /// put() calls that displaced an undrained occupant — the ring lapped the
+  /// drain (or a non-serving AP accumulated a full 12-bit lap), so a packet
+  /// was silently lost. Nonzero here is the signal the paper's "4096 slots
+  /// is far beyond any realistic backlog" sizing argument has broken down.
+  [[nodiscard]] std::uint64_t overwrites() const { return overwrites_; }
+
   void clear();
 
  private:
@@ -54,6 +62,8 @@ class CyclicQueue {
   std::vector<Slot> slots_;
   std::size_t occupied_ = 0;
   std::optional<std::uint16_t> newest_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t overwrites_ = 0;
 };
 
 }  // namespace wgtt::ap

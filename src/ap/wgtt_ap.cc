@@ -28,6 +28,7 @@ WgttAp::WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
     auto it = client_of_radio_.find(from);
     if (it == client_of_radio_.end()) return;
     ++stats_.uplink_forwarded;
+    if (metrics_) metrics_->uplink_forwarded->inc();
     backhaul_.send(NodeId::ap(id_), NodeId::controller(),
                    net::UplinkData{id_, pkt});
   };
@@ -49,6 +50,32 @@ WgttAp::WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
     pump_timer_->start(config_.pump_period);
   });
   pump_timer_->start(config_.pump_period);
+}
+
+void WgttAp::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  Metrics m;
+  m.downlink_received = &registry->counter("ap.downlink_received");
+  m.cyclic_overwrites = &registry->counter("ap.cyclic_overwrites");
+  m.stale_dropped = &registry->counter("ap.stale_dropped");
+  m.pump_enqueued = &registry->counter("ap.pump_enqueued");
+  m.stops_handled = &registry->counter("ap.stops_handled");
+  m.starts_handled = &registry->counter("ap.starts_handled");
+  m.ba_forwarded = &registry->counter("ap.ba_forwarded");
+  m.ba_forward_received = &registry->counter("ap.ba_forward_received");
+  m.ba_forward_duplicate = &registry->counter("ap.ba_forward_duplicate");
+  m.csi_reports_sent = &registry->counter("ap.csi_reports_sent");
+  m.uplink_forwarded = &registry->counter("ap.uplink_forwarded");
+  m.cyclic_occupancy =
+      &registry->histogram("ap.cyclic_occupancy", 0.0, 2048.0, 128);
+  m.stop_to_start.set_sink(
+      &registry->histogram("ap.stop_to_start_ms", 0.0, 40.0, 160));
+  m.start_to_ack.set_sink(
+      &registry->histogram("ap.start_to_ack_ms", 0.0, 40.0, 160));
+  metrics_ = std::move(m);
 }
 
 void WgttAp::set_ap_directory(
@@ -114,7 +141,15 @@ void WgttAp::handle_downlink(net::DownlinkData&& msg) {
   ClientState* cs = client_state(msg.packet.client);
   if (cs == nullptr) return;  // not yet associated here
   ++stats_.downlink_received;
+  const std::uint64_t overwrites_before = cs->queue.overwrites();
   cs->queue.put(msg.index, std::move(msg.packet));
+  if (metrics_) {
+    metrics_->downlink_received->inc();
+    metrics_->cyclic_overwrites->inc(cs->queue.overwrites() -
+                                     overwrites_before);
+    metrics_->cyclic_occupancy->observe(
+        static_cast<double>(cs->queue.occupancy()));
+  }
   if (cs->serving) pump(*cs);
 }
 
@@ -122,6 +157,10 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
   ClientState* cs = client_state(msg.client);
   if (cs == nullptr) return;
   ++stats_.stops_handled;
+  if (metrics_) {
+    metrics_->stops_handled->inc();
+    metrics_->stop_to_start.begin(net::index_of(msg.client), sched_.now());
+  }
   // Control packets are prioritized but still cross the Click userspace.
   const Time proc = draw_delay(config_.control_processing_mean,
                                config_.control_processing_std);
@@ -138,6 +177,9 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
     sched_.schedule_in(q, [this, client, new_ap] {
       ClientState* s2 = client_state(client);
       if (s2 == nullptr) return;
+      if (metrics_) {
+        metrics_->stop_to_start.end(net::index_of(client), sched_.now());
+      }
       backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(new_ap),
                      net::StartMsg{client, id_, s2->next_index});
     });
@@ -148,6 +190,10 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
   ClientState* cs = client_state(msg.client);
   if (cs == nullptr) return;
   ++stats_.starts_handled;
+  if (metrics_) {
+    metrics_->starts_handled->inc();
+    metrics_->start_to_ack.begin(net::index_of(msg.client), sched_.now());
+  }
   const Time proc = draw_delay(config_.start_processing_mean,
                                config_.start_processing_std);
   sched_.schedule_in(proc, [this, client = msg.client, k = msg.first_unsent_index] {
@@ -160,6 +206,9 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
       s->next_index = (*s->queue.newest() + 1) & (CyclicQueue::kIndexSpace - 1);
     } else {
       s->next_index = k & (CyclicQueue::kIndexSpace - 1);
+    }
+    if (metrics_) {
+      metrics_->start_to_ack.end(net::index_of(client), sched_.now());
     }
     backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
                    net::SwitchAck{client, id_});
@@ -180,9 +229,11 @@ void WgttAp::handle_ba_forward(const net::BlockAckForward& msg) {
   ClientState* cs = client_state(msg.client);
   if (cs == nullptr) return;
   ++stats_.ba_forward_received;
+  if (metrics_) metrics_->ba_forward_received->inc();
   if (ba_seen(*cs, msg.ba_uid)) {
     // Already merged (own NIC or another AP's forward): drop (§3.2.1).
     ++stats_.ba_forward_duplicate;
+    if (metrics_) metrics_->ba_forward_duplicate->inc();
     return;
   }
   mac::BaBitmap ba;
@@ -201,6 +252,7 @@ void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
   // CSI extraction on every decoded client frame (§3.1.1).
   if (csi_reporting_) {
     ++stats_.csi_reports_sent;
+    if (metrics_) metrics_->csi_reports_sent->inc();
     backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
                    net::CsiReport{id_, client, csi});
   }
@@ -220,6 +272,7 @@ void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
     const std::optional<net::ApId> dest = ap_of_radio_(frame.to);
     if (!dest || *dest == id_) return;
     ++stats_.ba_forwarded;
+    if (metrics_) metrics_->ba_forwarded->inc();
     backhaul_.send(
         net::NodeId::ap(id_), net::NodeId::ap(*dest),
         net::BlockAckForward{client, id_, ba->start_seq, ba->bitmap, frame.tx_uid});
@@ -235,8 +288,10 @@ void WgttAp::pump(ClientState& cs) {
         // A slot written a lap (or a long lull) ago: useless and, worse,
         // possibly already delivered by another AP. Discard.
         ++stats_.stale_dropped;
+        if (metrics_) metrics_->stale_dropped->inc();
       } else {
         mac_.enqueue(cs.radio, std::move(*pkt), cs.next_index);
+        if (metrics_) metrics_->pump_enqueued->inc();
       }
       cs.next_index = (cs.next_index + 1) & (CyclicQueue::kIndexSpace - 1);
       continue;

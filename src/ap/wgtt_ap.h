@@ -31,6 +31,8 @@
 #include "net/backhaul.h"
 #include "net/ids.h"
 #include "net/messages.h"
+#include "obs/metrics.h"
+#include "obs/span_timer.h"
 #include "sim/scheduler.h"
 #include "util/ring_buffer.h"
 #include "util/rng.h"
@@ -103,6 +105,12 @@ class WgttAp {
   /// Backlog currently held for `client` in the cyclic queue.
   [[nodiscard]] std::size_t cyclic_backlog(net::ClientId client) const;
 
+  /// Registers and starts recording `ap.*` metrics (cyclic-queue depth and
+  /// overwrites, BA-forward traffic, the per-AP legs of the switch
+  /// protocol). Instruments are shared by name, so every AP aggregates into
+  /// the same `ap.*` series. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct ClientState {
     mac::RadioId radio{};
@@ -138,6 +146,25 @@ class WgttAp {
   bool csi_reporting_ = true;
   Stats stats_;
   std::unique_ptr<sim::Timer> pump_timer_;
+
+  struct Metrics {
+    obs::Counter* downlink_received;
+    obs::Counter* cyclic_overwrites;  // ring lapped an undrained slot
+    obs::Counter* stale_dropped;
+    obs::Counter* pump_enqueued;
+    obs::Counter* stops_handled;
+    obs::Counter* starts_handled;
+    obs::Counter* ba_forwarded;
+    obs::Counter* ba_forward_received;
+    obs::Counter* ba_forward_duplicate;
+    obs::Counter* csi_reports_sent;
+    obs::Counter* uplink_forwarded;
+    obs::Histogram* cyclic_occupancy;  // sampled per downlink arrival
+    // The two AP-side legs of Table 1's switch-time breakdown.
+    obs::SpanTracker stop_to_start;  // stop received -> start sent (old AP)
+    obs::SpanTracker start_to_ack;   // start received -> ack sent (new AP)
+  };
+  std::optional<Metrics> metrics_;
 };
 
 }  // namespace wgtt::ap

@@ -24,6 +24,7 @@
 #include "net/backhaul.h"
 #include "net/ids.h"
 #include "net/messages.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 
 namespace wgtt::core {
@@ -98,6 +99,12 @@ class Controller {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] EsnrTracker& tracker() { return tracker_; }
 
+  /// Registers and starts recording `controller.*` metrics (selection
+  /// decisions, de-dup hit/miss and table occupancy, switch-phase timing).
+  /// nullptr detaches. Instrument pointers resolve once, here — the data
+  /// path only pays a null check plus relaxed increments.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct ClientState {
     std::uint16_t next_index = 0;  // 12-bit downlink index counter
@@ -133,6 +140,22 @@ class Controller {
 
   std::vector<SwitchRecord> switch_log_;
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter* csi_reports;
+    obs::Counter* selection_evaluations;
+    obs::Counter* switches_initiated;
+    obs::Counter* switches_completed;
+    obs::Counter* stop_retransmissions;
+    obs::Counter* downlink_packets;
+    obs::Counter* fanout_copies;
+    obs::Counter* uplink_packets;
+    obs::Counter* dedup_hits;    // duplicate found in the table and dropped
+    obs::Counter* dedup_misses;  // new key accepted
+    obs::Gauge* dedup_table_size;
+    obs::Histogram* switch_time_ms;  // stop sent -> ack received (Table 1)
+  };
+  std::optional<Metrics> metrics_;
 };
 
 }  // namespace wgtt::core

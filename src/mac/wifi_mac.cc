@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "phy/esnr.h"
 
@@ -31,6 +32,35 @@ WifiMac::WifiMac(sim::Scheduler& sched, Medium& medium, Rng rng, Config config)
     : sched_(sched), medium_(medium), rng_(rng), config_(config) {
   cw_ = config_.timings.cw_min;
   ba_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_ba_timeout(); });
+}
+
+void WifiMac::set_metrics(obs::MetricsRegistry* registry,
+                          std::string_view component) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  const std::string prefix = std::string(component) + ".";
+  auto counter = [&](std::string_view name) {
+    return &registry->counter(prefix + std::string(name));
+  };
+  Metrics m;
+  m.ampdus_sent = counter("ampdus_sent");
+  m.retransmissions = counter("retransmissions");
+  m.mpdus_delivered = counter("mpdus_delivered");
+  m.mpdus_delivered_via_forwarded_ba =
+      counter("mpdus_delivered_via_forwarded_ba");
+  m.mpdus_dropped_retry = counter("mpdus_dropped_retry");
+  m.enqueue_drops = counter("enqueue_drops");
+  m.ba_timeouts = counter("ba_timeouts");
+  m.ba_injected = counter("ba_injected");
+  m.ba_heard = counter("ba_heard");
+  m.ba_collisions = counter("ba_collisions");
+  m.ampdu_mpdus =
+      &registry->histogram(prefix + "ampdu_mpdus", 0.0, 33.0, 33);
+  m.hw_queue_depth =
+      &registry->histogram(prefix + "hw_queue_depth", 0.0, 160.0, 160);
+  metrics_ = m;
 }
 
 RadioId WifiMac::attach(Medium::PositionFn position) {
@@ -74,6 +104,7 @@ bool WifiMac::enqueue(RadioId peer, net::Packet packet,
   Peer& p = peer_of(peer);
   if (p.queue.size() >= config_.hw_queue_capacity) {
     ++p.stats.enqueue_drops;
+    if (metrics_) metrics_->enqueue_drops->inc();
     return false;
   }
   TxMpdu t;
@@ -82,6 +113,9 @@ bool WifiMac::enqueue(RadioId peer, net::Packet packet,
   t.mpdu.packet = std::move(packet);
   p.queue.push_back(std::move(t));
   ++p.stats.mpdus_enqueued;
+  if (metrics_) {
+    metrics_->hw_queue_depth->observe(static_cast<double>(p.queue.size()));
+  }
   kick();
   return true;
 }
@@ -193,6 +227,7 @@ void WifiMac::transmit_data(RadioId peer_id) {
     if (t.ever_sent) {
       ++t.mpdu.retries;
       ++p.stats.retransmissions;
+      if (metrics_) metrics_->retransmissions->inc();
     }
     t.ever_sent = true;
     df.mpdus.push_back(t.mpdu);
@@ -213,6 +248,10 @@ void WifiMac::transmit_data(RadioId peer_id) {
   for (const auto& m : df.mpdus) outstanding_.seqs.push_back(m.seq);
 
   ++p.stats.ampdus_sent;
+  if (metrics_) {
+    metrics_->ampdus_sent->inc();
+    metrics_->ampdu_mpdus->observe(static_cast<double>(df.mpdus.size()));
+  }
   if (on_tx_attempt) on_tx_attempt(peer_id, mcs, static_cast<int>(df.mpdus.size()));
 
   outstanding_.tx_uid = medium_.transmit(radio_, std::move(frame), duration);
@@ -241,6 +280,10 @@ void WifiMac::complete_mpdu(Peer& p, RadioId peer_id,
                             bool via_forwarded) {
   ++p.stats.mpdus_delivered;
   if (via_forwarded) ++p.stats.mpdus_delivered_via_forwarded_ba;
+  if (metrics_) {
+    metrics_->mpdus_delivered->inc();
+    if (via_forwarded) metrics_->mpdus_delivered_via_forwarded_ba->inc();
+  }
   p.stats.bytes_delivered += it->mpdu.packet.payload_bytes;
   // Erase before the callback: on_mpdu_acked handlers re-enter (the AP pump
   // enqueues the next packet), which would invalidate `it`.
@@ -292,6 +335,7 @@ void WifiMac::process_ba(RadioId peer_id, const BaBitmap& ba, bool forwarded) {
       if (it->ever_sent && !ba.acks(it->mpdu.seq) &&
           it->mpdu.retries >= config_.retry_limit) {
         ++p.stats.mpdus_dropped_retry;
+        if (metrics_) metrics_->mpdus_dropped_retry->inc();
         it = p.queue.erase(it);
       } else {
         ++it;
@@ -309,6 +353,7 @@ void WifiMac::on_ba_timeout() {
   if (pp != nullptr) {
     Peer& p = *pp;
     ++p.stats.ba_timeouts;
+    if (metrics_) metrics_->ba_timeouts->inc();
     if (p.rc) {
       // MPDUs completed out-of-band (merged BAs) still count as delivered.
       int delivered = 0;
@@ -324,6 +369,7 @@ void WifiMac::on_ba_timeout() {
     for (auto it = p.queue.begin(); it != p.queue.end();) {
       if (it->ever_sent && it->mpdu.retries >= config_.retry_limit) {
         ++p.stats.mpdus_dropped_retry;
+        if (metrics_) metrics_->mpdus_dropped_retry->inc();
         it = p.queue.erase(it);
       } else {
         ++it;
@@ -337,6 +383,7 @@ void WifiMac::on_ba_timeout() {
 
 void WifiMac::inject_block_ack(RadioId client, const BaBitmap& ba) {
   // Out-of-band scoreboard update (ath_tx_complete_aggr path in the paper).
+  if (metrics_) metrics_->ba_injected->inc();
   process_ba(client, ba, /*forwarded=*/true);
   // If we are currently awaiting this client's BA over the air, the live
   // path still runs; the forwarded copy only completes queued MPDUs early.
@@ -376,6 +423,10 @@ void WifiMac::handle_rx(const Frame& frame, const Medium::RxContext& ctx) {
   if (addressed && std::holds_alternative<BlockAckFrame>(frame.body)) {
     ++ba_heard_;
     if (ctx.collided) ++ba_collided_;
+    if (metrics_) {
+      metrics_->ba_heard->inc();
+      if (ctx.collided) metrics_->ba_collisions->inc();
+    }
   }
 
   if (ctx.collided) {

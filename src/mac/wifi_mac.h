@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "channel/link_channel.h"
@@ -26,6 +27,7 @@
 #include "mac/frame.h"
 #include "mac/medium.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "phy/airtime.h"
 #include "phy/rate_control.h"
 #include "sim/scheduler.h"
@@ -134,6 +136,13 @@ class WifiMac {
   [[nodiscard]] std::uint64_t ba_frames_heard() const { return ba_heard_; }
   [[nodiscard]] std::uint64_t ba_frames_collided() const { return ba_collided_; }
 
+  /// Registers and starts recording `<component>.*` metrics (A-MPDU sizes,
+  /// retransmissions, BA merges/collisions, hardware-queue depth). The
+  /// component prefix separates roles sharing this class — AP radios report
+  /// as "mac", client radios as "client_mac" — while radios of the same
+  /// role aggregate into one series. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry, std::string_view component);
+
   // --- upward callbacks ----------------------------------------------------
   /// A decoded, non-duplicate data MPDU addressed to this radio (or its
   /// BSSID).
@@ -222,6 +231,22 @@ class WifiMac {
   std::unique_ptr<sim::Timer> beacon_timer_;
   std::uint64_t ba_heard_ = 0;
   std::uint64_t ba_collided_ = 0;
+
+  struct Metrics {
+    obs::Counter* ampdus_sent;
+    obs::Counter* retransmissions;
+    obs::Counter* mpdus_delivered;
+    obs::Counter* mpdus_delivered_via_forwarded_ba;
+    obs::Counter* mpdus_dropped_retry;
+    obs::Counter* enqueue_drops;
+    obs::Counter* ba_timeouts;
+    obs::Counter* ba_injected;  // backhaul-forwarded BA merges (§3.2.1)
+    obs::Counter* ba_heard;
+    obs::Counter* ba_collisions;
+    obs::Histogram* ampdu_mpdus;     // MPDUs per A-MPDU attempt
+    obs::Histogram* hw_queue_depth;  // depth after each enqueue
+  };
+  std::optional<Metrics> metrics_;
 };
 
 }  // namespace wgtt::mac

@@ -1,0 +1,134 @@
+// Metrics layer: named counters, gauges, and fixed-bucket histograms.
+//
+// The paper's evaluation is built on tcpdump-grade visibility: switch
+// timing (Table 1), spurious-retransmission counts (Table 3) and per-AP
+// airtime shares are all *measured*. The MetricsRegistry is the in-process
+// equivalent: every component registers its counters under a stable
+// `component.metric` name, increments them on the hot path (relaxed
+// atomics, no locks), and the registry snapshots the whole system as JSON.
+//
+// Naming scheme: `component.metric`, lower_snake_case, with the unit as a
+// suffix where one applies (`controller.switch_time_ms`, `tcp.rtt_ms`).
+// Registering the same name twice returns the same instrument, so several
+// instances of a component (the eight APs, say) naturally aggregate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wgtt::obs {
+
+/// Monotonic event count. Relaxed atomic: single writers are free, and
+/// concurrent writers (a future threaded scheduler) never tear.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depth, table occupancy).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram over [lo, hi): `num_buckets` equal-width linear
+/// buckets plus explicit underflow/overflow counts and exact min/max/sum.
+/// Percentile queries interpolate linearly inside the bucket that crosses
+/// the requested rank and clamp to the observed [min, max], so a
+/// single-sample histogram answers every percentile exactly and estimates
+/// are never off by more than one bucket width.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_buckets);
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Exact observed extrema (0 when empty).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// q in [0, 1]; 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Owns every instrument, keyed by name. Registration takes a mutex (cold
+/// path: components resolve raw pointers once in set_metrics); increments
+/// go straight to the instrument. std::map keeps snapshots sorted, so the
+/// JSON output is byte-for-byte deterministic for a deterministic run.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Returns the existing histogram if `name` was registered before (the
+  /// bucket layout of the first registration wins).
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t num_buckets);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// JSON snapshot (schema documented in DESIGN.md §Observability).
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace wgtt::obs

@@ -75,9 +75,55 @@ int WgttSystem::add_client(const mobility::Trajectory* trajectory) {
   client->mac().set_channel_sampler([this, idx](mac::RadioId peer) {
     return sample_for_client(idx, peer);
   });
+  if (metrics_ != nullptr) client->mac().set_metrics(metrics_, "client_mac");
   controller_->add_client(cid);
   clients_.push_back(std::move(client));
   return idx;
+}
+
+void WgttSystem::enable_metrics(obs::MetricsRegistry& registry,
+                                Time sample_period) {
+  metrics_ = &registry;
+  metrics_sample_period_ = sample_period;
+  controller_->set_metrics(&registry);
+  for (auto& ap : aps_) {
+    ap->set_metrics(&registry);
+    ap->mac().set_metrics(&registry, "mac");
+  }
+  for (auto& client : clients_) {
+    client->mac().set_metrics(&registry, "client_mac");
+  }
+  // Pre-register the sampled gauges so a snapshot taken before the first
+  // sampler tick already carries the keys.
+  registry.gauge("system.cyclic_backlog_total");
+  registry.gauge("system.hw_queue_depth_total");
+  registry.histogram("system.cyclic_backlog_depth", 0.0, 4096.0, 128);
+  if (!metrics_sampler_) {
+    metrics_sampler_ = std::make_unique<sim::Timer>(sched_, [this] {
+      sample_system_metrics();
+      metrics_sampler_->start(metrics_sample_period_);
+    });
+  }
+  metrics_sampler_->start(metrics_sample_period_);
+}
+
+void WgttSystem::sample_system_metrics() {
+  if (metrics_ == nullptr) return;
+  std::size_t backlog = 0;
+  std::size_t hw_depth = 0;
+  for (auto& ap : aps_) {
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      const net::ClientId cid{static_cast<std::uint32_t>(c)};
+      backlog += ap->cyclic_backlog(cid);
+      hw_depth += ap->mac().queue_depth(clients_[c]->radio());
+    }
+  }
+  metrics_->gauge("system.cyclic_backlog_total")
+      .set(static_cast<double>(backlog));
+  metrics_->gauge("system.hw_queue_depth_total")
+      .set(static_cast<double>(hw_depth));
+  metrics_->histogram("system.cyclic_backlog_depth", 0.0, 4096.0, 128)
+      .observe(static_cast<double>(backlog));
 }
 
 void WgttSystem::start() {

@@ -12,6 +12,7 @@
 #include "core/wgtt_client.h"
 #include "mac/medium.h"
 #include "net/backhaul.h"
+#include "obs/metrics.h"
 #include "scenario/testbed.h"
 #include "sim/scheduler.h"
 
@@ -58,6 +59,13 @@ class WgttSystem {
   /// Runs the simulation until `t`.
   void run_until(Time t) { sched_.run_until(t); }
 
+  /// Wires every component (controller, APs, AP MACs, client MACs — also
+  /// clients added afterwards) into `registry` and starts a periodic
+  /// sampler that records system-wide queue-occupancy gauges every
+  /// `sample_period`. The registry must outlive the system.
+  void enable_metrics(obs::MetricsRegistry& registry,
+                      Time sample_period = Time::ms(100));
+
   // --- server-side traffic attachment -------------------------------------
   /// Sends a downlink packet from the server (adds the wire latency).
   void server_send(net::Packet packet);
@@ -103,6 +111,11 @@ class WgttSystem {
   std::vector<bool> client_retuning_;
   std::vector<int> scan_next_offset_;
   bool started_ = false;
+
+  void sample_system_metrics();
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<sim::Timer> metrics_sampler_;
+  Time metrics_sample_period_ = Time::ms(100);
 };
 
 }  // namespace wgtt::scenario

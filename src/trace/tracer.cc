@@ -19,11 +19,20 @@ std::string_view to_string(EventKind kind) {
   return "?";
 }
 
+std::optional<EventKind> event_kind_from_string(std::string_view name) {
+  for (int i = 0; i < kNumEventKinds; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 std::size_t Tracer::count(EventKind kind, int client) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
-        return e.kind == kind && (client < 0 || e.client == client);
-      }));
+  std::size_t n = 0;
+  events_.for_each([&](const Event& e) {
+    if (e.kind == kind && (client < 0 || e.client == client)) ++n;
+  });
+  return n;
 }
 
 std::vector<double> Tracer::throughput_mbps(int client, Time bin,
@@ -31,11 +40,11 @@ std::vector<double> Tracer::throughput_mbps(int client, Time bin,
   const auto bins = static_cast<std::size_t>(
       std::max<std::int64_t>(1, horizon / bin));
   std::vector<double> out(bins, 0.0);
-  for (const Event& e : events_) {
-    if (e.kind != EventKind::kPacketDelivered || e.client != client) continue;
+  events_.for_each([&](const Event& e) {
+    if (e.kind != EventKind::kPacketDelivered || e.client != client) return;
     const auto idx = static_cast<std::size_t>(e.when / bin);
     if (idx < bins) out[idx] += e.value * 8.0;  // bytes -> bits
-  }
+  });
   const double bin_s = bin.to_seconds();
   for (double& v : out) v = v / 1e6 / bin_s;
   return out;
@@ -44,47 +53,57 @@ std::vector<double> Tracer::throughput_mbps(int client, Time bin,
 std::vector<double> Tracer::switch_intervals_s(int client) const {
   std::vector<double> out;
   double last = -1.0;
-  for (const Event& e : events_) {
-    if (e.kind != EventKind::kSwitchCompleted || e.client != client) continue;
+  events_.for_each([&](const Event& e) {
+    if (e.kind != EventKind::kSwitchCompleted || e.client != client) return;
     const double t = e.when.to_seconds();
     if (last >= 0.0) out.push_back(t - last);
     last = t;
-  }
+  });
   return out;
 }
 
 std::vector<std::pair<double, int>> Tracer::serving_timeline(int client) const {
   std::vector<std::pair<double, int>> out;
-  for (const Event& e : events_) {
+  events_.for_each([&](const Event& e) {
     if (e.kind == EventKind::kSwitchCompleted && e.client == client) {
       out.emplace_back(e.when.to_seconds(), e.node);
     }
-  }
+  });
   return out;
 }
 
 std::vector<double> Tracer::ap_tx_share(int num_aps) const {
   std::vector<double> counts(static_cast<std::size_t>(num_aps), 0.0);
   double total = 0.0;
-  for (const Event& e : events_) {
-    if (e.kind != EventKind::kFrameTx) continue;
+  events_.for_each([&](const Event& e) {
+    if (e.kind != EventKind::kFrameTx) return;
     if (e.node >= 0 && e.node < num_aps) {
       counts[static_cast<std::size_t>(e.node)] += 1.0;
       total += 1.0;
     }
-  }
+  });
   if (total > 0.0) {
     for (double& c : counts) c /= total;
   }
   return counts;
 }
 
+std::vector<double> Tracer::values(EventKind kind, int client) const {
+  std::vector<double> out;
+  events_.for_each([&](const Event& e) {
+    if (e.kind == kind && (client < 0 || e.client == client)) {
+      out.push_back(e.value);
+    }
+  });
+  return out;
+}
+
 void Tracer::write_csv(std::ostream& out) const {
   out << "when_s,kind,client,node,aux,value\n";
-  for (const Event& e : events_) {
+  events_.for_each([&](const Event& e) {
     out << e.when.to_seconds() << ',' << to_string(e.kind) << ',' << e.client
         << ',' << e.node << ',' << e.aux << ',' << e.value << '\n';
-  }
+  });
 }
 
 void attach(Tracer& tracer, scenario::WgttSystem& system) {

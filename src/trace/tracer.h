@@ -7,13 +7,19 @@
 // event stream, and offers the post-processing queries the evaluation
 // needs — throughput series, switch timing, per-AP airtime shares, and CSV
 // export for external plotting.
+//
+// Storage is a bounded obs::FlightRecorder ring (drop-oldest): a trace of a
+// long run keeps the most recent `capacity` events and counts what it shed
+// (`dropped()`), instead of growing without bound.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "util/units.h"
 
 namespace wgtt::scenario {
@@ -31,7 +37,14 @@ enum class EventKind : std::uint8_t {
   kCsiReport,        // node = AP
 };
 
+/// Total number of EventKind values; kinds are contiguous from 0. Tests
+/// iterate this to catch a new kind left out of to_string/from_string.
+inline constexpr int kNumEventKinds = 6;
+
 [[nodiscard]] std::string_view to_string(EventKind kind);
+/// Inverse of to_string (CSV round trip); nullopt for unknown names.
+[[nodiscard]] std::optional<EventKind> event_kind_from_string(
+    std::string_view name);
 
 struct Event {
   Time when;
@@ -44,10 +57,23 @@ struct Event {
 
 class Tracer {
  public:
-  void record(Event e) { events_.push_back(e); }
+  /// Default ring capacity: ~260k events (≈10 MB), comfortably above any
+  /// single drive-by experiment, bounded for long-running simulations.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : events_(capacity) {}
+
+  void record(Event e) { events_.push(e); }
+
   [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return events_.capacity(); }
+  /// Events shed by the ring (oldest-first) once capacity was reached.
+  [[nodiscard]] std::uint64_t dropped() const { return events_.dropped(); }
+  /// i-th oldest retained event.
+  [[nodiscard]] const Event& event(std::size_t i) const {
+    return events_.at(i);
+  }
   void clear() { events_.clear(); }
 
   /// Number of events of one kind (optionally for one client).
@@ -67,11 +93,16 @@ class Tracer {
   /// Fraction of transmissions contributed by each AP (index -> share).
   [[nodiscard]] std::vector<double> ap_tx_share(int num_aps) const;
 
+  /// `value` field of every event of `kind` (optionally for one client);
+  /// e.g. the per-switch protocol milliseconds of kSwitchCompleted.
+  [[nodiscard]] std::vector<double> values(EventKind kind,
+                                           int client = -1) const;
+
   /// CSV export: when_s,kind,client,node,aux,value — one row per event.
   void write_csv(std::ostream& out) const;
 
  private:
-  std::vector<Event> events_;
+  obs::FlightRecorder<Event> events_;
 };
 
 /// Subscribes a tracer to a WgttSystem's observation hooks. Existing hook

@@ -14,6 +14,30 @@ TcpSender::TcpSender(sim::Scheduler& sched, SendFn send, Config config)
   rto_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_rto(); });
 }
 
+void TcpSender::register_metrics(obs::MetricsRegistry& registry) {
+  registry.counter("tcp.segments_sent");
+  registry.counter("tcp.retransmissions");
+  registry.counter("tcp.fast_retransmits");
+  registry.counter("tcp.rtos");
+  registry.gauge("tcp.cwnd_segments");
+  registry.histogram("tcp.rtt_ms", 0.0, 500.0, 250);
+}
+
+void TcpSender::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  Metrics m;
+  m.segments_sent = &registry->counter("tcp.segments_sent");
+  m.retransmissions = &registry->counter("tcp.retransmissions");
+  m.fast_retransmits = &registry->counter("tcp.fast_retransmits");
+  m.rtos = &registry->counter("tcp.rtos");
+  m.cwnd_segments = &registry->gauge("tcp.cwnd_segments");
+  m.rtt_ms = &registry->histogram("tcp.rtt_ms", 0.0, 500.0, 250);
+  metrics_ = m;
+}
+
 std::uint64_t TcpSender::available() const {
   if (unlimited_) return ~0ULL >> 1;
   return app_limit_ > snd_nxt_ ? app_limit_ - snd_nxt_ : 0;
@@ -54,6 +78,10 @@ void TcpSender::send_segment(std::uint64_t seq, bool is_retransmission) {
 
   ++stats_.segments_sent;
   if (is_retransmission) ++stats_.retransmissions;
+  if (metrics_) {
+    metrics_->segments_sent->inc();
+    if (is_retransmission) metrics_->retransmissions->inc();
+  }
   send_(std::move(p));
 }
 
@@ -96,6 +124,7 @@ void TcpSender::on_ack_packet(const net::Packet& p) {
       stats_.last_srtt_ms = srtt_s_ * 1e3;
       const double rto_s = srtt_s_ + std::max(4.0 * rttvar_s_, 0.010);
       rto_ = std::clamp(Time::seconds(rto_s), config_.min_rto, config_.max_rto);
+      if (metrics_) metrics_->rtt_ms->observe(sample * 1e3);
     }
 
     const double mss = static_cast<double>(config_.mss);
@@ -116,6 +145,7 @@ void TcpSender::on_ack_packet(const net::Packet& p) {
       cwnd_ += mss * mss / cwnd_;  // congestion avoidance
     }
     cwnd_ = std::min(cwnd_, config_.max_cwnd_segments * mss);
+    if (metrics_) metrics_->cwnd_segments->set(cwnd_ / mss);
 
     if (on_progress) on_progress(snd_una_);
     if (snd_una_ >= snd_nxt_) {
@@ -146,6 +176,7 @@ void TcpSender::enter_fast_recovery() {
   in_recovery_ = true;
   recover_ = snd_nxt_;
   ++stats_.fast_retransmits;
+  if (metrics_) metrics_->fast_retransmits->inc();
   send_segment(snd_una_, true);
   arm_rto();
 }
@@ -154,6 +185,7 @@ void TcpSender::on_rto() {
   if (!alive_) return;
   if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
   ++stats_.rtos;
+  if (metrics_) metrics_->rtos->inc();
   ++consecutive_rtos_;
   if (consecutive_rtos_ > config_.max_consecutive_rtos) {
     alive_ = false;

@@ -13,8 +13,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 #include "transport/flow_stats.h"
 
@@ -67,6 +69,14 @@ class TcpSender {
   /// Progress callback: cumulative acked bytes.
   std::function<void(std::uint64_t)> on_progress;
 
+  /// Registers the `tcp.*` instruments without attaching a flow — ensures a
+  /// metrics snapshot carries the keys even when no TCP flow ever runs
+  /// (e.g. a UDP-workload drive).
+  static void register_metrics(obs::MetricsRegistry& registry);
+  /// Starts recording `tcp.*` metrics for this flow (all flows aggregate
+  /// into the same series). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   void try_send();
   void send_segment(std::uint64_t seq, bool is_retransmission);
@@ -102,6 +112,16 @@ class TcpSender {
 
   std::uint16_t next_ip_id_ = 1;
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter* segments_sent;
+    obs::Counter* retransmissions;
+    obs::Counter* fast_retransmits;
+    obs::Counter* rtos;
+    obs::Gauge* cwnd_segments;
+    obs::Histogram* rtt_ms;  // per-sample, from the echoed timestamp
+  };
+  std::optional<Metrics> metrics_;
 };
 
 class TcpReceiver {

@@ -1,0 +1,281 @@
+// Tests for the observability layer: metrics instruments, registry
+// snapshots, the flight-recorder ring, span timers, and the end-to-end
+// consistency of the controller's switch-time histogram against the
+// tracer's per-switch record of the same protocol runs.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mobility/trajectory.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span_timer.h"
+#include "scenario/wgtt_system.h"
+#include "trace/tracer.h"
+#include "transport/udp.h"
+#include "util/stats.h"
+
+namespace wgtt::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyAnswersZero) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleExactAtEveryPercentile) {
+  Histogram h(0.0, 60.0, 240);
+  h.observe(17.25);
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 17.25) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 17.25);
+  EXPECT_DOUBLE_EQ(h.max(), 17.25);
+  EXPECT_DOUBLE_EQ(h.sum(), 17.25);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, UnderflowOverflowClampToObservedExtrema) {
+  Histogram h(0.0, 10.0, 10);
+  h.observe(-5.0);  // underflow
+  h.observe(5.0);   // bucket
+  h.observe(25.0);  // overflow
+  h.observe(30.0);  // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+  // Every percentile stays inside the observed range even though half the
+  // samples fell outside [lo, hi).
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, -5.0) << "q=" << q;
+    EXPECT_LE(p, 30.0) << "q=" << q;
+  }
+  // The top of the distribution lives in the overflow segment.
+  EXPECT_GE(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramTest, UniformDistributionWithinOneBucketWidth) {
+  // 1000 samples uniform over [0, 1000) with 10-wide buckets: the
+  // interpolated estimate must land within one bucket width of the exact
+  // order statistic.
+  Histogram h(0.0, 1000.0, 100);
+  std::vector<double> xs;
+  xs.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(i);
+    h.observe(x);
+    xs.push_back(x);
+  }
+  const double bucket_width = 10.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(h.percentile(q), wgtt::percentile(xs, q), bucket_width)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 999.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 499.5);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry r;
+  Counter& c1 = r.counter("x.count");
+  c1.inc(3);
+  Counter& c2 = r.counter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+
+  Gauge& g1 = r.gauge("x.depth");
+  EXPECT_EQ(&g1, &r.gauge("x.depth"));
+
+  // First registration's bucket layout wins.
+  Histogram& h1 = r.histogram("x.lat_ms", 0.0, 10.0, 10);
+  Histogram& h2 = r.histogram("x.lat_ms", 0.0, 999.0, 7);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_DOUBLE_EQ(h2.hi(), 10.0);
+  EXPECT_EQ(h2.num_buckets(), 10u);
+
+  EXPECT_EQ(r.find_counter("x.count"), &c1);
+  EXPECT_EQ(r.find_counter("no.such"), nullptr);
+  EXPECT_EQ(r.find_gauge("no.such"), nullptr);
+  EXPECT_EQ(r.find_histogram("x.lat_ms"), &h1);
+}
+
+TEST(RegistryTest, SnapshotIsDeterministic) {
+  // Two registries populated with the same values in different orders must
+  // serialize byte-for-byte identically (std::map sorts the names).
+  auto populate = [](MetricsRegistry& r, bool reversed) {
+    const std::vector<std::string> counters = {"b.two", "a.one", "c.three"};
+    for (std::size_t k = 0; k < counters.size(); ++k) {
+      const auto& name =
+          reversed ? counters[counters.size() - 1 - k] : counters[k];
+      r.counter(name);
+    }
+    r.counter("a.one").inc(7);
+    r.counter("b.two").inc(11);
+    r.gauge("z.gauge").set(2.5);
+    r.gauge("a.gauge").set(-4.0);
+    Histogram& h = r.histogram("m.lat_ms", 0.0, 100.0, 20);
+    h.observe(12.0);
+    h.observe(55.5);
+    h.observe(99.9);
+  };
+  MetricsRegistry r1;
+  MetricsRegistry r2;
+  populate(r1, false);
+  populate(r2, true);
+  const std::string j1 = r1.to_json();
+  const std::string j2 = r2.to_json();
+  EXPECT_EQ(j1, j2);
+  EXPECT_NE(j1.find("\"schema\": \"wgtt.metrics.v1\""), std::string::npos);
+  EXPECT_NE(j1.find("\"a.one\": 7"), std::string::npos);
+  EXPECT_NE(j1.find("\"bucket_counts\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DropOldestStress) {
+  // Record 10x the capacity: memory stays at capacity, the drop counter
+  // equals the overflow exactly, and the retained window is the newest.
+  constexpr std::size_t kCapacity = 1000;
+  constexpr std::size_t kPushes = 10 * kCapacity;
+  FlightRecorder<std::size_t> fr(kCapacity);
+  EXPECT_TRUE(fr.empty());
+  for (std::size_t i = 0; i < kPushes; ++i) fr.push(i);
+  EXPECT_EQ(fr.capacity(), kCapacity);
+  EXPECT_EQ(fr.size(), kCapacity);
+  EXPECT_EQ(fr.dropped(), kPushes - kCapacity);
+  EXPECT_EQ(fr.at(0), kPushes - kCapacity);  // oldest retained
+  EXPECT_EQ(fr.at(kCapacity - 1), kPushes - 1);  // newest
+  std::size_t visited = 0;
+  std::size_t expect = kPushes - kCapacity;
+  fr.for_each([&](std::size_t v) {
+    EXPECT_EQ(v, expect++);
+    ++visited;
+  });
+  EXPECT_EQ(visited, kCapacity);
+  EXPECT_THROW(fr.at(kCapacity), std::out_of_range);
+  fr.clear();
+  EXPECT_TRUE(fr.empty());
+  EXPECT_EQ(fr.dropped(), 0u);
+}
+
+TEST(SpanTrackerTest, BeginEndCancel) {
+  Histogram sink(0.0, 100.0, 100);
+  SpanTracker spans(&sink);
+  EXPECT_EQ(spans.open_spans(), 0u);
+
+  spans.begin(7, Time::ms(10));
+  spans.begin(8, Time::ms(12));
+  EXPECT_EQ(spans.open_spans(), 2u);
+
+  const auto ms = spans.end(7, Time::ms(27));
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_DOUBLE_EQ(*ms, 17.0);
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_DOUBLE_EQ(sink.max(), 17.0);
+
+  // Ending an unknown key observes nothing.
+  EXPECT_FALSE(spans.end(99, Time::ms(30)).has_value());
+  EXPECT_EQ(sink.count(), 1u);
+
+  // Cancel drops the open span without observing.
+  spans.cancel(8);
+  EXPECT_EQ(spans.open_spans(), 0u);
+  EXPECT_FALSE(spans.end(8, Time::ms(40)).has_value());
+  EXPECT_EQ(sink.count(), 1u);
+
+  // begin() restarts an already-open span.
+  spans.begin(5, Time::ms(0));
+  spans.begin(5, Time::ms(50));
+  EXPECT_EQ(spans.open_spans(), 1u);
+  EXPECT_DOUBLE_EQ(spans.end(5, Time::ms(60)).value(), 10.0);
+}
+
+// End-to-end: drive a client through the picocell chain with BOTH the
+// tracer and the metrics registry attached, then check that the
+// controller's switch-time histogram tells the same story as the tracer's
+// per-switch protocol-duration events.
+TEST(MetricsSystemTest, SwitchTimesMatchTracerWithinOneMs) {
+  scenario::WgttSystemConfig cfg;
+  cfg.geometry.seed = 91;
+  scenario::WgttSystem system(cfg);
+  mobility::LineDrive drive(-10.0, 0.0, mph_to_mps(25.0));
+  const int c = system.add_client(&drive);
+  system.start();
+
+  MetricsRegistry metrics;
+  system.enable_metrics(metrics, Time::ms(100));
+  trace::Tracer tracer;
+  trace::attach(tracer, system);
+
+  transport::UdpSource src(
+      system.sched(),
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        system.server_send(std::move(p));
+      },
+      {.rate_mbps = 12.0, .client = net::ClientId{static_cast<unsigned>(c)}});
+  src.start();
+  system.run_until(Time::sec(5));
+
+  const auto switch_ms = tracer.values(trace::EventKind::kSwitchCompleted, c);
+  ASSERT_GT(switch_ms.size(), 2u) << "drive produced too few switches";
+
+  const Histogram* h = metrics.find_histogram("controller.switch_time_ms");
+  ASSERT_NE(h, nullptr);
+  // Every completed switch the tracer saw must be accounted for in the
+  // histogram (both hook the same protocol completion).
+  EXPECT_EQ(h->count(), switch_ms.size());
+  const auto* completed = metrics.find_counter("controller.switches_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value(), switch_ms.size());
+
+  // Percentiles from the fixed-bucket histogram agree with the exact
+  // order-statistic percentiles of the tracer's samples within 1 ms
+  // (bucket width is 0.25 ms).
+  for (double q : {0.50, 0.90, 0.99}) {
+    EXPECT_NEAR(h->percentile(q), wgtt::percentile(switch_ms, q), 1.0)
+        << "q=" << q;
+  }
+  EXPECT_NEAR(h->sum(), std::accumulate(switch_ms.begin(), switch_ms.end(), 0.0),
+              1e-6);
+
+  // The data-path instruments saw traffic too.
+  const auto* downlink = metrics.find_counter("controller.downlink_packets");
+  ASSERT_NE(downlink, nullptr);
+  EXPECT_GT(downlink->value(), 100u);
+  const auto* ampdus = metrics.find_counter("mac.ampdus_sent");
+  ASSERT_NE(ampdus, nullptr);
+  EXPECT_GT(ampdus->value(), 0u);
+  const Histogram* occ = metrics.find_histogram("ap.cyclic_occupancy");
+  ASSERT_NE(occ, nullptr);
+  EXPECT_GT(occ->count(), 0u);
+}
+
+}  // namespace
+}  // namespace wgtt::obs

@@ -72,6 +72,63 @@ TEST(TracerTest, CsvExport) {
   EXPECT_NE(csv.find("17.5"), std::string::npos);
 }
 
+TEST(TracerTest, ToStringCoversAllKinds) {
+  for (int i = 0; i < kNumEventKinds; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    const std::string_view name = to_string(kind);
+    EXPECT_NE(name, "?") << "EventKind " << i << " missing from to_string";
+    const auto parsed = event_kind_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(event_kind_from_string("no_such_kind").has_value());
+  EXPECT_FALSE(event_kind_from_string("").has_value());
+}
+
+TEST(TracerTest, CsvRoundTripAllKinds) {
+  Tracer t;
+  for (int i = 0; i < kNumEventKinds; ++i) {
+    t.record({Time::ms(i), static_cast<EventKind>(i), i, i + 1, -1,
+              static_cast<double>(i) * 1.5});
+  }
+  std::ostringstream out;
+  t.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  EXPECT_EQ(line, "when_s,kind,client,node,aux,value");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    // kind is the second CSV column; every row's must parse back.
+    const auto a = line.find(',');
+    const auto b = line.find(',', a + 1);
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    const std::string kind_name = line.substr(a + 1, b - a - 1);
+    const auto parsed = event_kind_from_string(kind_name);
+    ASSERT_TRUE(parsed.has_value()) << kind_name;
+    EXPECT_EQ(*parsed, static_cast<EventKind>(rows));
+    ++rows;
+  }
+  EXPECT_EQ(rows, kNumEventKinds);
+}
+
+TEST(TracerTest, BoundedCapacityDropsOldest) {
+  Tracer t(8);
+  EXPECT_EQ(t.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    t.record({Time::ms(i), EventKind::kFrameTx, -1, i, -1, 0.0});
+  }
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), 12u);
+  // Oldest retained event is #12; newest is #19.
+  EXPECT_EQ(t.event(0).node, 12);
+  EXPECT_EQ(t.event(7).node, 19);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
 TEST(TracerAttachTest, CapturesLiveSystem) {
   scenario::WgttSystemConfig cfg;
   cfg.geometry.seed = 91;

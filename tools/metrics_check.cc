@@ -1,0 +1,302 @@
+// metrics_check: end-to-end validation of the wgtt-sim --metrics snapshot.
+//
+// Runs the simulator binary (argv[1]) for a short drive with --metrics,
+// parses the emitted JSON with a self-contained parser (no Python, no
+// third-party deps — this is the CI gate for the metrics schema), and
+// checks that the snapshot carries every key the paper-reproduction
+// tooling relies on, with internally consistent values:
+//
+//   - schema tag wgtt.metrics.v1
+//   - controller switch-phase histogram, count == switches completed
+//   - cyclic-queue, A-MPDU, block-ACK-forward and de-dup instruments
+//   - tcp.* keys present even for a UDP workload (pre-registration)
+//
+// Exit 0 on success; nonzero with a message naming the first failure.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON ------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_literal("null") &&
+                         (out.kind = JsonValue::Kind::kNull, true);
+    return parse_number(out);
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (parse_literal("true")) {
+      out.boolean = true;
+      return true;
+    }
+    if (parse_literal("false")) {
+      out.boolean = false;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            pos_ += 4;  // keys we check are ASCII; skip the escape
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- checks ------------------------------------------------------------------
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "metrics_check FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+const JsonValue* require_key(const JsonValue& section, const char* name,
+                             const char* kind, std::string& err) {
+  const JsonValue* v = section.find(name);
+  if (v == nullptr) err = std::string("missing ") + kind + " '" + name + "'";
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: metrics_check <path-to-wgtt-sim>\n");
+    return 2;
+  }
+  const std::string out_path = "metrics_check_out.json";
+  std::remove(out_path.c_str());
+
+  const std::string cmd = std::string("\"") + argv[1] +
+                          "\" --mph 25 --aps 4 --rate 10 --seed 3 --metrics " +
+                          out_path + " > metrics_check_stdout.txt";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) return fail("simulator run exited nonzero");
+
+  std::ifstream in(out_path);
+  if (!in) return fail("simulator did not write " + out_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue root;
+  if (!JsonParser(buf.str()).parse(root)) {
+    return fail("snapshot is not valid JSON");
+  }
+  if (root.kind != JsonValue::Kind::kObject) return fail("root is not an object");
+
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->str != "wgtt.metrics.v1") {
+    return fail("schema tag missing or not wgtt.metrics.v1");
+  }
+
+  const JsonValue* counters = root.find("counters");
+  const JsonValue* gauges = root.find("gauges");
+  const JsonValue* histograms = root.find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    return fail("missing counters/gauges/histograms section");
+  }
+
+  std::string err;
+  const char* required_counters[] = {
+      "controller.switches_initiated", "controller.switches_completed",
+      "controller.stop_retransmissions", "controller.downlink_packets",
+      "controller.dedup_hits", "controller.dedup_misses",
+      "ap.downlink_received", "ap.stale_dropped", "ap.cyclic_overwrites",
+      "ap.ba_forwarded", "mac.ba_injected", "mac.retransmissions",
+      "mac.ampdus_sent", "client_mac.ba_heard", "tcp.segments_sent",
+      "tcp.retransmissions", "tcp.rtos",
+  };
+  for (const char* name : required_counters) {
+    if (require_key(*counters, name, "counter", err) == nullptr) return fail(err);
+  }
+  const char* required_gauges[] = {
+      "controller.dedup_table_size", "system.cyclic_backlog_total",
+      "system.hw_queue_depth_total", "tcp.cwnd_segments",
+  };
+  for (const char* name : required_gauges) {
+    if (require_key(*gauges, name, "gauge", err) == nullptr) return fail(err);
+  }
+  const char* required_histograms[] = {
+      "controller.switch_time_ms", "ap.stop_to_start_ms", "ap.start_to_ack_ms",
+      "ap.cyclic_occupancy", "mac.ampdu_mpdus", "mac.hw_queue_depth",
+      "tcp.rtt_ms", "system.cyclic_backlog_depth",
+  };
+  for (const char* name : required_histograms) {
+    if (require_key(*histograms, name, "histogram", err) == nullptr) {
+      return fail(err);
+    }
+  }
+
+  // Cross-checks: the drive must actually have switched, and the
+  // switch-time histogram must account for every completed switch.
+  const double completed = counters->find("controller.switches_completed")->number;
+  if (completed < 1.0) return fail("no switches completed in the drive");
+  const JsonValue* st = histograms->find("controller.switch_time_ms");
+  const JsonValue* st_count = st->find("count");
+  if (st_count == nullptr) return fail("switch_time_ms has no count");
+  if (st_count->number != completed) {
+    return fail("switch_time_ms count (" + std::to_string(st_count->number) +
+                ") != switches_completed (" + std::to_string(completed) + ")");
+  }
+  const JsonValue* delivered = counters->find("controller.downlink_packets");
+  if (delivered->number < 1.0) return fail("no downlink packets flowed");
+
+  std::printf("metrics_check OK: %zu counters, %zu gauges, %zu histograms; "
+              "%g switches\n",
+              counters->object.size(), gauges->object.size(),
+              histograms->object.size(), completed);
+  return 0;
+}

@@ -9,11 +9,19 @@
 //            [--mph 15] [--rate 30] [--clients 1] [--aps 8] [--spacing 7.5]
 //            [--seed 1] [--window-ms 10] [--hysteresis-ms 40]
 //            [--channel-reuse 1] [--csv out.csv]
+//            [--metrics out.json] [--metrics-interval-ms 100]
+//
+// --metrics writes a JSON snapshot of the whole metrics registry after the
+// run (schema wgtt.metrics.v1, see DESIGN.md §Observability): controller
+// switch-phase histograms, cyclic-queue and hardware-queue depths,
+// block-ACK forwarding, de-dup and TCP counters. --metrics-interval-ms sets
+// the system-gauge sampling period (default 100 ms).
 //
 // Examples:
 //   wgtt_sim --mph 25 --rate 40
 //   wgtt_sim --system baseline --workload tcp --mph 15
 //   wgtt_sim --channel-reuse 3 --csv trace.csv
+//   wgtt_sim --mph 25 --metrics m.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,8 +29,10 @@
 
 #include "bench/harness.h"
 #include "mobility/trajectory.h"
+#include "obs/metrics.h"
 #include "scenario/wgtt_system.h"
 #include "trace/tracer.h"
+#include "transport/tcp.h"
 #include "transport/udp.h"
 
 using namespace wgtt;
@@ -36,6 +46,7 @@ struct Options {
   int num_aps = 8;
   double spacing = 7.5;
   bool ok = true;
+  bool help = false;
 };
 
 void usage() {
@@ -46,7 +57,8 @@ void usage() {
                "[--aps N] [--spacing M]\n"
                "                [--seed N] [--window-ms N] "
                "[--hysteresis-ms N]\n"
-               "                [--channel-reuse N] [--csv FILE]\n");
+               "                [--channel-reuse N] [--csv FILE]\n"
+               "                [--metrics FILE] [--metrics-interval-ms N]\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -116,9 +128,15 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--csv") {
       const char* v = need_value("--csv");
       if (v) o.csv_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = need_value("--metrics");
+      if (v) o.drive.metrics_path = v;
+    } else if (arg == "--metrics-interval-ms") {
+      const char* v = need_value("--metrics-interval-ms");
+      if (v) o.drive.metrics_interval = Time::millis(std::atof(v));
     } else if (arg == "--help" || arg == "-h") {
       usage();
-      o.ok = false;
+      o.help = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -154,6 +172,12 @@ int run_with_trace(const Options& o, int channel_reuse) {
   trace::Tracer tracer;
   trace::attach(tracer, sys);
 
+  obs::MetricsRegistry metrics;
+  if (!o.drive.metrics_path.empty()) {
+    sys.enable_metrics(metrics, o.drive.metrics_interval);
+    transport::TcpSender::register_metrics(metrics);
+  }
+
   transport::UdpSource src(
       sys.sched(),
       [&](net::Packet p) {
@@ -179,6 +203,13 @@ int run_with_trace(const Options& o, int channel_reuse) {
     tracer.write_csv(out);
     std::printf("trace written to %s\n", o.csv_path.c_str());
   }
+  if (!o.drive.metrics_path.empty()) {
+    metrics.gauge("trace.events_dropped")
+        .set(static_cast<double>(tracer.dropped()));
+    std::ofstream out(o.drive.metrics_path);
+    metrics.write_json(out);
+    std::printf("metrics written to %s\n", o.drive.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -192,7 +223,12 @@ int main(int argc, char** argv) {
     }
   }
   const Options o = parse(argc, argv);
+  if (o.help) return 0;
   if (!o.ok) return 1;
+  if (!o.drive.metrics_path.empty() && o.drive.system != System::kWgtt) {
+    std::fprintf(stderr, "--metrics requires the wgtt system\n");
+    return 1;
+  }
 
   // CSV tracing needs the hook-based path (WGTT, UDP downlink).
   if (!o.csv_path.empty() || channel_reuse > 1) {
@@ -231,6 +267,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < r.clients.size(); ++i) {
     std::printf("  client %zu : %.2f Mbit/s, tcp %s\n", i, r.clients[i].mbps,
                 r.clients[i].tcp_alive ? "alive" : "DEAD");
+  }
+  if (!o.drive.metrics_path.empty()) {
+    std::printf("metrics written to %s\n", o.drive.metrics_path.c_str());
   }
   return 0;
 }
