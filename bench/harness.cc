@@ -111,6 +111,12 @@ DriveResult run_drive(const DriveConfig& cfg) {
     if (cfg.hysteresis) scfg.controller.switch_hysteresis = *cfg.hysteresis;
     scfg.controller.metric = cfg.metric;
     scfg.ap.start_from_newest = cfg.start_from_newest;
+    if (cfg.control_loss_rate > 0.0) {
+      for (const auto kind : {net::MsgKind::kStop, net::MsgKind::kStart,
+                              net::MsgKind::kSwitchAck}) {
+        scfg.backhaul.fault(kind).loss_rate = cfg.control_loss_rate;
+      }
+    }
     wgtt = std::make_unique<scenario::WgttSystem>(scfg);
     sched = &wgtt->sched();
   } else {
@@ -355,6 +361,14 @@ DriveResult run_drive(const DriveConfig& cfg) {
     }
     result.uplink_dups_dropped = st.uplink_duplicates_dropped;
     result.uplink_packets = st.uplink_packets;
+    result.stop_retransmissions = st.stop_retransmissions;
+    result.stale_acks_ignored = st.stale_acks_ignored;
+    result.invariant_violations = wgtt->check_invariants().violations.size();
+    for (int i = 0; i < wgtt->num_aps(); ++i) {
+      const auto& aps = wgtt->ap(i).stats();
+      result.idempotent_replies += aps.stop_duplicates + aps.start_duplicates +
+                                   aps.stale_control_ignored;
+    }
     for (int i = 0; i < wgtt->num_aps(); ++i) {
       const auto s = wgtt->ap(i).mac().total_stats();
       result.retransmissions += s.retransmissions;

@@ -48,6 +48,11 @@ struct DriveConfig {
   bool start_from_newest = false;        // queue-management ablation
   core::Controller::SelectionMetric metric =
       core::Controller::SelectionMetric::kMedianEsnr;
+  /// Loss applied to the control plane only (stop/start/ack), via the
+  /// backhaul's per-message-type fault plans. Exercises the retransmission
+  /// and epoch-idempotency machinery without touching the data path.
+  /// WGTT system only.
+  double control_loss_rate = 0.0;
   std::optional<scenario::GeometryConfig> geometry;  // density sweeps
   std::optional<Time> baseline_persistence;          // stock vs enhanced
   /// Sampling period of the serving-vs-optimal accuracy probe.
@@ -91,6 +96,14 @@ struct DriveResult {
   std::uint64_t uplink_dups_dropped = 0;
   std::uint64_t uplink_packets = 0;
   std::uint64_t stale_dropped = 0;
+  // Switching-protocol health (WGTT system only).
+  std::uint64_t stop_retransmissions = 0;
+  std::uint64_t stale_acks_ignored = 0;
+  /// Retransmitted stops/starts answered idempotently at the APs, plus
+  /// stale control discarded — how hard the epoch guard worked.
+  std::uint64_t idempotent_replies = 0;
+  /// End-of-run WgttSystem::check_invariants violations (0 = clean).
+  std::size_t invariant_violations = 0;
   /// Populated when DriveConfig::collect_metrics (or metrics_path) is set.
   std::shared_ptr<obs::MetricsRegistry> metrics;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mac/block_ack.h"
 #include "phy/rate_control.h"
 
 namespace wgtt::ap {
@@ -64,6 +65,9 @@ void WgttAp::set_metrics(obs::MetricsRegistry* registry) {
   m.pump_enqueued = &registry->counter("ap.pump_enqueued");
   m.stops_handled = &registry->counter("ap.stops_handled");
   m.starts_handled = &registry->counter("ap.starts_handled");
+  m.stop_duplicates = &registry->counter("ap.stop_duplicates");
+  m.start_duplicates = &registry->counter("ap.start_duplicates");
+  m.stale_control_ignored = &registry->counter("ap.stale_control_ignored");
   m.ba_forwarded = &registry->counter("ap.ba_forwarded");
   m.ba_forward_received = &registry->counter("ap.ba_forward_received");
   m.ba_forward_duplicate = &registry->counter("ap.ba_forward_duplicate");
@@ -156,6 +160,47 @@ void WgttAp::handle_downlink(net::DownlinkData&& msg) {
 void WgttAp::handle_stop(const net::StopMsg& msg) {
   ClientState* cs = client_state(msg.client);
   if (cs == nullptr) return;
+  ControlRecord& ctl = cs->ctl;
+  if (ctl.have_epoch && msg.epoch < ctl.epoch) {
+    // A leftover of an already-superseded switch; acting on it would stop
+    // a drain the controller believes is live.
+    ++stats_.stale_control_ignored;
+    if (metrics_) metrics_->stale_control_ignored->inc();
+    return;
+  }
+  if (ctl.have_epoch && msg.epoch == ctl.epoch) {
+    // Retransmit of a stop already seen (the start or the ack got lost
+    // downstream). Replay the RECORDED first-unsent index rather than
+    // re-querying: the live next_index belongs to whichever AP is draining
+    // now, and a fresh query would hand the new AP a rewound (or advanced)
+    // pointer. No span re-begin either — the switch started once.
+    ++stats_.stop_duplicates;
+    if (metrics_) metrics_->stop_duplicates->inc();
+    if (ctl.op == CtlOp::kStop && ctl.stop_first_unsent) {
+      const Time proc = draw_delay(config_.control_processing_mean,
+                                   config_.control_processing_std);
+      sched_.schedule_in(proc, [this, client = msg.client, epoch = msg.epoch] {
+        ClientState* s = client_state(client);
+        if (s == nullptr) return;
+        const ControlRecord& c = s->ctl;
+        if (!c.have_epoch || c.epoch != epoch || c.op != CtlOp::kStop ||
+            !c.stop_first_unsent) {
+          return;  // superseded while the replay was in flight
+        }
+        backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(c.stop_new_ap),
+                       net::StartMsg{client, id_, *c.stop_first_unsent, epoch});
+      });
+    }
+    // else: the kernel query is still in flight; its answer covers this
+    // duplicate too.
+    return;
+  }
+  ctl.have_epoch = true;
+  ctl.epoch = msg.epoch;
+  ctl.op = CtlOp::kStop;
+  ctl.stop_new_ap = msg.new_ap;
+  ctl.stop_first_unsent.reset();
+  ctl.start_acked = false;
   ++stats_.stops_handled;
   if (metrics_) {
     metrics_->stops_handled->inc();
@@ -164,9 +209,14 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
   // Control packets are prioritized but still cross the Click userspace.
   const Time proc = draw_delay(config_.control_processing_mean,
                                config_.control_processing_std);
-  sched_.schedule_in(proc, [this, client = msg.client, new_ap = msg.new_ap] {
+  sched_.schedule_in(proc, [this, client = msg.client, new_ap = msg.new_ap,
+                            epoch = msg.epoch] {
     ClientState* s = client_state(client);
     if (s == nullptr) return;
+    if (!s->ctl.have_epoch || s->ctl.epoch != epoch ||
+        s->ctl.op != CtlOp::kStop) {
+      return;  // a newer epoch took over while we crossed userspace
+    }
     // Cease sending: stop pumping. MPDUs already in the NIC hardware queue
     // keep draining over the (deteriorating) old link — the paper measures
     // ~6 ms of residual transmissions and accepts them.
@@ -174,14 +224,19 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
     // Query the kernel for the first unsent index (ioctl round trip), then
     // hand off to the new AP.
     const Time q = draw_delay(config_.ioctl_query_mean, config_.ioctl_query_std);
-    sched_.schedule_in(q, [this, client, new_ap] {
+    sched_.schedule_in(q, [this, client, new_ap, epoch] {
       ClientState* s2 = client_state(client);
       if (s2 == nullptr) return;
+      if (!s2->ctl.have_epoch || s2->ctl.epoch != epoch ||
+          s2->ctl.op != CtlOp::kStop) {
+        return;
+      }
+      s2->ctl.stop_first_unsent = s2->next_index;
       if (metrics_) {
         metrics_->stop_to_start.end(net::index_of(client), sched_.now());
       }
       backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(new_ap),
-                     net::StartMsg{client, id_, s2->next_index});
+                     net::StartMsg{client, id_, s2->next_index, epoch});
     });
   });
 }
@@ -189,6 +244,38 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
 void WgttAp::handle_start(const net::StartMsg& msg) {
   ClientState* cs = client_state(msg.client);
   if (cs == nullptr) return;
+  ControlRecord& ctl = cs->ctl;
+  if (ctl.have_epoch && msg.epoch < ctl.epoch) {
+    // e.g. a delayed duplicate arriving after this AP was already stopped
+    // for a later switch: becoming "serving" again would duplicate the
+    // client's serving AP.
+    ++stats_.stale_control_ignored;
+    if (metrics_) metrics_->stale_control_ignored->inc();
+    return;
+  }
+  if (ctl.have_epoch && msg.epoch == ctl.epoch) {
+    // Retransmit chain reached us again (our ack was lost). Replay the ack
+    // only: re-applying the stale k would rewind next_index and
+    // re-transmit everything already delivered since.
+    ++stats_.start_duplicates;
+    if (metrics_) metrics_->start_duplicates->inc();
+    if (ctl.op == CtlOp::kStart && ctl.start_acked) {
+      const Time proc = draw_delay(config_.control_processing_mean,
+                                   config_.control_processing_std);
+      sched_.schedule_in(proc, [this, client = msg.client, epoch = msg.epoch] {
+        if (client_state(client) == nullptr) return;
+        backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+                       net::SwitchAck{client, id_, epoch});
+      });
+    }
+    // else: the original start is still being processed; it will ack.
+    return;
+  }
+  ctl.have_epoch = true;
+  ctl.epoch = msg.epoch;
+  ctl.op = CtlOp::kStart;
+  ctl.start_acked = false;
+  ctl.stop_first_unsent.reset();
   ++stats_.starts_handled;
   if (metrics_) {
     metrics_->starts_handled->inc();
@@ -196,22 +283,37 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
   }
   const Time proc = draw_delay(config_.start_processing_mean,
                                config_.start_processing_std);
-  sched_.schedule_in(proc, [this, client = msg.client, k = msg.first_unsent_index] {
+  sched_.schedule_in(proc, [this, client = msg.client,
+                            k = msg.first_unsent_index, epoch = msg.epoch] {
     ClientState* s = client_state(client);
     if (s == nullptr) return;
-    s->serving = true;
+    if (!s->ctl.have_epoch || s->ctl.epoch != epoch ||
+        s->ctl.op != CtlOp::kStart) {
+      return;  // superseded while we crossed userspace
+    }
+    std::uint16_t applied;
     if (config_.start_from_newest && s->queue.newest()) {
       // Queue-management ablation: drop the handed-off backlog on the floor
       // and continue from whatever arrives next.
-      s->next_index = (*s->queue.newest() + 1) & (CyclicQueue::kIndexSpace - 1);
+      applied = (*s->queue.newest() + 1) & (CyclicQueue::kIndexSpace - 1);
     } else {
-      s->next_index = k & (CyclicQueue::kIndexSpace - 1);
+      applied = k & (CyclicQueue::kIndexSpace - 1);
     }
+    // Invariant probe: moving an already-serving drain pointer backward is
+    // exactly the duplicate-StartMsg rewind bug. Unreachable with the epoch
+    // guard above; counted (not corrected) so the checker can prove it.
+    if (s->serving &&
+        mac::seq_sub(applied, s->next_index) > CyclicQueue::kIndexSpace / 2) {
+      ++stats_.index_regressions;
+    }
+    s->serving = true;
+    s->next_index = applied;
+    s->ctl.start_acked = true;
     if (metrics_) {
       metrics_->start_to_ack.end(net::index_of(client), sched_.now());
     }
     backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
-                   net::SwitchAck{client, id_});
+                   net::SwitchAck{client, id_, epoch});
     pump(*s);
   });
 }

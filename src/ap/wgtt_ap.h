@@ -71,6 +71,20 @@ class WgttAp {
     std::uint64_t downlink_received = 0;
     std::uint64_t stops_handled = 0;
     std::uint64_t starts_handled = 0;
+    /// Retransmitted stops answered by replaying the recorded start (same
+    /// epoch, same first-unsent index — no kernel re-query).
+    std::uint64_t stop_duplicates = 0;
+    /// Retransmitted starts answered by replaying the ack (no serving or
+    /// next_index change).
+    std::uint64_t start_duplicates = 0;
+    /// Stop/start messages discarded because their epoch predates the
+    /// newest one seen for that client.
+    std::uint64_t stale_control_ignored = 0;
+    /// Times applying a start moved an already-serving drain pointer
+    /// backward in 12-bit space — the duplicate-StartMsg rewind bug. The
+    /// epoch guard makes this unreachable; the invariant checker asserts
+    /// it stays zero.
+    std::uint64_t index_regressions = 0;
     std::uint64_t csi_reports_sent = 0;
     std::uint64_t uplink_forwarded = 0;
     std::uint64_t ba_forwarded = 0;
@@ -112,11 +126,32 @@ class WgttAp {
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
+  /// Which side of the handshake the newest epoch put this AP on. An epoch
+  /// names exactly one switch, and one AP sees either its stop (it is the
+  /// old AP) or its start (it is the new AP), never both.
+  enum class CtlOp : std::uint8_t { kNone, kStop, kStart };
+
+  /// Per-client epoch guard for the switching handshake: the newest epoch
+  /// seen plus the recorded answer, so retransmitted control messages are
+  /// answered idempotently and stale ones are discarded.
+  struct ControlRecord {
+    bool have_epoch = false;
+    std::uint32_t epoch = 0;  // newest stop/start epoch seen
+    CtlOp op = CtlOp::kNone;
+    net::ApId stop_new_ap{};
+    /// First-unsent index recorded when the stop's kernel query answered;
+    /// a retransmitted stop replays this instead of re-querying (the live
+    /// next_index belongs to a drain that may have moved on).
+    std::optional<std::uint16_t> stop_first_unsent;
+    bool start_acked = false;
+  };
+
   struct ClientState {
     mac::RadioId radio{};
     CyclicQueue queue;
     bool serving = false;
     std::uint16_t next_index = 0;  // next index to push toward the NIC
+    ControlRecord ctl;
     RingBuffer<std::uint64_t> seen_ba_uids{64};
   };
 
@@ -154,6 +189,9 @@ class WgttAp {
     obs::Counter* pump_enqueued;
     obs::Counter* stops_handled;
     obs::Counter* starts_handled;
+    obs::Counter* stop_duplicates;
+    obs::Counter* start_duplicates;
+    obs::Counter* stale_control_ignored;
     obs::Counter* ba_forwarded;
     obs::Counter* ba_forward_received;
     obs::Counter* ba_forward_duplicate;

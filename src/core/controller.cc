@@ -34,6 +34,7 @@ void Controller::set_metrics(obs::MetricsRegistry* registry) {
   m.switches_completed = &registry->counter("controller.switches_completed");
   m.stop_retransmissions =
       &registry->counter("controller.stop_retransmissions");
+  m.stale_acks_ignored = &registry->counter("controller.stale_acks_ignored");
   m.downlink_packets = &registry->counter("controller.downlink_packets");
   m.fanout_copies = &registry->counter("controller.fanout_copies");
   m.uplink_packets = &registry->counter("controller.uplink_packets");
@@ -62,12 +63,16 @@ void Controller::add_client(net::ClientId client) {
     if (metrics_) metrics_->stop_retransmissions->inc();
     if (it->second.serving) {
       backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_from),
-                     net::StopMsg{client, it->second.pending_target});
+                     net::StopMsg{client, it->second.pending_target,
+                                  it->second.epoch});
     } else {
-      // Bootstrap start was lost; resend it directly.
+      // Bootstrap start was lost; resend it directly, with the fan-out
+      // index captured at initiation (next_index has kept advancing and
+      // would skip everything fanned out since).
       backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_target),
                      net::StartMsg{client, it->second.pending_target,
-                                   it->second.next_index});
+                                   it->second.pending_first_index,
+                                   it->second.epoch});
     }
     it->second.ack_timer->start(config_.ack_timeout);
   });
@@ -155,10 +160,13 @@ void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
   cs.pending_target = first_ap;
   cs.pending_from = first_ap;
   cs.pending_since = sched_.now();
+  cs.pending_first_index = cs.next_index;
+  ++cs.epoch;
   ++stats_.switches_initiated;
   if (metrics_) metrics_->switches_initiated->inc();
   backhaul_.send(NodeId::controller(), NodeId::ap(first_ap),
-                 net::StartMsg{client, first_ap, cs.next_index});
+                 net::StartMsg{client, first_ap, cs.pending_first_index,
+                               cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
 }
 
@@ -168,10 +176,11 @@ void Controller::initiate_switch(net::ClientId client, net::ApId target) {
   cs.pending_target = target;
   cs.pending_from = *cs.serving;
   cs.pending_since = sched_.now();
+  ++cs.epoch;
   ++stats_.switches_initiated;
   if (metrics_) metrics_->switches_initiated->inc();
   backhaul_.send(NodeId::controller(), NodeId::ap(*cs.serving),
-                 net::StopMsg{client, target});
+                 net::StopMsg{client, target, cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
 }
 
@@ -179,7 +188,17 @@ void Controller::handle_switch_ack(const net::SwitchAck& msg) {
   auto it = clients_.find(msg.client);
   if (it == clients_.end()) return;
   ClientState& cs = it->second;
-  if (!cs.switch_pending || msg.from_ap != cs.pending_target) return;
+  // Only the ack for the outstanding switch counts: matching on
+  // (epoch, target) rather than the sender alone rejects duplicates from a
+  // retransmit chain and leftovers of a previous switch to the same AP,
+  // either of which could otherwise complete a LATER switch that has not
+  // actually happened at the APs.
+  if (!cs.switch_pending || msg.from_ap != cs.pending_target ||
+      msg.epoch != cs.epoch) {
+    ++stats_.stale_acks_ignored;
+    if (metrics_) metrics_->stale_acks_ignored->inc();
+    return;
+  }
   cs.ack_timer->cancel();
   cs.switch_pending = false;
   const net::ApId from = cs.serving.value_or(msg.from_ap);
@@ -253,6 +272,19 @@ void Controller::handle_uplink(net::UplinkData&& msg) {
 std::optional<net::ApId> Controller::serving_ap(net::ClientId client) const {
   auto it = clients_.find(client);
   return it == clients_.end() ? std::nullopt : it->second.serving;
+}
+
+std::optional<Time> Controller::pending_switch_since(
+    net::ClientId client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || !it->second.switch_pending) return std::nullopt;
+  return it->second.pending_since;
+}
+
+Time Controller::last_switch_completed(net::ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? Time::ms(-1'000'000)
+                              : it->second.last_switch_completed;
 }
 
 }  // namespace wgtt::core

@@ -67,6 +67,11 @@ class Controller {
     std::uint64_t switches_initiated = 0;
     std::uint64_t switches_completed = 0;
     std::uint64_t stop_retransmissions = 0;
+    /// Acks whose (epoch, AP) did not match the outstanding switch:
+    /// duplicates from a retransmit chain or leftovers of a superseded
+    /// switch. Ignoring them is the fix for the stale-ack-completes-a-
+    /// later-switch bug.
+    std::uint64_t stale_acks_ignored = 0;
   };
 
   struct SwitchRecord {
@@ -93,6 +98,13 @@ class Controller {
   std::function<void(net::ClientId, net::ApId, Time)> on_serving_changed;
 
   [[nodiscard]] std::optional<net::ApId> serving_ap(net::ClientId client) const;
+  /// Initiation time of the client's outstanding switch, if one is pending.
+  /// The invariant checker uses this to detect permanently stalled clients.
+  [[nodiscard]] std::optional<Time> pending_switch_since(
+      net::ClientId client) const;
+  /// Completion time of the client's last switch (a large negative sentinel
+  /// before the first one completes).
+  [[nodiscard]] Time last_switch_completed(net::ClientId client) const;
   [[nodiscard]] const std::vector<SwitchRecord>& switch_log() const {
     return switch_log_;
   }
@@ -114,6 +126,13 @@ class Controller {
     net::ApId pending_target{};
     net::ApId pending_from{};
     Time pending_since;
+    // Per-client switch-epoch counter; the pending switch carries the
+    // latest minted value and the ack must echo it.
+    std::uint32_t epoch = 0;
+    // Fan-out index captured when a bootstrap was initiated. Retransmits
+    // must resend THIS, not the since-advanced next_index, or every packet
+    // fanned out between initiation and retransmit is silently skipped.
+    std::uint16_t pending_first_index = 0;
     std::unique_ptr<sim::Timer> ack_timer;
     Time last_switch_completed = Time::ms(-1'000'000);
   };
@@ -147,6 +166,7 @@ class Controller {
     obs::Counter* switches_initiated;
     obs::Counter* switches_completed;
     obs::Counter* stop_retransmissions;
+    obs::Counter* stale_acks_ignored;
     obs::Counter* downlink_packets;
     obs::Counter* fanout_copies;
     obs::Counter* uplink_packets;

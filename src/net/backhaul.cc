@@ -38,8 +38,25 @@ bool is_control(const BackhaulMessage& msg) {
          std::holds_alternative<SwitchAck>(msg);
 }
 
+MsgKind kind_of(const BackhaulMessage& msg) {
+  // The variant index IS the kind; a static_assert pins the correspondence.
+  static_assert(std::variant_size_v<BackhaulMessage> == kNumMsgKinds);
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                    static_cast<std::size_t>(MsgKind::kStop), BackhaulMessage>,
+                StopMsg>);
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                    static_cast<std::size_t>(MsgKind::kAssocSync),
+                    BackhaulMessage>,
+                AssocSync>);
+  return static_cast<MsgKind>(msg.index());
+}
+
 Backhaul::Backhaul(sim::Scheduler& sched, const Config& config, Rng rng)
-    : sched_(sched), config_(config), rng_(rng) {}
+    : sched_(sched), config_(config), rng_(rng) {
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k) {
+    drop_first_remaining_[k] = config_.faults[k].drop_first;
+  }
+}
 
 void Backhaul::attach(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
@@ -54,6 +71,21 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
     ++dropped_;
     return;
   }
+  const auto kind = static_cast<std::size_t>(kind_of(msg));
+  const FaultPlan& plan = config_.faults[kind];
+  if (drop_first_remaining_[kind] > 0) {
+    --drop_first_remaining_[kind];
+    ++dropped_;
+    ++fault_dropped_;
+    return;
+  }
+  // RNG draws are gated on nonzero knobs so an all-zero plan keeps seeded
+  // runs bit-identical to a Backhaul built before fault injection existed.
+  if (plan.loss_rate > 0.0 && rng_.chance(plan.loss_rate)) {
+    ++dropped_;
+    ++fault_dropped_;
+    return;
+  }
   const double ser_us =
       static_cast<double>(wire_bytes(msg)) * 8.0 / config_.line_rate_mbps;
   Time latency = config_.switch_overhead + Time::micros(ser_us);
@@ -61,11 +93,33 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
     latency += Time::ns(static_cast<std::int64_t>(
         rng_.uniform() * static_cast<double>(config_.jitter_max.count_ns())));
   }
-  // Enforce per-(src,dst) FIFO: jitter must not reorder a flow.
+  if (plan.delay_rate > 0.0 && plan.delay_max > Time::zero() &&
+      rng_.chance(plan.delay_rate)) {
+    ++delayed_;
+    latency += Time::ns(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(plan.delay_max.count_ns())));
+  }
+  const bool duplicate = plan.dup_rate > 0.0 && rng_.chance(plan.dup_rate);
+  const Time arrival = sched_.now() + latency;
+  if (duplicate) {
+    ++duplicated_;
+    BackhaulMessage copy = msg;
+    deliver(from, to, std::move(msg), arrival);
+    // The copy trails the original; the FIFO clamp in deliver() keeps it
+    // behind both the original and anything sent meanwhile.
+    deliver(from, to, std::move(copy), arrival + config_.switch_overhead);
+  } else {
+    deliver(from, to, std::move(msg), arrival);
+  }
+}
+
+void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
+                       Time arrival) {
+  // Enforce per-(src,dst) FIFO: neither jitter nor injected delay may
+  // reorder a flow (a delayed message stalls everything behind it).
   const std::uint64_t flow_key =
       (static_cast<std::uint64_t>(std::hash<NodeId>{}(from)) << 32) ^
       std::hash<NodeId>{}(to);
-  Time arrival = sched_.now() + latency;
   auto [it, inserted] = last_delivery_.try_emplace(flow_key, arrival);
   if (!inserted) {
     if (arrival <= it->second) arrival = it->second + Time::ns(1);

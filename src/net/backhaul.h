@@ -2,10 +2,17 @@
 //
 // Unicast store-and-forward through one switch: per-message latency =
 // serialization at line rate + switch forwarding overhead (+ optional
-// jitter). The backhaul is reliable but can be configured with a loss rate
-// to exercise the switching protocol's 30 ms retransmission timeout.
+// jitter). The backhaul is reliable by default but carries two layers of
+// fault injection to exercise the switching protocol's 30 ms retransmission
+// timeout: a uniform `loss_rate` over all messages, and per-message-type
+// FaultPlans (loss, extra delay, duplication, deterministic first-N drops).
+// All faults preserve the per-(src,dst) FIFO discipline — a delayed message
+// holds back the rest of its flow, and a duplicate arrives after the
+// original — because a switched-Ethernet path never reorders a flow and the
+// WGTT index stream depends on that.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <unordered_map>
 
@@ -15,13 +22,36 @@
 
 namespace wgtt::net {
 
+/// Fault injection for one message type. Faults are drawn independently per
+/// send; RNG draws happen only for nonzero knobs, so an all-zero plan leaves
+/// seeded runs bit-identical to a fault-free backhaul.
+struct FaultPlan {
+  double loss_rate = 0.0;   // drop probability
+  double dup_rate = 0.0;    // probability of delivering a second copy
+  double delay_rate = 0.0;  // probability of adding extra delay
+  Time delay_max = Time::zero();  // extra delay ~ U[0, delay_max)
+  /// Deterministically drop the first N matching sends (then behave
+  /// normally). The surgical knob regression tests use to lose exactly one
+  /// control message.
+  int drop_first = 0;
+};
+
 class Backhaul {
  public:
   struct Config {
     double line_rate_mbps = 1000.0;     // GigE
     Time switch_overhead = Time::us(30);  // forwarding + host stack
     Time jitter_max = Time::us(20);
-    double loss_rate = 0.0;             // control-plane loss injection
+    double loss_rate = 0.0;             // uniform loss over all messages
+    /// Per-message-type fault plans, indexed by MsgKind.
+    std::array<FaultPlan, kNumMsgKinds> faults{};
+
+    [[nodiscard]] FaultPlan& fault(MsgKind kind) {
+      return faults[static_cast<std::size_t>(kind)];
+    }
+    [[nodiscard]] const FaultPlan& fault(MsgKind kind) const {
+      return faults[static_cast<std::size_t>(kind)];
+    }
   };
 
   using Handler = std::function<void(NodeId from, BackhaulMessage msg)>;
@@ -37,8 +67,16 @@ class Backhaul {
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t messages_delayed() const { return delayed_; }
+  /// Drops attributable to a FaultPlan (excluded from the uniform
+  /// `loss_rate` drops, which `messages_dropped` also counts).
+  [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
 
  private:
+  /// Schedules one delivery at >= `arrival`, clamped to the flow's FIFO.
+  void deliver(NodeId from, NodeId to, BackhaulMessage msg, Time arrival);
+
   sim::Scheduler& sched_;
   Config config_;
   Rng rng_;
@@ -46,8 +84,12 @@ class Backhaul {
   // FIFO discipline per (src, dst): a switched-Ethernet path never reorders
   // packets of one flow, and the WGTT index stream depends on that.
   std::unordered_map<std::uint64_t, Time> last_delivery_;
+  std::array<int, kNumMsgKinds> drop_first_remaining_{};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace wgtt::net

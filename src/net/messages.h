@@ -39,22 +39,36 @@ struct CsiReport {
 
 /// Controller -> old AP: cease sending to client c; tells it who the new
 /// serving AP is (step 1 of the switching protocol).
+///
+/// `epoch` is a per-client monotonically increasing switch counter minted by
+/// the controller at initiation and carried through the whole stop -> start
+/// -> ack chain. It is what makes the handshake idempotent on a lossy
+/// backhaul: an AP that already answered epoch e replays its recorded answer
+/// on a retransmit (same epoch) and discards anything from an older epoch,
+/// and the controller only completes a switch on the ack whose epoch matches
+/// the switch it actually has outstanding.
 struct StopMsg {
   ClientId client{};
   ApId new_ap{};
+  std::uint32_t epoch = 0;
 };
 
-/// Old AP -> new AP: first unsent index k for client c (step 2).
+/// Old AP -> new AP: first unsent index k for client c (step 2). Also sent
+/// controller -> first AP at bootstrap, with the fan-out index captured at
+/// initiation.
 struct StartMsg {
   ClientId client{};
   ApId from_ap{};
   std::uint16_t first_unsent_index = 0;
+  std::uint32_t epoch = 0;
 };
 
-/// New AP -> controller: switch complete (step 3).
+/// New AP -> controller: switch complete (step 3). Echoes the epoch of the
+/// start it answers.
 struct SwitchAck {
   ClientId client{};
   ApId from_ap{};
+  std::uint32_t epoch = 0;
 };
 
 /// Overhearing AP -> serving AP: a block ACK heard in monitor mode
@@ -78,6 +92,22 @@ struct AssocSync {
 using BackhaulMessage =
     std::variant<DownlinkData, UplinkData, CsiReport, StopMsg, StartMsg,
                  SwitchAck, BlockAckForward, AssocSync>;
+
+/// Message-type tag, in variant-alternative order; keys the backhaul's
+/// per-type fault-injection plans.
+enum class MsgKind : std::uint8_t {
+  kDownlinkData,
+  kUplinkData,
+  kCsiReport,
+  kStop,
+  kStart,
+  kSwitchAck,
+  kBlockAckForward,
+  kAssocSync,
+};
+inline constexpr std::size_t kNumMsgKinds = 8;
+
+[[nodiscard]] MsgKind kind_of(const BackhaulMessage& msg);
 
 /// Serialized size on the backhaul wire, for latency accounting.
 [[nodiscard]] std::size_t wire_bytes(const BackhaulMessage& msg);

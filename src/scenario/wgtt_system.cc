@@ -211,6 +211,68 @@ int WgttSystem::serving_ap(int client) const {
   return ap ? static_cast<int>(net::index_of(*ap)) : -1;
 }
 
+InvariantReport WgttSystem::check_invariants(Time stall_bound,
+                                             Time serving_grace) const {
+  InvariantReport report;
+  const Time now = sched_.now();
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    const net::ClientId cid{static_cast<std::uint32_t>(c)};
+
+    // Every initiated switch completes or is superseded: an outstanding
+    // switch older than the stall bound means the retransmit chain wedged.
+    if (const auto since = controller_->pending_switch_since(cid)) {
+      if (now - *since > stall_bound) {
+        ++report.stalled_switches;
+        report.violations.push_back(
+            "client " + std::to_string(c) + ": switch pending for " +
+            std::to_string((now - *since).to_millis()) + " ms");
+      }
+    }
+
+    // At most one serving AP per client after quiesce. During a switch the
+    // old AP legitimately keeps draining its hardware queue for a few ms
+    // (the paper accepts ~6 ms of residual transmissions), so only judge
+    // clients with no switch in flight and a completed switch at least
+    // `serving_grace` ago.
+    const bool quiesced =
+        !controller_->pending_switch_since(cid).has_value() &&
+        now - controller_->last_switch_completed(cid) > serving_grace;
+    if (quiesced) {
+      int serving_count = 0;
+      for (const auto& ap : aps_) {
+        if (ap->serving(cid)) ++serving_count;
+      }
+      if (serving_count > 1) {
+        ++report.duplicate_serving;
+        report.violations.push_back("client " + std::to_string(c) + ": " +
+                                    std::to_string(serving_count) +
+                                    " APs serving after quiesce");
+      }
+      // Controller and AP layer must agree on who is serving.
+      const int ctrl_view = serving_ap(static_cast<int>(c));
+      if (ctrl_view >= 0 &&
+          !aps_[static_cast<std::size_t>(ctrl_view)]->serving(cid)) {
+        ++report.serving_disagreements;
+        report.violations.push_back(
+            "client " + std::to_string(c) + ": controller says AP " +
+            std::to_string(ctrl_view) + " but that AP is not serving");
+      }
+    }
+  }
+
+  // No cyclic-queue index regression anywhere: applying a start must never
+  // rewind an already-serving AP's drain pointer.
+  for (const auto& ap : aps_) {
+    report.index_regressions += ap->stats().index_regressions;
+  }
+  if (report.index_regressions > 0) {
+    report.violations.push_back(
+        std::to_string(report.index_regressions) +
+        " cyclic-queue index regression(s) across the AP set");
+  }
+  return report;
+}
+
 channel::CsiMeasurement WgttSystem::fallback_csi() const {
   // Channel between two nodes we do not model (AP-AP, client-client):
   // weak flat channel so decode draws almost always fail.

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ap/wgtt_ap.h"
@@ -17,6 +18,28 @@
 #include "sim/scheduler.h"
 
 namespace wgtt::scenario {
+
+/// Result of WgttSystem::check_invariants: what the switching protocol must
+/// guarantee even when the backhaul drops, delays or duplicates control
+/// messages. `violations` holds one human-readable line per breach.
+struct InvariantReport {
+  /// Clients whose outstanding switch has been pending longer than the
+  /// stall bound — the retransmit chain should have completed or superseded
+  /// it by then (a handful of 30 ms timeouts).
+  int stalled_switches = 0;
+  /// Clients served by more than one AP while no switch is in flight and
+  /// the last one completed at least the grace period ago (residual-drain
+  /// overlap during a switch is expected and excluded).
+  int duplicate_serving = 0;
+  /// Clients where the controller's view of the serving AP disagrees with
+  /// the AP-side serving flags after quiesce.
+  int serving_disagreements = 0;
+  /// Sum of WgttAp::Stats::index_regressions over all APs: times a start
+  /// rewound an already-serving drain pointer (the duplicate-StartMsg bug).
+  std::uint64_t index_regressions = 0;
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
 
 struct WgttSystemConfig {
   GeometryConfig geometry{};
@@ -87,6 +110,15 @@ class WgttSystem {
   [[nodiscard]] mac::Medium& medium() { return medium_; }
   /// AP index serving client i, or -1 before bootstrap.
   [[nodiscard]] int serving_ap(int client) const;
+
+  /// Checks the switching-protocol invariants at the current sim time (see
+  /// InvariantReport). `stall_bound` is how long a pending switch may stay
+  /// outstanding before it counts as stalled; `serving_grace` is how long
+  /// after a completed switch the old AP may still be winding down before
+  /// duplicate-serving counts as a breach.
+  [[nodiscard]] InvariantReport check_invariants(
+      Time stall_bound = Time::ms(300),
+      Time serving_grace = Time::ms(60)) const;
 
  private:
   [[nodiscard]] channel::CsiMeasurement sample_for_ap(int ap, mac::RadioId peer);

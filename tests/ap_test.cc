@@ -200,13 +200,13 @@ TEST_F(WgttApTest, SwitchingProtocolHandsOffFirstUnsent) {
     send_downlink(*ap1_, i);
   }
   backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
-                 net::StartMsg{kClient, ApId{0}, 0});
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/1});
   sched_.run_until(Time::ms(60));
   const std::size_t delivered_by_ap0 = client_rx_.size();
   EXPECT_GT(delivered_by_ap0, 0u);
 
   backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
-                 net::StopMsg{kClient, ApId{1}});
+                 net::StopMsg{kClient, ApId{1}, /*epoch=*/2});
   sched_.run_until(Time::ms(300));
   EXPECT_FALSE(ap0_->serving(kClient));
   EXPECT_TRUE(ap1_->serving(kClient));
@@ -223,11 +223,11 @@ TEST_F(WgttApTest, SwitchTimingMatchesTableOne) {
     send_downlink(*ap1_, i);
   }
   backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
-                 net::StartMsg{kClient, ApId{0}, 0});
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/1});
   sched_.run_until(Time::ms(100));
   const Time t0 = sched_.now();
   backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
-                 net::StopMsg{kClient, ApId{1}});
+                 net::StopMsg{kClient, ApId{1}, /*epoch=*/2});
   // Wait for the SwitchAck from AP1.
   Time acked;
   backhaul_.attach(NodeId::controller(),
@@ -240,6 +240,83 @@ TEST_F(WgttApTest, SwitchTimingMatchesTableOne) {
   const double ms = (acked - t0).to_millis();
   EXPECT_GT(ms, 5.0);
   EXPECT_LT(ms, 40.0);
+}
+
+TEST_F(WgttApTest, DuplicateStopReplaysRecordedIndexWithoutRequery) {
+  // Capture what AP0 hands to AP1 (detaches the real AP1 — fine, the test
+  // only watches AP0's side of the handshake).
+  std::vector<net::StartMsg> starts_to_ap1;
+  backhaul_.attach(NodeId::ap(ApId{1}), [&](NodeId, BackhaulMessage msg) {
+    if (const auto* s = std::get_if<net::StartMsg>(&msg)) {
+      starts_to_ap1.push_back(*s);
+    }
+  });
+  for (std::uint16_t i = 0; i < 6; ++i) send_downlink(*ap0_, i);
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/1});
+  sched_.run_until(Time::ms(60));
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StopMsg{kClient, ApId{1}, /*epoch=*/2});
+  sched_.run_until(Time::ms(120));
+  ASSERT_EQ(starts_to_ap1.size(), 1u);
+  // The ack never comes (AP1 is detached), so the controller would
+  // retransmit the stop. The duplicate must replay the RECORDED index, not
+  // re-query a pointer that may have moved.
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StopMsg{kClient, ApId{1}, /*epoch=*/2});
+  sched_.run_until(Time::ms(180));
+  EXPECT_EQ(ap0_->stats().stops_handled, 1u);
+  EXPECT_EQ(ap0_->stats().stop_duplicates, 1u);
+  ASSERT_EQ(starts_to_ap1.size(), 2u);
+  EXPECT_EQ(starts_to_ap1[1].first_unsent_index,
+            starts_to_ap1[0].first_unsent_index);
+  EXPECT_EQ(starts_to_ap1[1].epoch, starts_to_ap1[0].epoch);
+}
+
+TEST_F(WgttApTest, DuplicateStartReacksWithoutRewinding) {
+  for (std::uint16_t i = 0; i < 5; ++i) send_downlink(*ap0_, i);
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/1});
+  sched_.run_until(Time::ms(100));
+  EXPECT_EQ(client_rx_.size(), 5u);
+  const auto acks = [this] {
+    return count_controller([](const BackhaulMessage& m) {
+      return std::holds_alternative<net::SwitchAck>(m);
+    });
+  };
+  EXPECT_EQ(acks(), 1);
+  // The ack was lost upstream; the retransmit chain delivers the same
+  // start again. The AP must replay the ack but NOT rewind next_index —
+  // pre-fix it re-applied k=0 and re-transmitted all five packets.
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/1});
+  sched_.run_until(Time::ms(200));
+  EXPECT_EQ(acks(), 2);
+  EXPECT_EQ(client_rx_.size(), 5u);  // nothing re-delivered
+  EXPECT_EQ(ap0_->stats().start_duplicates, 1u);
+  EXPECT_EQ(ap0_->stats().starts_handled, 1u);
+  EXPECT_EQ(ap0_->stats().index_regressions, 0u);
+}
+
+TEST_F(WgttApTest, StaleControlMessagesIgnored) {
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StartMsg{kClient, ApId{0}, 0, /*epoch=*/3});
+  sched_.run_until(Time::ms(50));
+  EXPECT_TRUE(ap0_->serving(kClient));
+  // A delayed stop from a superseded switch (epoch 2 < 3) surfaces late.
+  // Acting on it would halt a drain the controller believes is live.
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StopMsg{kClient, ApId{1}, /*epoch=*/2});
+  sched_.run_until(Time::ms(120));
+  EXPECT_TRUE(ap0_->serving(kClient));
+  EXPECT_EQ(ap0_->stats().stops_handled, 0u);
+  EXPECT_EQ(ap0_->stats().stale_control_ignored, 1u);
+  // A stale start is equally ignored.
+  backhaul_.send(NodeId::controller(), NodeId::ap(ApId{0}),
+                 net::StartMsg{kClient, ApId{0}, 7, /*epoch=*/1});
+  sched_.run_until(Time::ms(180));
+  EXPECT_EQ(ap0_->stats().starts_handled, 1u);
+  EXPECT_EQ(ap0_->stats().stale_control_ignored, 2u);
 }
 
 TEST_F(WgttApTest, StaleCyclicEntriesDropped) {

@@ -3,6 +3,7 @@
 // downlink fan-out and the uplink de-duplication.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
@@ -101,9 +102,26 @@ class ControllerTest : public ::testing::Test {
     backhaul_.send(NodeId::ap(ap), NodeId::controller(), report(ap, snr_db));
   }
 
+  /// Newest switch epoch observed in any stop/start the controller sent.
+  /// A real AP echoes the epoch of the message it is answering; the fixture
+  /// does the same by reading it off the log.
+  std::uint32_t latest_epoch() const {
+    std::uint32_t e = 0;
+    for (const auto& [ap, log] : ap_log_) {
+      for (const auto& [from, msg] : log) {
+        if (const auto* stop = std::get_if<net::StopMsg>(&msg)) {
+          e = std::max(e, stop->epoch);
+        } else if (const auto* start = std::get_if<net::StartMsg>(&msg)) {
+          e = std::max(e, start->epoch);
+        }
+      }
+    }
+    return e;
+  }
+
   void ack_from(ApId ap) {
     backhaul_.send(NodeId::ap(ap), NodeId::controller(),
-                   net::SwitchAck{kClient, ap});
+                   net::SwitchAck{kClient, ap, latest_epoch()});
   }
 
   template <typename T>
@@ -344,6 +362,97 @@ TEST_F(ControllerTest, DedupSetIsBounded) {
                  net::UplinkData{ApId{0}, p});
   sched_.run_until(Time::ms(10));
   EXPECT_EQ(delivered, 21);
+}
+
+TEST_F(ControllerTest, AckWithStaleEpochIgnored) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});  // bootstrap complete: epoch 1
+  sched_.run_until(Time::ms(50));
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(55));  // switch to AP1 pending: epoch 2
+  ASSERT_EQ(count_to_ap<net::StopMsg>(0), 1);
+  // A duplicate of the bootstrap's ack (epoch 1) resurfaces from a
+  // retransmit chain. Pre-fix the controller matched on from_ap alone and
+  // an ack from the right AP with the wrong epoch completed the switch.
+  backhaul_.send(NodeId::ap(ApId{1}), NodeId::controller(),
+                 net::SwitchAck{kClient, ApId{1}, 1});
+  sched_.run_until(Time::ms(60));
+  EXPECT_EQ(c.serving_ap(kClient).value(), ApId{0});  // still pending
+  EXPECT_GE(c.stats().stale_acks_ignored, 1u);
+  EXPECT_EQ(c.stats().switches_completed, 1u);
+  // The ack with the correct epoch completes it.
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(65));
+  EXPECT_EQ(c.serving_ap(kClient).value(), ApId{1});
+  EXPECT_EQ(c.stats().switches_completed, 2u);
+}
+
+TEST_F(ControllerTest, AckFromWrongApIgnored) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(50));
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(55));
+  // Right epoch, wrong AP: must not complete the switch to AP1.
+  backhaul_.send(NodeId::ap(ApId{2}), NodeId::controller(),
+                 net::SwitchAck{kClient, ApId{2}, latest_epoch()});
+  sched_.run_until(Time::ms(60));
+  EXPECT_EQ(c.serving_ap(kClient).value(), ApId{0});
+  EXPECT_GE(c.stats().stale_acks_ignored, 1u);
+}
+
+TEST_F(ControllerTest, BootstrapRetransmitKeepsOriginalIndex) {
+  Controller& c = make();
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ASSERT_EQ(count_to_ap<net::StartMsg>(0), 1);
+  // The bootstrap start is lost (no ack). Meanwhile downlink traffic keeps
+  // advancing next_index. Pre-fix, the 30 ms retransmit resent the LIVE
+  // next_index, silently skipping everything fanned out in between.
+  for (int i = 0; i < 7; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    c.send_downlink(p);
+  }
+  sched_.run_until(Time::ms(40));
+  ASSERT_GE(count_to_ap<net::StartMsg>(0), 2);
+  std::vector<std::uint16_t> start_indices;
+  for (const auto& [from, msg] : ap_log_.at(0)) {
+    if (const auto* s = std::get_if<net::StartMsg>(&msg)) {
+      start_indices.push_back(s->first_unsent_index);
+    }
+  }
+  ASSERT_GE(start_indices.size(), 2u);
+  for (std::uint16_t idx : start_indices) {
+    EXPECT_EQ(idx, start_indices.front());
+  }
+  // And all retransmits carry the same epoch: one bootstrap, one epoch.
+  std::vector<std::uint32_t> epochs;
+  for (const auto& [from, msg] : ap_log_.at(0)) {
+    if (const auto* s = std::get_if<net::StartMsg>(&msg)) epochs.push_back(s->epoch);
+  }
+  for (std::uint32_t e : epochs) EXPECT_EQ(e, epochs.front());
+}
+
+TEST_F(ControllerTest, EpochIncreasesAcrossSwitches) {
+  Controller& c = make();
+  (void)c;
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(2));
+  const std::uint32_t bootstrap_epoch = latest_epoch();
+  EXPECT_GE(bootstrap_epoch, 1u);
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(50));
+  send_csi(ApId{0}, 10.0);
+  send_csi(ApId{1}, 30.0);
+  sched_.run_until(Time::ms(55));
+  EXPECT_GT(latest_epoch(), bootstrap_epoch);
 }
 
 TEST_F(ControllerTest, IndexNumbersWrapAt4096) {

@@ -214,15 +214,20 @@ const JsonValue* require_key(const JsonValue& section, const char* name,
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: metrics_check <path-to-wgtt-sim>\n");
+    std::fprintf(stderr,
+                 "usage: metrics_check <path-to-wgtt-sim> [output-dir]\n");
     return 2;
   }
-  const std::string out_path = "metrics_check_out.json";
+  // Scratch files go to the caller-provided directory (the build tree, when
+  // run under ctest) so the checker never litters the source checkout.
+  const std::string out_dir = argc >= 3 ? std::string(argv[2]) + "/" : "";
+  const std::string out_path = out_dir + "metrics_check_out.json";
   std::remove(out_path.c_str());
 
   const std::string cmd = std::string("\"") + argv[1] +
                           "\" --mph 25 --aps 4 --rate 10 --seed 3 --metrics " +
-                          out_path + " > metrics_check_stdout.txt";
+                          out_path + " > " + out_dir +
+                          "metrics_check_stdout.txt";
   const int rc = std::system(cmd.c_str());
   if (rc != 0) return fail("simulator run exited nonzero");
 
