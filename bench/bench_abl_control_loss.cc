@@ -6,6 +6,9 @@
 // the paper's ~17 ms by roughly loss * 3 * 30 ms per retransmitted leg,
 // while goodput and the protocol invariants stay intact — the epoch-tagged
 // handshake absorbs the duplicate deliveries the retransmit chain creates.
+//
+// Each loss rate is one independent TrialPool trial, fanned across --jobs
+// workers.
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -21,20 +24,29 @@ using namespace wgtt;
 using namespace wgtt::benchx;
 
 int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(&argc, argv);
+  const std::vector<double> losses =
+      opts.smoke ? std::vector<double>{0.0, 0.10}
+                 : std::vector<double>{0.0, 0.02, 0.05, 0.10, 0.20};
+
   std::printf("=== Ablation: control-plane loss vs switch time ===\n\n");
-  const std::array<double, 5> losses{0.0, 0.02, 0.05, 0.10, 0.20};
   std::printf("%-28s", "Control loss (%)");
   for (double l : losses) std::printf("%9.0f", l * 100.0);
   std::printf("\n");
 
-  std::vector<double> means, p95s, mbps, retx, violations;
+  TrialPool pool(TrialPool::Options{.jobs = opts.jobs});
   for (double loss : losses) {
     DriveConfig cfg;
     cfg.mph = 15.0;
     cfg.udp_rate_mbps = 30.0;
     cfg.control_loss_rate = loss;
     cfg.seed = 29 + static_cast<std::uint64_t>(loss * 100.0);
-    const DriveResult r = run_drive(cfg);
+    pool.submit(cfg);
+  }
+  const std::vector<DriveResult> results = pool.run();
+
+  std::vector<double> means, p95s, mbps, retx, violations;
+  for (const DriveResult& r : results) {
     RunningStats s;
     std::vector<double> sorted = r.switch_protocol_ms;
     std::sort(sorted.begin(), sorted.end());

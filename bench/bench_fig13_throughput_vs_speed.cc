@@ -4,6 +4,11 @@
 // The headline result: WGTT's throughput is roughly flat from parked to
 // 35 mph, while the baseline collapses with speed; the paper reports
 // 2.4-4.7x TCP and 2.6-4.0x UDP gains over 5-25 mph.
+//
+// All (speed, workload, system, seed) trials are independent, so they are
+// submitted to one TrialPool up front and fanned across --jobs workers;
+// per-group means are reduced in submission order, so the printed table is
+// byte-identical at any job count.
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -12,44 +17,60 @@
 using namespace wgtt;
 using namespace wgtt::benchx;
 
-namespace {
-double mean_over_seeds(DriveConfig cfg, int n) {
-  double total = 0.0;
-  for (int i = 0; i < n; ++i) {
-    cfg.seed = cfg.seed * 6364136223846793005ULL + 1442695040888963407ULL;
-    total += run_drive(cfg).mean_mbps();
-  }
-  return total / n;
-}
-}  // namespace
-
 int main(int argc, char** argv) {
-  constexpr int kSeeds = 3;
-  const std::vector<double> speeds{0.0, 5.0, 15.0, 25.0, 35.0};
+  const BenchOptions opts = parse_bench_options(&argc, argv);
+  const int kSeeds = opts.smoke ? 1 : 3;
+  const std::vector<double> speeds =
+      opts.smoke ? std::vector<double>{15.0}
+                 : std::vector<double>{0.0, 5.0, 15.0, 25.0, 35.0};
 
   std::printf("=== Figure 13: throughput vs speed (mean of %d seeds) ===\n\n",
               kSeeds);
   std::printf("%8s %12s %12s %8s %12s %12s %8s\n", "speed", "WGTT tcp",
               "base tcp", "ratio", "WGTT udp", "base udp", "ratio");
 
-  std::map<std::string, double> counters;
+  // Submit every trial; groups of kSeeds consecutive trials share one
+  // (speed, workload, system) cell. The seed chain matches the bench's
+  // pre-TrialPool sequential helper.
+  TrialPool pool(TrialPool::Options{.jobs = opts.jobs});
+  auto submit_group = [&](DriveConfig cfg) {
+    for (int i = 0; i < kSeeds; ++i) {
+      cfg.seed = cfg.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      pool.submit(cfg);
+    }
+  };
   for (double mph : speeds) {
     DriveConfig cfg;
     cfg.mph = mph;
     cfg.udp_rate_mbps = 40.0;
     cfg.seed = 101;
+    for (const Workload wl : {Workload::kTcpDown, Workload::kUdpDown}) {
+      for (const System sys : {System::kWgtt, System::kBaseline}) {
+        cfg.workload = wl;
+        cfg.system = sys;
+        submit_group(cfg);
+      }
+    }
+  }
 
-    cfg.workload = Workload::kTcpDown;
-    cfg.system = System::kWgtt;
-    const double wt = mean_over_seeds(cfg, kSeeds);
-    cfg.system = System::kBaseline;
-    const double bt = mean_over_seeds(cfg, kSeeds);
+  const std::vector<DriveResult> results = pool.run();
+  auto group_mean = [&](std::size_t group) {
+    double total = 0.0;
+    for (int i = 0; i < kSeeds; ++i) {
+      total += results[group * static_cast<std::size_t>(kSeeds) +
+                       static_cast<std::size_t>(i)]
+                   .mean_mbps();
+    }
+    return total / kSeeds;
+  };
 
-    cfg.workload = Workload::kUdpDown;
-    cfg.system = System::kWgtt;
-    const double wu = mean_over_seeds(cfg, kSeeds);
-    cfg.system = System::kBaseline;
-    const double bu = mean_over_seeds(cfg, kSeeds);
+  std::map<std::string, double> counters;
+  std::size_t group = 0;
+  for (double mph : speeds) {
+    const double wt = group_mean(group++);
+    const double bt = group_mean(group++);
+    const double wu = group_mean(group++);
+    const double bu = group_mean(group++);
 
     const char* label = mph == 0.0 ? "static" : "mph";
     std::printf("%5.0f %-3s %10.2f %12.2f %7.1fx %12.2f %12.2f %7.1fx\n", mph,

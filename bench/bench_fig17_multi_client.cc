@@ -2,6 +2,9 @@
 // clients, all at 15 mph. WGTT's gap over the baseline grows slightly with
 // client count (uplink diversity keeps its loss rate low while contention
 // and mobility hurt the baseline more).
+//
+// The 12 (clients, workload, system) cells are independent trials, fanned
+// across --jobs TrialPool workers and printed in submission order.
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -11,29 +14,37 @@ using namespace wgtt;
 using namespace wgtt::benchx;
 
 int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(&argc, argv);
+  const int max_clients = opts.smoke ? 1 : 3;
+
   std::printf("=== Figure 17: per-client throughput vs number of clients ===\n\n");
   std::printf("%8s %12s %12s %8s %12s %12s %8s\n", "clients", "WGTT tcp",
               "base tcp", "ratio", "WGTT udp", "base udp", "ratio");
 
-  std::map<std::string, double> counters;
-  for (int clients = 1; clients <= 3; ++clients) {
+  TrialPool pool(TrialPool::Options{.jobs = opts.jobs});
+  for (int clients = 1; clients <= max_clients; ++clients) {
     DriveConfig cfg;
     cfg.mph = 15.0;
     cfg.num_clients = clients;
     cfg.udp_rate_mbps = 20.0;  // per client
     cfg.seed = 41;
+    for (const Workload wl : {Workload::kTcpDown, Workload::kUdpDown}) {
+      for (const System sys : {System::kWgtt, System::kBaseline}) {
+        cfg.workload = wl;
+        cfg.system = sys;
+        pool.submit(cfg);
+      }
+    }
+  }
+  const std::vector<DriveResult> results = pool.run();
 
-    cfg.workload = Workload::kTcpDown;
-    cfg.system = System::kWgtt;
-    const double wt = run_drive(cfg).mean_mbps();
-    cfg.system = System::kBaseline;
-    const double bt = run_drive(cfg).mean_mbps();
-
-    cfg.workload = Workload::kUdpDown;
-    cfg.system = System::kWgtt;
-    const double wu = run_drive(cfg).mean_mbps();
-    cfg.system = System::kBaseline;
-    const double bu = run_drive(cfg).mean_mbps();
+  std::map<std::string, double> counters;
+  std::size_t idx = 0;
+  for (int clients = 1; clients <= max_clients; ++clients) {
+    const double wt = results[idx++].mean_mbps();
+    const double bt = results[idx++].mean_mbps();
+    const double wu = results[idx++].mean_mbps();
+    const double bu = results[idx++].mean_mbps();
 
     std::printf("%8d %12.2f %12.2f %7.1fx %12.2f %12.2f %7.1fx\n", clients, wt,
                 bt, bt > 0 ? wt / bt : 0.0, wu, bu, bu > 0 ? wu / bu : 0.0);

@@ -4,6 +4,10 @@
 // same road length. Denser cells mean more overlap — more uplink diversity
 // and a better best-AP at every instant. The paper: ~9.3 Mbit/s dense vs
 // ~6.7 Mbit/s sparse, consistent across speeds.
+//
+// The dense/sparse pair at each speed runs as independent TrialPool
+// trials; --smoke restricts the sweep to 15 mph for the bench-smoke CTest
+// target.
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -13,11 +17,16 @@ using namespace wgtt;
 using namespace wgtt::benchx;
 
 int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(&argc, argv);
+  const std::vector<double> speeds =
+      opts.smoke ? std::vector<double>{15.0}
+                 : std::vector<double>{5.0, 15.0, 25.0};
+
   std::printf("=== Figure 23: AP density (UDP, WGTT) ===\n\n");
   std::printf("%8s %14s %14s\n", "speed", "dense Mb/s", "sparse Mb/s");
 
-  std::map<std::string, double> counters;
-  for (double mph : {5.0, 15.0, 25.0}) {
+  TrialPool pool(TrialPool::Options{.jobs = opts.jobs});
+  for (double mph : speeds) {
     DriveConfig dense;
     dense.mph = mph;
     dense.udp_rate_mbps = 40.0;
@@ -29,8 +38,16 @@ int main(int argc, char** argv) {
     geo.ap_spacing_m = 15.0;  // same 52.5 m road span, half the APs
     sparse.geometry = geo;
 
-    const double d = run_drive(dense).mean_mbps();
-    const double s = run_drive(sparse).mean_mbps();
+    pool.submit(dense);
+    pool.submit(sparse);
+  }
+  const std::vector<DriveResult> results = pool.run();
+
+  std::map<std::string, double> counters;
+  std::size_t idx = 0;
+  for (double mph : speeds) {
+    const double d = results[idx++].mean_mbps();
+    const double s = results[idx++].mean_mbps();
     std::printf("%5.0f mph %14.2f %14.2f\n", mph, d, s);
     const auto tag = std::to_string(static_cast<int>(mph));
     counters["dense_" + tag] = d;

@@ -1,9 +1,16 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
 
 #include "mobility/trajectory.h"
 #include "phy/mcs.h"
@@ -314,11 +321,16 @@ DriveResult run_drive(const DriveConfig& cfg) {
   sched->schedule_in(cfg.accuracy_probe, probe);
 
   // --- run --------------------------------------------------------------------------
+  const auto wall_start = std::chrono::steady_clock::now();
   if (wgtt) {
     wgtt->run_until(horizon);
   } else {
     base->run_until(horizon);
   }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // --- collect ------------------------------------------------------------------------
   for (int i = 0; i < n; ++i) {
@@ -395,6 +407,15 @@ DriveResult run_drive(const DriveConfig& cfg) {
     }
   }
 
+  if (cfg.record_perf) {
+    // Wall-clock gauge, opt-in only: see the DriveConfig field comment.
+    if (!result.metrics) result.metrics = std::make_shared<obs::MetricsRegistry>();
+    result.metrics->gauge("sim.events_per_sec")
+        .set(wall_s > 0.0
+                 ? static_cast<double>(sched->events_executed()) / wall_s
+                 : 0.0);
+  }
+
   if (result.metrics && !cfg.metrics_path.empty()) {
     std::ofstream out(cfg.metrics_path);
     if (out) result.metrics->write_json(out);
@@ -402,13 +423,123 @@ DriveResult run_drive(const DriveConfig& cfg) {
   return result;
 }
 
-double mean_mbps_over_seeds(DriveConfig config, int seeds) {
-  double total = 0.0;
-  for (int s = 0; s < seeds; ++s) {
-    config.seed = config.seed * 7919 + 13;
-    total += run_drive(config).mean_mbps();
+std::size_t TrialPool::submit(DriveConfig config) {
+  if (!config.metrics_path.empty()) {
+    // A shared per-trial path would have each trial clobber the previous
+    // one's snapshot; redirect it into the pool's single merged write.
+    if (opts_.metrics_path.empty()) opts_.metrics_path = config.metrics_path;
+    config.collect_metrics = true;
+    config.metrics_path.clear();
   }
+  trials_.push_back(std::move(config));
+  return trials_.size() - 1;
+}
+
+int TrialPool::jobs() const {
+  if (opts_.jobs > 0) return opts_.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<DriveResult> TrialPool::run() {
+  const std::size_t count = trials_.size();
+  std::vector<DriveResult> results(count);
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs()), std::max<std::size_t>(count, 1)));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::exception_ptr error;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        results[i] = run_drive(trials_[i]);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            results[i] = run_drive(trials_[i]);
+          } catch (...) {
+            std::scoped_lock lock(err_mu);
+            if (!error) error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  trials_per_sec_ =
+      wall_s > 0.0 ? static_cast<double>(count) / wall_s : 0.0;
+
+  // Merge in submission order — byte-identical output for any job count.
+  merged_.reset();
+  for (const auto& r : results) {
+    if (!r.metrics) continue;
+    if (!merged_) merged_ = std::make_shared<obs::MetricsRegistry>();
+    merged_->merge_from(*r.metrics);
+  }
+  if (opts_.record_throughput) {
+    if (!merged_) merged_ = std::make_shared<obs::MetricsRegistry>();
+    merged_->gauge("harness.trials_per_sec").set(trials_per_sec_);
+  }
+  if (merged_ && !opts_.metrics_path.empty()) {
+    std::ofstream out(opts_.metrics_path);
+    if (out) merged_->write_json(out);
+  }
+
+  trials_.clear();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+BenchOptions parse_bench_options(int* argc, char** argv) {
+  BenchOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--jobs" && i + 1 < *argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::atoi(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  *argc = out;
+  return opts;
+}
+
+double mean_mbps_over_seeds(DriveConfig config, int seeds, int jobs) {
+  TrialPool pool(TrialPool::Options{.jobs = jobs});
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = config.seed * 7919 + 13;  // unchanged pre-TrialPool chain
+    pool.submit(config);
+  }
+  const auto results = pool.run();
+  double total = 0.0;
+  for (const auto& r : results) total += r.mean_mbps();
   return total / seeds;
+}
+
+double mean_mbps_over_seeds(DriveConfig config, int seeds) {
+  return mean_mbps_over_seeds(std::move(config), seeds, 1);
 }
 
 }  // namespace wgtt::benchx

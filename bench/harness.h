@@ -66,6 +66,11 @@ struct DriveConfig {
   std::string metrics_path;
   /// System-gauge sampling period while metrics are enabled.
   Time metrics_interval = Time::ms(100);
+  /// Record wall-clock engine throughput as the `sim.events_per_sec` gauge
+  /// (implies collect_metrics). Off by default: the gauge depends on host
+  /// load, so it would break the byte-identical-snapshot guarantee that
+  /// jobs=1 and jobs=N runs otherwise share.
+  bool record_perf = false;
 };
 
 struct ClientResult {
@@ -124,7 +129,99 @@ struct DriveResult {
 /// Runs one drive-by experiment. Deterministic per config.
 DriveResult run_drive(const DriveConfig& config);
 
-/// Mean over `seeds` runs of the in-array throughput.
+/// Fans independent trials across a worker-thread pool.
+///
+/// Every (seed, parameter-point) trial a bench sweeps is an isolated
+/// run_drive(): its own WgttSystem, its own Scheduler, its own RNG stream
+/// seeded from the config, and (when requested) its own MetricsRegistry.
+/// Nothing is shared between trials, so they parallelise without locks —
+/// workers claim trial indices from an atomic cursor and write results
+/// into pre-sized slots.
+///
+/// Determinism contract: results are ordered by submission index, and any
+/// aggregation a caller does in that order (as mean_mbps_over_seeds and
+/// the converted benches do) is bit-identical regardless of jobs — the
+/// same floating-point reductions happen in the same order whether trials
+/// ran on one thread or eight. merged_metrics() likewise folds per-trial
+/// registries in submission order. DESIGN.md §8 spells out the contract.
+///
+/// Usage:
+///   TrialPool pool({.jobs = jobs});
+///   for (auto& cfg : configs) pool.submit(cfg);
+///   std::vector<DriveResult> results = pool.run();  // submission order
+class TrialPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 = std::thread::hardware_concurrency(), 1 = run
+    /// inline on the calling thread (no threads spawned).
+    int jobs = 0;
+    /// Write one merged `wgtt.metrics.v1` snapshot here after run().
+    /// Replaces per-trial DriveConfig::metrics_path, which would have each
+    /// trial overwrite the previous trial's file (submit() redirects it —
+    /// see there).
+    std::string metrics_path;
+    /// Record the pool's wall-clock `harness.trials_per_sec` gauge in the
+    /// merged registry. Off by default for the same reason as
+    /// DriveConfig::record_perf: wall-clock values differ run to run.
+    bool record_throughput = false;
+  };
+
+  TrialPool() = default;
+  explicit TrialPool(Options opts) : opts_(std::move(opts)) {}
+
+  /// Queues one trial; returns its index into run()'s result vector.
+  /// A non-empty config.metrics_path is redirected into collect_metrics
+  /// (and, if the pool has no metrics_path yet, adopted as the pool's):
+  /// trials must not race on one output file, the pool writes the merged
+  /// snapshot exactly once after the join.
+  std::size_t submit(DriveConfig config);
+
+  /// Runs every submitted trial and returns results in submission order.
+  /// Blocks until all workers join. The first exception thrown by a trial
+  /// is rethrown here (remaining trials still finish). Clears the queue,
+  /// so a pool can be reused for a second batch.
+  std::vector<DriveResult> run();
+
+  /// Per-trial registries folded in submission order; null until run(),
+  /// and null after it when no trial collected metrics and
+  /// record_throughput is off.
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& merged_metrics()
+      const {
+    return merged_;
+  }
+
+  /// Trials completed per wall-clock second in the last run().
+  [[nodiscard]] double trials_per_sec() const { return trials_per_sec_; }
+
+  /// Worker count run() will use (Options::jobs resolved against
+  /// hardware_concurrency, before clamping to the trial count).
+  [[nodiscard]] int jobs() const;
+
+  [[nodiscard]] std::size_t pending() const { return trials_.size(); }
+
+ private:
+  Options opts_;
+  std::vector<DriveConfig> trials_;
+  std::shared_ptr<obs::MetricsRegistry> merged_;
+  double trials_per_sec_ = 0.0;
+};
+
+/// Bench command-line options shared by the TrialPool-converted benches,
+/// parsed (and stripped) ahead of benchmark::Initialize — which aborts on
+/// flags it does not know.
+struct BenchOptions {
+  int jobs = 1;      ///< --jobs N / --jobs=N: TrialPool worker threads.
+  bool smoke = false;  ///< --smoke: tiny trial counts for CI smoke runs.
+};
+
+/// Extracts --jobs/--smoke from argv (removing them, adjusting *argc) and
+/// returns what was found. Call before benchx::finish().
+BenchOptions parse_bench_options(int* argc, char** argv);
+
+/// Mean over `seeds` runs of the in-array throughput. Seeds chain
+/// deterministically from config.seed; `jobs` only changes wall-clock
+/// time, never the result (trials are summed in seed order).
+double mean_mbps_over_seeds(DriveConfig config, int seeds, int jobs);
 double mean_mbps_over_seeds(DriveConfig config, int seeds);
 
 }  // namespace wgtt::benchx

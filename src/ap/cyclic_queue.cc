@@ -1,8 +1,19 @@
 #include "ap/cyclic_queue.h"
 
+#include <utility>
+
 namespace wgtt::ap {
 
-CyclicQueue::CyclicQueue() : slots_(kIndexSpace) {}
+CyclicQueue::CyclicQueue(net::PacketPool* pool)
+    : owned_pool_(pool == nullptr ? std::make_unique<net::PacketPool>()
+                                  : nullptr),
+      pool_(pool == nullptr ? owned_pool_.get() : pool),
+      slots_(kIndexSpace) {}
+
+CyclicQueue::~CyclicQueue() {
+  // Hand occupied slots back so a shared pool's accounting stays exact.
+  if (pool_ != nullptr) clear();
+}
 
 void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
   index &= kIndexSpace - 1;
@@ -10,19 +21,20 @@ void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
   ++puts_;
   if (!s.occupied) {
     ++occupied_;
+    s.handle = pool_->acquire(std::move(packet));
   } else {
     ++overwrites_;
+    *pool_->get(s.handle) = std::move(packet);  // reuse the displaced slot
   }
   s.index = index;
   s.occupied = true;
-  s.packet = std::move(packet);
   newest_ = index;
 }
 
 const net::Packet* CyclicQueue::peek(std::uint16_t index) const {
   index &= kIndexSpace - 1;
   const Slot& s = slots_[index];
-  return s.occupied && s.index == index ? &s.packet : nullptr;
+  return s.occupied && s.index == index ? pool_->get(s.handle) : nullptr;
 }
 
 std::optional<net::Packet> CyclicQueue::take(std::uint16_t index) {
@@ -31,13 +43,18 @@ std::optional<net::Packet> CyclicQueue::take(std::uint16_t index) {
   if (!s.occupied || s.index != index) return std::nullopt;
   s.occupied = false;
   --occupied_;
-  return std::move(s.packet);
+  return pool_->release(std::exchange(s.handle, net::PacketPool::kNullHandle));
 }
 
 bool CyclicQueue::has(std::uint16_t index) const { return peek(index) != nullptr; }
 
 void CyclicQueue::clear() {
-  for (auto& s : slots_) s.occupied = false;
+  for (auto& s : slots_) {
+    if (s.occupied) {
+      pool_->release(std::exchange(s.handle, net::PacketPool::kNullHandle));
+      s.occupied = false;
+    }
+  }
   occupied_ = 0;
   newest_.reset();
 }

@@ -9,13 +9,21 @@
 // at switch time. New packets for a slot simply overwrite what an old index
 // left behind (the ring is sized to the whole 12-bit space, so overwrite
 // only happens 4096 packets later, far beyond any realistic backlog).
+//
+// Storage: ring slots hold 4-byte net::PacketPool handles, not packets —
+// the 4096-entry ring costs ~32 KB regardless of packet size, and packet
+// memory scales with the live backlog via the pool (see packet_pool.h).
+// Queues of one AP share that AP's pool; a queue constructed without a pool
+// (tests, microbenches) owns a private one.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace wgtt::ap {
 
@@ -23,7 +31,13 @@ class CyclicQueue {
  public:
   static constexpr std::uint16_t kIndexSpace = 1u << 12;  // m = 12
 
-  CyclicQueue();
+  /// `pool` backs the packet storage and must outlive the queue; nullptr
+  /// gives the queue a private pool.
+  explicit CyclicQueue(net::PacketPool* pool = nullptr);
+  ~CyclicQueue();
+
+  CyclicQueue(CyclicQueue&&) = default;
+  CyclicQueue& operator=(CyclicQueue&&) = default;
 
   /// Stores `packet` under `index` (overwrites any stale occupant).
   void put(std::uint16_t index, net::Packet packet);
@@ -51,14 +65,17 @@ class CyclicQueue {
   /// is far beyond any realistic backlog" sizing argument has broken down.
   [[nodiscard]] std::uint64_t overwrites() const { return overwrites_; }
 
+  /// Releases every occupied slot back to the pool.
   void clear();
 
  private:
   struct Slot {
     std::uint16_t index = 0;
     bool occupied = false;
-    net::Packet packet;
+    net::PacketPool::Handle handle = net::PacketPool::kNullHandle;
   };
+  std::unique_ptr<net::PacketPool> owned_pool_;  // only when none was shared
+  net::PacketPool* pool_;
   std::vector<Slot> slots_;
   std::size_t occupied_ = 0;
   std::optional<std::uint16_t> newest_;

@@ -91,6 +91,7 @@ void WgttAp::register_client(net::ClientId client, mac::RadioId radio) {
   if (clients_.contains(client)) return;
   ClientState cs;
   cs.radio = radio;
+  cs.queue = CyclicQueue(&packet_pool_);  // share the AP-wide packet pool
   clients_.emplace(client, std::move(cs));
   client_of_radio_[radio] = client;
   mac_.add_peer(radio);

@@ -31,6 +31,7 @@
 #include "net/backhaul.h"
 #include "net/ids.h"
 #include "net/messages.h"
+#include "net/packet_pool.h"
 #include "obs/metrics.h"
 #include "obs/span_timer.h"
 #include "sim/scheduler.h"
@@ -118,6 +119,11 @@ class WgttAp {
   [[nodiscard]] bool serving(net::ClientId client) const;
   /// Backlog currently held for `client` in the cyclic queue.
   [[nodiscard]] std::size_t cyclic_backlog(net::ClientId client) const;
+  /// The AP-wide pool behind the per-client cyclic queues (live packet
+  /// count, peak backlog, allocated capacity).
+  [[nodiscard]] const net::PacketPool& packet_pool() const {
+    return packet_pool_;
+  }
 
   /// Registers and starts recording `ap.*` metrics (cyclic-queue depth and
   /// overwrites, BA-forward traffic, the per-AP legs of the switch
@@ -175,6 +181,9 @@ class WgttAp {
   Config config_;
   mac::WifiMac mac_;
   std::function<std::optional<net::ApId>(mac::RadioId)> ap_of_radio_;
+  /// Backs every per-client cyclic queue on this AP; declared before
+  /// clients_ so the queues release their handles into a live pool.
+  net::PacketPool packet_pool_;
   std::unordered_map<net::ClientId, ClientState> clients_;
   std::unordered_map<mac::RadioId, net::ClientId> client_of_radio_;
   bool ba_forwarding_ = true;

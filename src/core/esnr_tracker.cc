@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/stats.h"
-
 namespace wgtt::core {
 
 EsnrTracker::EsnrTracker(Time window) : window_(window) {}
@@ -26,9 +24,7 @@ std::optional<double> EsnrTracker::median(net::ClientId client, net::ApId ap,
                                           Time now) {
   auto it = links_.find(Key{client, ap});
   if (it == links_.end()) return std::nullopt;
-  const auto values = it->second.samples.values(now);
-  if (values.empty()) return std::nullopt;
-  return lower_median(values);
+  return it->second.samples.lower_median(now);
 }
 
 std::optional<net::ApId> EsnrTracker::best_ap(net::ClientId client, Time now) {

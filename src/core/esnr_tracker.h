@@ -6,14 +6,19 @@
 //
 // W trades agility against noise: the paper's Figure 21 sweep finds 10 ms
 // optimal at all vehicle speeds, which bench_fig21_window_size reproduces.
+//
+// The window median itself is maintained incrementally by a
+// core::StreamingMedian per link (amortized O(log W) per CSI sample and
+// allocation-free in steady state) instead of re-sorting the window on
+// every report; the two are bit-identical, which core_test asserts.
 #pragma once
 
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/streaming_median.h"
 #include "net/ids.h"
-#include "util/timed_window.h"
 #include "util/units.h"
 
 namespace wgtt::core {
@@ -60,7 +65,7 @@ class EsnrTracker {
     }
   };
   struct LinkState {
-    TimedWindow<double> samples;
+    StreamingMedian samples;
     Time last_heard = Time::zero();
     double last_value = 0.0;
     explicit LinkState(Time w) : samples(w) {}

@@ -3,7 +3,11 @@
 namespace wgtt::net {
 
 namespace {
-std::uint64_t g_next_uid = 1;
+// thread_local so concurrent trials in the bench TrialPool each get their
+// own deterministic uid stream: every trial calls reset_packet_uids() on
+// whichever worker thread runs it, and uids only need to be unique within
+// one run (one scheduler, one thread).
+thread_local std::uint64_t g_next_uid = 1;
 }  // namespace
 
 Packet make_packet() {

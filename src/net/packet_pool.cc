@@ -1,0 +1,41 @@
+#include "net/packet_pool.h"
+
+#include <utility>
+
+namespace wgtt::net {
+
+PacketPool::Handle PacketPool::acquire(Packet&& packet) {
+  if (free_.empty()) {
+    const auto base = static_cast<Handle>(chunks_.size() * kChunkSize);
+    chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    // Pushed in reverse so the LIFO freelist hands out ascending handles
+    // within a fresh chunk (deterministic, and sequential first touches).
+    free_.reserve(free_.size() + kChunkSize);
+    for (std::size_t i = kChunkSize; i-- > 0;) {
+      free_.push_back(base + static_cast<Handle>(i));
+    }
+  }
+  const Handle h = free_.back();
+  free_.pop_back();
+  *get(h) = std::move(packet);
+  ++in_use_;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  return h;
+}
+
+Packet PacketPool::release(Handle h) {
+  Packet out = std::move(*get(h));
+  free_.push_back(h);
+  --in_use_;
+  return out;
+}
+
+const Packet* PacketPool::get(Handle h) const {
+  return &chunks_[h / kChunkSize][h % kChunkSize];
+}
+
+Packet* PacketPool::get(Handle h) {
+  return &chunks_[h / kChunkSize][h % kChunkSize];
+}
+
+}  // namespace wgtt::net

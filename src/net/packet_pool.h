@@ -1,0 +1,68 @@
+// Pool allocator for packets parked in per-AP cyclic queues.
+//
+// The controller fans every downlink packet out to every in-range AP, and
+// each AP parks its copy in a 4096-slot cyclic queue per client (paper
+// §3.1.2). Storing a full Packet per ring slot made each queue ~0.5 MB of
+// mostly-cold memory, paid at construction for every (AP, client) pair and
+// again in cache misses on every put/take. The pool inverts that: ring
+// slots hold 4-byte handles, and the packets themselves live in chunks
+// allocated on demand — so memory scales with the live backlog (tens to a
+// few thousand packets), not with the 12-bit index space times the fan-out
+// width.
+//
+// Handles are indices, not pointers: chunk storage never moves, a released
+// slot is recycled LIFO, and all operations are O(1). The pool is
+// single-threaded by design (one pool per AP, one AP per scheduler); the
+// parallel experiment runner gives each trial its own system and therefore
+// its own pools, so no synchronization is needed or provided.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace wgtt::net {
+
+class PacketPool {
+ public:
+  /// Opaque slot index. Stable for the lifetime of the acquisition.
+  using Handle = std::uint32_t;
+  static constexpr Handle kNullHandle = 0xffffffffu;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Stores `packet` and returns its handle. Grows by one chunk when the
+  /// freelist is empty; never moves existing packets.
+  [[nodiscard]] Handle acquire(Packet&& packet);
+
+  /// Removes and returns the packet; the handle becomes invalid.
+  Packet release(Handle h);
+
+  /// Packet behind a live handle. No liveness check beyond bounds — callers
+  /// (the cyclic queue) track occupancy themselves.
+  [[nodiscard]] const Packet* get(Handle h) const;
+  [[nodiscard]] Packet* get(Handle h);
+
+  /// Live acquisitions.
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  /// Total slots ever allocated (chunks * chunk size).
+  [[nodiscard]] std::size_t capacity() const {
+    return chunks_.size() * kChunkSize;
+  }
+  /// High-water mark of in_use() — how deep the backlog ever got.
+  [[nodiscard]] std::size_t peak_in_use() const { return peak_in_use_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 256;
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<Handle> free_;  // LIFO: hot slots are reused first
+  std::size_t in_use_ = 0;
+  std::size_t peak_in_use_ = 0;
+};
+
+}  // namespace wgtt::net

@@ -136,6 +136,31 @@ double Histogram::percentile(double q) const {
   return std::clamp(result, mn, mx);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count() == 0) return;
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.buckets_.size() != buckets_.size()) {
+    return;  // incompatible layout: keep ours untouched
+  }
+  const std::uint64_t before = count_.load(std::memory_order_relaxed);
+  const double other_min = other.min();
+  const double other_max = other.max();
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  if (before == 0) {
+    min_.store(other_min, std::memory_order_relaxed);
+    max_.store(other_max, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, other_min);
+    atomic_max(max_, other_max);
+  }
+  underflow_.fetch_add(other.underflow(), std::memory_order_relaxed);
+  overflow_.fetch_add(other.overflow(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.bucket_count(i), std::memory_order_relaxed);
+  }
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::scoped_lock lock(mu_);
   auto it = counters_.find(name);
@@ -184,6 +209,37 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   std::scoped_lock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Lock ordering: `other` is read under its own lock into plain snapshots
+  // first, so the two registry mutexes are never held together.
+  struct HistSnapshot {
+    const Histogram* src;
+    double lo, hi;
+    std::size_t buckets;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistSnapshot>> histograms;
+  {
+    std::scoped_lock lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      histograms.emplace_back(
+          name, HistSnapshot{h.get(), h->lo(), h->hi(), h->num_buckets()});
+    }
+  }
+  for (const auto& [name, v] : counters) counter(name).inc(v);
+  for (const auto& [name, v] : gauges) gauge(name).set(v);
+  for (const auto& [name, snap] : histograms) {
+    histogram(name, snap.lo, snap.hi, snap.buckets).merge_from(*snap.src);
+  }
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {

@@ -90,6 +90,14 @@ class Histogram {
     return overflow_.load(std::memory_order_relaxed);
   }
 
+  /// Folds `other` into this histogram: bucket-wise counts add, sum adds,
+  /// and the extrema widen. Both histograms must have been registered with
+  /// the same [lo, hi) range and bucket count — merging different layouts
+  /// would silently misattribute counts, so that case is ignored (merge is
+  /// a no-op and the caller's layout wins, mirroring the first-registration
+  /// rule in MetricsRegistry::histogram).
+  void merge_from(const Histogram& other);
+
  private:
   double lo_;
   double hi_;
@@ -123,6 +131,15 @@ class MetricsRegistry {
   /// JSON snapshot (schema documented in DESIGN.md §Observability).
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
+
+  /// Folds another registry into this one: counters add, histograms merge
+  /// bucket-wise (layouts must match — see Histogram::merge_from), and
+  /// gauges take `other`'s value (last-write-wins, in merge order).
+  /// Instruments missing on this side are created. The bench TrialPool
+  /// uses this to combine per-trial registries into one aggregate snapshot
+  /// in trial-index order, so the merged JSON is independent of how many
+  /// worker threads ran the trials.
+  void merge_from(const MetricsRegistry& other);
 
  private:
   mutable std::mutex mu_;

@@ -4,14 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/controller.h"
 #include "core/esnr_tracker.h"
+#include "core/streaming_median.h"
 #include "net/backhaul.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace wgtt::core {
 namespace {
@@ -477,6 +483,77 @@ TEST_F(ControllerTest, IndexNumbersWrapAt4096) {
   for (std::size_t i = 0; i < indices.size(); ++i) {
     EXPECT_EQ(indices[i], static_cast<std::uint16_t>(i & 0x0fff));
   }
+}
+
+// --- StreamingMedian: must be bit-identical to the sort-based formula -------
+
+TEST(StreamingMedianTest, AgreesWithSortedLowerMedianUnderEviction) {
+  // Random stream with random inter-arrival gaps, checked sample by sample
+  // against util::lower_median over a reference window. Any divergence in
+  // the lazy-deletion bookkeeping shows up here.
+  const Time window = Time::ms(10);
+  StreamingMedian sm(window);
+  std::deque<std::pair<Time, double>> ref;
+
+  std::uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+
+  Time now = Time::zero();
+  for (int i = 0; i < 5000; ++i) {
+    now += Time::us(static_cast<std::int64_t>(next() % 800));  // 0-0.8 ms gaps
+    // Coarse values force many exact duplicates (the tombstone-key case).
+    const double v = static_cast<double>(next() % 64) / 4.0;
+    sm.add(now, v);
+    ref.emplace_back(now, v);
+    while (!ref.empty() && ref.front().first <= now - window) ref.pop_front();
+
+    std::vector<double> xs;
+    for (const auto& [w, x] : ref) xs.push_back(x);
+    ASSERT_EQ(sm.size(), xs.size());
+    ASSERT_TRUE(sm.lower_median(now).has_value());
+    // Bit-identical, not approximately equal: both pick the same order
+    // statistic of the same multiset.
+    ASSERT_EQ(sm.lower_median(now).value(), lower_median(xs)) << "sample " << i;
+  }
+}
+
+TEST(StreamingMedianTest, SingleSampleWindow) {
+  // Samples spaced wider than the window: every add expires its
+  // predecessor, so the median is always the newest value (W=1 behaviour).
+  StreamingMedian sm(Time::ms(1));
+  for (int i = 0; i < 100; ++i) {
+    const Time t = Time::ms(2 * i);
+    sm.add(t, static_cast<double>(i));
+    EXPECT_EQ(sm.size(), 1u);
+    EXPECT_EQ(sm.lower_median(t).value(), static_cast<double>(i));
+  }
+}
+
+TEST(StreamingMedianTest, EmptyWindowReturnsNullopt) {
+  StreamingMedian sm(Time::ms(10));
+  EXPECT_FALSE(sm.lower_median(Time::zero()).has_value());
+  sm.add(Time::ms(0), 5.0);
+  EXPECT_TRUE(sm.lower_median(Time::ms(5)).has_value());
+  // Whole window ages out; the structure must drain and report empty...
+  EXPECT_FALSE(sm.lower_median(Time::ms(50)).has_value());
+  EXPECT_TRUE(sm.empty());
+  // ...and keep working after the drain.
+  sm.add(Time::ms(60), 7.0);
+  EXPECT_EQ(sm.lower_median(Time::ms(60)).value(), 7.0);
+}
+
+TEST(StreamingMedianTest, ClearResets) {
+  StreamingMedian sm(Time::ms(10));
+  sm.add(Time::ms(0), 1.0);
+  sm.add(Time::ms(1), 2.0);
+  sm.clear();
+  EXPECT_TRUE(sm.empty());
+  EXPECT_FALSE(sm.lower_median(Time::ms(1)).has_value());
+  sm.add(Time::ms(2), 9.0);
+  EXPECT_EQ(sm.lower_median(Time::ms(2)).value(), 9.0);
 }
 
 }  // namespace

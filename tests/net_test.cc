@@ -1,10 +1,15 @@
 // Unit tests for packets, backhaul messages, and the simulated Ethernet.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "net/backhaul.h"
 #include "net/ids.h"
 #include "net/messages.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
@@ -331,6 +336,51 @@ TEST_F(BackhaulTest, ZeroFaultPlanKeepsSeededRunsIdentical) {
   plain.loss_rate = 0.1;
   Backhaul::Config with_plan = plain;  // all FaultPlan knobs still zero
   EXPECT_EQ(trace(plain), trace(with_plan));
+}
+
+TEST(PacketPoolTest, RoundTripsPackets) {
+  PacketPool pool;
+  Packet p = make_packet();
+  p.payload_bytes = 1400;
+  p.ip_id = 77;
+  const auto h = pool.acquire(std::move(p));
+  ASSERT_NE(h, PacketPool::kNullHandle);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.get(h)->ip_id, 77);
+  const Packet out = pool.release(h);
+  EXPECT_EQ(out.ip_id, 77);
+  EXPECT_EQ(out.payload_bytes, 1400u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPoolTest, RecyclesHandlesAndGrowsByChunks) {
+  PacketPool pool;
+  // Fill well past one 256-packet chunk, with stable addresses throughout.
+  std::vector<PacketPool::Handle> handles;
+  std::vector<const Packet*> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    Packet p = make_packet();
+    p.app_seq = static_cast<std::uint32_t>(i);
+    handles.push_back(pool.acquire(std::move(p)));
+    addrs.push_back(pool.get(handles.back()));
+  }
+  EXPECT_EQ(pool.in_use(), 1000u);
+  EXPECT_GE(pool.capacity(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    // Addresses must not move as later chunks are added.
+    EXPECT_EQ(pool.get(handles[static_cast<std::size_t>(i)]),
+              addrs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(pool.get(handles[static_cast<std::size_t>(i)])->app_seq,
+              static_cast<std::uint32_t>(i));
+  }
+  for (auto h : handles) pool.release(h);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.peak_in_use(), 1000u);
+
+  // Refilling reuses the freed slots: capacity must not grow.
+  const std::size_t cap = pool.capacity();
+  for (int i = 0; i < 1000; ++i) pool.acquire(make_packet());
+  EXPECT_EQ(pool.capacity(), cap);
 }
 
 }  // namespace
