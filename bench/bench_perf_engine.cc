@@ -1,30 +1,69 @@
-// Engine microbenchmarks for the two hot-path optimizations and the
-// TrialPool fan-out (not a paper figure — a regression guard for the
-// simulator itself).
+// Engine microbenchmarks for the hot-path optimizations and the TrialPool
+// fan-out (not a paper figure — a regression guard for the simulator
+// itself).
 //
-// Three sections:
+// Sections:
 //   1. streaming median vs the seed's sort-per-sample recomputation, on a
 //      synthetic CSI stream shaped like a drive-by (10 ms window, sample
 //      every 100 us);
-//   2. PacketPool + CyclicQueue put/take churn vs the container defaults;
-//   3. TrialPool scaling: the same batch of drive trials at --jobs 1 and
+//   2. scheduler churn: a schedule/cancel/fire mix mirroring Timer usage
+//      (RTO and switch-ack restarts), on the inline-callback d-ary-heap
+//      engine vs the seed's priority_queue + std::function + tombstone-set
+//      engine (reproduced verbatim below);
+//   3. CSI measure(): LinkChannel::measure ns/op, with a global allocation
+//      counter asserting the fixed-size path performs ZERO steady-state
+//      heap allocations (the bench fails otherwise);
+//   4. PacketPool + CyclicQueue put/take churn;
+//   5. end-to-end engine throughput: one run_drive with record_perf, the
+//      `sim.events_per_sec` gauge (committed to BENCH_engine.json so the
+//      benchmark trajectory has a baseline);
+//   6. TrialPool scaling: the same batch of drive trials at --jobs 1 and
 //      at --jobs N, reporting trials/sec and the speedup. On a multicore
 //      host the speedup at --jobs 4 should be >= 2x; on a single-core CI
 //      box it is honestly ~1x (the pool cannot conjure cores).
 //
 // All numbers also land as google-benchmark counters (perf/engine).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "ap/cyclic_queue.h"
 #include "bench/harness.h"
 #include "bench/report.h"
+#include "channel/link_channel.h"
 #include "core/streaming_median.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
 #include "util/stats.h"
+
+// --- global allocation counter (section 3's zero-allocation assertion) -------
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace wgtt;
 using namespace wgtt::benchx;
@@ -40,6 +79,101 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 double synth_esnr(std::uint64_t& state) {
   state = state * 6364136223846793005ULL + 1442695040888963407ULL;
   return 10.0 + static_cast<double>((state >> 33) % 2500) / 100.0;  // 10-35 dB
+}
+
+// The seed event engine, reproduced verbatim as the churn baseline:
+// std::priority_queue of owning entries (std::function copied off top() on
+// every pop) and an unordered_set tombstone per cancel.
+class LegacyScheduler {
+ public:
+  using Id = std::uint64_t;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  Id schedule_at(Time when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, std::move(fn)});
+    return seq;
+  }
+
+  void cancel(Id id) { cancelled_.insert(id); }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      now_ = e.when;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run_until(Time limit) {
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (cancelled_.contains(top.seq)) {
+        cancelled_.erase(top.seq);
+        heap_.pop();
+        continue;
+      }
+      if (top.when > limit) break;
+      step();
+    }
+    if (now_ < limit) now_ = limit;
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Timer-shaped churn: a bank of restartable timeouts; most get restarted
+/// before firing (the 30 ms switch-ack and TCP RTO pattern), the rest fire
+/// when the clock is pumped. Identical op sequence for both engines, so the
+/// fire order (and the checksum) must match — a free cross-check of the
+/// (when, seq) FIFO contract.
+template <typename Sched, typename Id>
+std::uint64_t churn_workload(Sched& s, int ops, std::uint64_t* checksum) {
+  constexpr int kTimers = 256;
+  std::vector<Id> pending(kTimers, Id{});
+  std::vector<char> armed(kTimers, 0);
+  std::uint64_t fired = 0;
+  std::uint64_t state = 9;
+  for (int i = 0; i < ops; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int k = static_cast<int>((state >> 33) % kTimers);
+    if (armed[static_cast<std::size_t>(k)]) s.cancel(pending[static_cast<std::size_t>(k)]);
+    armed[static_cast<std::size_t>(k)] = 1;
+    const Time delay = Time::us(static_cast<std::int64_t>(30 + ((state >> 40) % 1000)));
+    pending[static_cast<std::size_t>(k)] =
+        s.schedule_at(s.now() + delay, [&armed, &fired, checksum, k] {
+          armed[static_cast<std::size_t>(k)] = 0;
+          ++fired;
+          *checksum = *checksum * 31 + static_cast<std::uint64_t>(k);
+        });
+    if ((i & 7) == 0) s.run_until(s.now() + Time::us(120));
+  }
+  s.run_until(s.now() + Time::ms(10));  // drain most of what's left
+  return fired;
 }
 
 }  // namespace
@@ -100,7 +234,80 @@ int main(int argc, char** argv) {
     counters["median_speedup"] = stream_mps / sort_mps;
   }
 
-  // --- 2. packet pool + cyclic queue churn -------------------------------------
+  // --- 2. scheduler churn: inline-callback d-ary heap vs seed engine ----------
+  {
+    const int ops = samples;
+    std::uint64_t checksum_new = 7;
+    std::uint64_t checksum_legacy = 7;
+
+    sim::Scheduler fresh;
+    auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t fired_new =
+        churn_workload<sim::Scheduler, sim::EventId>(fresh, ops, &checksum_new);
+    const double new_s = seconds_since(t0);
+
+    LegacyScheduler legacy;
+    t0 = std::chrono::steady_clock::now();
+    const std::uint64_t fired_legacy =
+        churn_workload<LegacyScheduler, LegacyScheduler::Id>(legacy, ops,
+                                                             &checksum_legacy);
+    const double legacy_s = seconds_since(t0);
+
+    if (fired_new != fired_legacy || checksum_new != checksum_legacy) {
+      std::printf("scheduler churn MISMATCH: new %llu/%llx vs legacy %llu/%llx\n",
+                  static_cast<unsigned long long>(fired_new),
+                  static_cast<unsigned long long>(checksum_new),
+                  static_cast<unsigned long long>(fired_legacy),
+                  static_cast<unsigned long long>(checksum_legacy));
+      return 1;
+    }
+    const double new_mops = ops / new_s / 1e6;
+    const double legacy_mops = ops / legacy_s / 1e6;
+    std::printf("scheduler churn (%d schedule/cancel ops, %llu fired, FIFO order cross-checked)\n",
+                ops, static_cast<unsigned long long>(fired_new));
+    std::printf("  inline-callback 4-ary heap  %8.2f Mops/s\n", new_mops);
+    std::printf("  seed engine (pq+function)   %8.2f Mops/s  (%.1fx slower)\n\n",
+                legacy_mops, new_mops / legacy_mops);
+    counters["sched_churn_mops"] = new_mops;
+    counters["sched_churn_legacy_mops"] = legacy_mops;
+    counters["sched_churn_speedup"] = new_mops / legacy_mops;
+  }
+
+  // --- 3. CSI measure(): ns/op and the zero-allocation assertion --------------
+  {
+    Rng rng(21);
+    channel::LinkChannel::Config cfg;
+    channel::LinkChannel link({0.0, 15.0}, {40.0, 0.0}, cfg, rng);
+    const int iters = samples;
+    double sink = 0.0;
+    // Warm up (first calls may touch lazily-allocated libm/TLS state).
+    for (int i = 0; i < 100; ++i) {
+      sink += link.measure({i * 0.11, 0.0}, Time::us(i)).mean_snr_db;
+    }
+    const std::uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      const channel::CsiMeasurement m =
+          link.measure({-30.0 + i * 0.013, 0.4}, Time::us(i * 25));
+      sink += m.mean_snr_db + m.subcarrier_snr_db[static_cast<std::size_t>(i) % 56];
+    }
+    const double measure_s = seconds_since(t0);
+    const std::uint64_t allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+    const double ns_op = measure_s / iters * 1e9;
+    std::printf("CSI measure() (%d calls, sink %.1f)\n", iters, sink);
+    std::printf("  %8.1f ns/op, %llu heap allocations\n", ns_op,
+                static_cast<unsigned long long>(allocs));
+    if (allocs != 0) {
+      std::printf("  FAIL: fixed-size CSI path must not allocate\n");
+      return 1;
+    }
+    std::printf("  zero steady-state allocations: yes\n\n");
+    counters["csi_measure_ns"] = ns_op;
+    counters["csi_measure_allocs"] = static_cast<double>(allocs);
+  }
+
+  // --- 4. packet pool + cyclic queue churn -------------------------------------
   {
     net::PacketPool pool;
     ap::CyclicQueue q(&pool);
@@ -127,7 +334,23 @@ int main(int argc, char** argv) {
     counters["pool_peak_packets"] = static_cast<double>(pool.peak_in_use());
   }
 
-  // --- 3. trial-pool scaling ---------------------------------------------------
+  // --- 5. end-to-end engine throughput -----------------------------------------
+  {
+    DriveConfig cfg;
+    cfg.mph = 25.0;
+    cfg.udp_rate_mbps = 20.0;
+    cfg.seed = 11;
+    cfg.record_perf = true;
+    const DriveResult r = run_drive(cfg);
+    const obs::Gauge* g = r.metrics ? r.metrics->find_gauge("sim.events_per_sec")
+                                    : nullptr;
+    const double eps = g != nullptr ? g->value() : 0.0;
+    std::printf("end-to-end drive (25 mph, 20 Mb/s UDP): %.2f M events/s\n\n",
+                eps / 1e6);
+    counters["sim_events_per_sec"] = eps;
+  }
+
+  // --- 6. trial-pool scaling ---------------------------------------------------
   {
     const int trials = opts.smoke ? 2 : 8;
     const int jobs_n = opts.jobs > 1 ? opts.jobs : 4;

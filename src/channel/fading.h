@@ -15,6 +15,7 @@
 // WGTT APs extract from client uplink frames.
 #pragma once
 
+#include <array>
 #include <complex>
 #include <vector>
 
@@ -26,9 +27,13 @@ namespace wgtt::channel {
 
 /// Per-subcarrier complex channel gains (linear voltage scale, unit average
 /// power across the ensemble), in subcarrier order -28..-1, +1..+28.
+///
+/// Fixed-size: the subcarrier count is a PHY constant, so snapshots live
+/// entirely on the stack — csi() performs zero heap allocations per frame
+/// (DESIGN.md §8).
 struct CsiSnapshot {
   Time when;
-  std::vector<std::complex<double>> gains;  // size kNumSubcarriers
+  std::array<std::complex<double>, kNumSubcarriers> gains{};
 
   /// Mean power across subcarriers (linear).
   [[nodiscard]] double mean_power() const;
@@ -82,14 +87,17 @@ class TappedDelayChannel {
  private:
   struct Tap {
     double power;      // linear, sums to (1 - los_power) over taps
+    double amplitude;  // sqrt(power), hoisted out of every csi()/flat_gain()
     double delay_ns;
     SpatialTap field;
   };
   std::vector<Tap> taps_;
   double los_power_ = 0.0;         // Rician line-of-sight on the first delay
+  double los_amplitude_ = 0.0;     // sqrt(los_power_), precomputed
   double los_phase_rate_ = 0.0;    // rad per metre of client motion (x axis)
-  // Precomputed subcarrier phase factors exp(-j 2 pi f_k tau_l).
-  std::vector<std::vector<std::complex<double>>> subcarrier_rotation_;
+  // Precomputed subcarrier phase factors exp(-j 2 pi f_k tau_l), flattened
+  // to one contiguous block: tap l's rotations at [l * kNumSubcarriers, ...).
+  std::vector<std::complex<double>> subcarrier_rotation_;
 };
 
 /// Centre frequency offset of subcarrier index i (0..55), Hz.

@@ -34,17 +34,16 @@ CsiMeasurement LinkChannel::measure(Vec2 client_pos, Time t) const {
 
   CsiMeasurement m;
   m.when = t;
-  m.subcarrier_snr_db.reserve(snap.gains.size());
   const double base_snr_db = rx_dbm - config_.budget.noise_floor_dbm;
   double mean_power = 0.0;
   double mean_snr_lin = 0.0;
-  for (const auto& g : snap.gains) {
-    const double p = std::norm(g);
+  for (std::size_t i = 0; i < snap.gains.size(); ++i) {
+    const double p = std::norm(snap.gains[i]);
     mean_power += p;
     // Floor the per-subcarrier fade at -40 dB to keep the dB math finite in
     // a deep null.
     const double snr_db = base_snr_db + to_db(std::max(p, 1e-4));
-    m.subcarrier_snr_db.push_back(snr_db);
+    m.subcarrier_snr_db[i] = snr_db;
     mean_snr_lin += from_db(snr_db);
   }
   mean_power /= static_cast<double>(snap.gains.size());

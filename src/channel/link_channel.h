@@ -10,7 +10,7 @@
 // sample it without disturbing each other.
 #pragma once
 
-#include <vector>
+#include <array>
 
 #include "channel/antenna.h"
 #include "channel/fading.h"
@@ -35,9 +35,14 @@ struct LinkBudget {
 
 /// What an AP's NIC reports for one received frame: per-subcarrier SNR plus
 /// the scalar RSSI legacy systems (the Enhanced 802.11r baseline) use.
+///
+/// The SNR vector is a fixed-size array (the subcarrier count is a PHY
+/// constant): measure() allocates nothing per frame, and a measurement can
+/// be copied into a CsiReport backhaul message as one flat memcpy-able
+/// block (DESIGN.md §8).
 struct CsiMeasurement {
   Time when;
-  std::vector<double> subcarrier_snr_db;  // size kNumSubcarriers
+  std::array<double, kNumSubcarriers> subcarrier_snr_db{};
   double rssi_dbm = 0.0;
   double mean_snr_db = 0.0;
 };

@@ -125,12 +125,33 @@ void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
     if (arrival <= it->second) arrival = it->second + Time::ns(1);
     it->second = arrival;
   }
-  sched_.schedule_at(arrival, [this, from, to, m = std::move(msg)]() mutable {
-    // Handler looked up at delivery time: attach order vs send order must
-    // not matter, and a handler may be replaced mid-run.
-    auto it = handlers_.find(to);
-    if (it != handlers_.end()) it->second(from, std::move(m));
-  });
+  // Park the message in the slab and schedule a 16-byte (this, slot)
+  // trampoline: the message body never rides inside the callback, so the
+  // event stays in InlineCallback's inline buffer.
+  const std::uint32_t slot = park(from, to, std::move(msg));
+  sched_.schedule_at(arrival, [this, slot] { deliver_parked(slot); });
+}
+
+std::uint32_t Backhaul::park(NodeId from, NodeId to, BackhaulMessage msg) {
+  if (free_in_flight_.empty()) {
+    in_flight_.push_back(PendingDelivery{from, to, std::move(msg)});
+    return static_cast<std::uint32_t>(in_flight_.size() - 1);
+  }
+  const std::uint32_t slot = free_in_flight_.back();
+  free_in_flight_.pop_back();
+  in_flight_[slot] = PendingDelivery{from, to, std::move(msg)};
+  return slot;
+}
+
+void Backhaul::deliver_parked(std::uint32_t slot) {
+  // Move everything out and recycle the slot before invoking: the handler
+  // may send() reentrantly, which can grow in_flight_.
+  PendingDelivery d = std::move(in_flight_[slot]);
+  free_in_flight_.push_back(slot);
+  // Handler looked up at delivery time: attach order vs send order must
+  // not matter, and a handler may be replaced mid-run.
+  auto it = handlers_.find(d.to);
+  if (it != handlers_.end()) it->second(d.from, std::move(d.msg));
 }
 
 }  // namespace wgtt::net

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/messages.h"
 #include "sim/scheduler.h"
@@ -77,10 +79,24 @@ class Backhaul {
   /// Schedules one delivery at >= `arrival`, clamped to the flow's FIFO.
   void deliver(NodeId from, NodeId to, BackhaulMessage msg, Time arrival);
 
+  /// In-flight message parked between send() and its delivery event. Kept in
+  /// a free-listed slab so the scheduled callback captures only
+  /// (this, slot index) — it stays within InlineCallback's inline buffer, and
+  /// the steady state allocates nothing per message (DESIGN.md §8).
+  struct PendingDelivery {
+    NodeId from{};
+    NodeId to{};
+    BackhaulMessage msg;
+  };
+  std::uint32_t park(NodeId from, NodeId to, BackhaulMessage msg);
+  void deliver_parked(std::uint32_t slot);
+
   sim::Scheduler& sched_;
   Config config_;
   Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;
+  std::vector<PendingDelivery> in_flight_;    // grows to the high-water mark
+  std::vector<std::uint32_t> free_in_flight_;
   // FIFO discipline per (src, dst): a switched-Ethernet path never reorders
   // packets of one flow, and the WGTT index stream depends on that.
   std::unordered_map<std::uint64_t, Time> last_delivery_;

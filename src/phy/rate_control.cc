@@ -1,6 +1,7 @@
 #include "phy/rate_control.h"
 
 #include <algorithm>
+#include <array>
 
 namespace wgtt::phy {
 
@@ -58,9 +59,15 @@ void EsnrRateSelector::report(Mcs used, int attempted, int delivered) {
 
 void EsnrRateSelector::observe_csi(std::span<const double> subcarrier_snr_db) {
   // Derate the CSI by the staleness margin, then pick the expected-goodput
-  // maximizer.
-  std::vector<double> derated(subcarrier_snr_db.begin(), subcarrier_snr_db.end());
-  for (double& s : derated) s -= margin_db_;
+  // maximizer. CSI is at most kNumSubcarriers wide, so the derated copy
+  // lives in fixed scratch — this runs per received frame and must not
+  // allocate.
+  std::array<double, kNumSubcarriers> scratch;
+  const std::size_t n = std::min(subcarrier_snr_db.size(), scratch.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch[i] = subcarrier_snr_db[i] - margin_db_;
+  }
+  const std::span<const double> derated(scratch.data(), n);
   double best_goodput = -1.0;
   Mcs best = Mcs::kMcs0;
   for (const auto& info : all_mcs()) {

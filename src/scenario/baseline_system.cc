@@ -106,7 +106,7 @@ int BaselineSystem::serving_ap(int client) const {
 channel::CsiMeasurement BaselineSystem::fallback_csi() const {
   channel::CsiMeasurement m;
   m.when = sched_.now();
-  m.subcarrier_snr_db.assign(kNumSubcarriers, 0.0);
+  m.subcarrier_snr_db.fill(0.0);
   m.rssi_dbm = -94.0;
   m.mean_snr_db = 0.0;
   return m;

@@ -278,7 +278,7 @@ channel::CsiMeasurement WgttSystem::fallback_csi() const {
   // weak flat channel so decode draws almost always fail.
   channel::CsiMeasurement m;
   m.when = sched_.now();
-  m.subcarrier_snr_db.assign(kNumSubcarriers, 0.0);
+  m.subcarrier_snr_db.fill(0.0);
   m.rssi_dbm = -94.0;
   m.mean_snr_db = 0.0;
   return m;

@@ -1,0 +1,123 @@
+// Move-only small-buffer-optimized callback for the event engine.
+//
+// The scheduler fires millions of events per simulated second; with
+// std::function every schedule of a lambda whose captures exceed the
+// library's tiny inline buffer (16 bytes on libstdc++) heap-allocates, and
+// every pop used to *copy* the callable off priority_queue::top(). An
+// InlineCallback stores any callable up to kInlineBytes (48) in-place —
+// enough for every capture list in the simulator's hot paths (this-pointer
+// timers, a handful of ids, a moved-in message) — and is move-only, so
+// callbacks are never duplicated, only relocated. Oversized callables fall
+// back to a single heap allocation, so correctness never depends on capture
+// size.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wgtt::sim {
+
+class InlineCallback {
+ public:
+  /// Captures up to this many bytes live inline (no heap allocation).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  /// Implicit so call sites keep passing lambdas directly to schedule_*.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the stored callable (releasing its captures) and empties.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Whether a callable of type F would be stored without heap allocation.
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs into dst and destroys src; noexcept by construction
+    // (inline storage requires a nothrow-movable callable, heap storage
+    // relocates a raw pointer).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* self) { delete *static_cast<Fn**>(self); },
+  };
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wgtt::sim

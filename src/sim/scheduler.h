@@ -1,23 +1,34 @@
 // Discrete-event simulation core.
 //
-// A Scheduler owns a virtual clock and a priority queue of (time, callback)
+// A Scheduler owns a virtual clock and a min-heap of (time, callback)
 // events. Everything in the WGTT simulation — frame transmissions, backhaul
 // deliveries, beacon timers, TCP retransmission timeouts, vehicle position
 // updates — is an event on one Scheduler, which guarantees a single total
 // order of actions and therefore exact reproducibility.
+//
+// Hot-path layout (DESIGN.md §8): the heap orders 24-byte POD keys
+// (when, seq, slot) in a 4-ary array heap; the callbacks themselves live in
+// a slab of move-only InlineCallback slots addressed by the key, so nothing
+// heap-allocates for typical captures and nothing is copied on pop.
+// Cancellation is O(1) and generation-stamped: an EventId encodes
+// (slot, generation), cancel() disarms the slot if the generation still
+// matches, and the stale heap key is discarded when it surfaces. The
+// (when, seq) FIFO tie-break is a hard contract — every seeded run is
+// byte-identical to the pre-rewrite engine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "util/units.h"
 
 namespace wgtt::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (slot << 32 | generation); the default value 0 never names a
+/// live event, so a default-constructed id is always safe to cancel.
 enum class EventId : std::uint64_t {};
 
 class Scheduler {
@@ -30,13 +41,16 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
-  EventId schedule_at(Time when, std::function<void()> fn);
+  EventId schedule_at(Time when, InlineCallback fn);
 
   /// Schedules `fn` `delay` after now(). Negative delays clamp to now().
-  EventId schedule_in(Time delay, std::function<void()> fn);
+  EventId schedule_in(Time delay, InlineCallback fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op (timeout races make that the common case).
+  /// Cancels a pending event in O(1), releasing its captures immediately.
+  /// Cancelling an already-fired, already-cancelled, unknown, or
+  /// default-constructed id is a no-op (timeout races make that the common
+  /// case) — the generation stamp makes the check exact, so stale ids never
+  /// leak memory or skew pending().
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or the clock would pass `limit`;
@@ -50,34 +64,55 @@ class Scheduler {
   /// Executes exactly one event if any is pending; returns whether one ran.
   bool step();
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Entry {
+  // POD heap key; callbacks live in slots_, addressed by `slot`.
+  struct HeapEntry {
     Time when;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::function<void()> fn;
+    std::uint64_t seq;   // tie-break: FIFO among same-time events
+    std::uint32_t slot;  // index into slots_
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    InlineCallback fn;
+    std::uint64_t seq = 0;          // seq of the currently armed event
+    std::uint32_t generation = 0;   // bumped on every arm; id must match
+    bool armed = false;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes heap_[0] (swap-with-last + sift) and recycles its slot.
+  void pop_top();
+
+  // 4-ary: one level shallower than binary per ~4x entries, and the child
+  // scan stays within one cache line of 24-byte entries.
+  static constexpr std::size_t kArity = 4;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
 };
 
 /// One-shot restartable timer bound to a Scheduler. Used for the switching
-/// protocol's 30 ms ack timeout and for TCP's RTO.
+/// protocol's 30 ms ack timeout and for TCP's RTO — both restart constantly,
+/// so start() must not rebuild the user callback: `on_fire_` is constructed
+/// once, and each start() schedules only an 8-byte trampoline (stored inline
+/// in the scheduler slot, no allocation).
 class Timer {
  public:
-  Timer(Scheduler& sched, std::function<void()> on_fire)
+  Timer(Scheduler& sched, InlineCallback on_fire)
       : sched_(sched), on_fire_(std::move(on_fire)) {}
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
@@ -90,8 +125,16 @@ class Timer {
   [[nodiscard]] bool armed() const { return armed_; }
 
  private:
+  struct Fire {  // trampoline: the only thing scheduled per start()
+    Timer* timer;
+    void operator()() const {
+      timer->armed_ = false;
+      timer->on_fire_();
+    }
+  };
+
   Scheduler& sched_;
-  std::function<void()> on_fire_;
+  InlineCallback on_fire_;
   EventId pending_{};
   bool armed_ = false;
 };

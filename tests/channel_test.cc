@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <complex>
+#include <numbers>
+#include <vector>
 
 #include "channel/antenna.h"
 #include "channel/fading.h"
@@ -250,6 +252,134 @@ TEST(TappedDelayTest, RicianLosRaisesMinimumPower) {
   }
   // A strong LoS component bounds fades away from zero.
   EXPECT_GT(min_strong, min_weak * 10.0);
+}
+
+// ISSUE 4 contract: the hot-path restructuring of the CSI compute path
+// (fixed-size gains, precomputed sqrt amplitudes, flattened rotation table)
+// must be *bit-identical* to the seed formula. This reference re-derives
+// every constructor-computed constant with the seed's exact expressions and
+// RNG consumption order, evaluates the seed's per-sample formula, and
+// compares sample by sample with exact floating-point equality.
+TEST(TappedDelayTest, BitIdenticalToReferenceFormula) {
+  const TappedDelayChannel::Config cfg;  // paper defaults: 6 taps, 16 sinusoids
+  Rng rng_real(77);
+  TappedDelayChannel ch(cfg, rng_real);
+
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  Rng rng_ref(77);
+  const double k_lin = from_db(cfg.rician_k_db);
+  const double los_power = k_lin / (k_lin + 1.0);
+  const double scatter_power = 1.0 / (k_lin + 1.0);
+  const double los_phase_rate = two_pi / kWavelength;
+  const double tap_spacing_ns =
+      cfg.num_taps > 1 ? cfg.delay_spread_ns * 2.0 / (cfg.num_taps - 1) : 0.0;
+  std::vector<double> raw(static_cast<std::size_t>(cfg.num_taps));
+  double total = 0.0;
+  for (int l = 0; l < cfg.num_taps; ++l) {
+    const double delay = l * tap_spacing_ns;
+    raw[static_cast<std::size_t>(l)] =
+        cfg.delay_spread_ns > 0.0 ? std::exp(-delay / cfg.delay_spread_ns)
+                                  : (l == 0 ? 1.0 : 0.0);
+    total += raw[static_cast<std::size_t>(l)];
+  }
+  std::vector<double> power;
+  std::vector<SpatialTap> fields;
+  std::vector<std::vector<std::complex<double>>> rot;
+  for (int l = 0; l < cfg.num_taps; ++l) {
+    power.push_back(scatter_power * raw[static_cast<std::size_t>(l)] / total);
+    fields.emplace_back(cfg.sinusoids_per_tap, cfg.env_doppler_hz, rng_ref);
+    std::vector<std::complex<double>> r(kNumSubcarriers);
+    const double delay_ns = l * tap_spacing_ns;
+    for (int i = 0; i < kNumSubcarriers; ++i) {
+      const double phase = -two_pi * subcarrier_offset_hz(i) * delay_ns * 1e-9;
+      r[static_cast<std::size_t>(i)] = {std::cos(phase), std::sin(phase)};
+    }
+    rot.push_back(std::move(r));
+  }
+
+  for (int s = 0; s < 200; ++s) {
+    const Vec2 pos{s * 0.37, (s % 5) * 0.11};
+    const Time t = Time::us(s * 137);
+    const CsiSnapshot snap = ch.csi(pos, t);
+
+    // The seed formula, verbatim: per-call sqrt, nested rotation vectors.
+    std::vector<std::complex<double>> ref(kNumSubcarriers, {0.0, 0.0});
+    const std::complex<double> los =
+        std::sqrt(los_power) *
+        std::complex<double>{std::cos(los_phase_rate * pos.x),
+                             std::sin(los_phase_rate * pos.x)};
+    for (std::size_t l = 0; l < fields.size(); ++l) {
+      const std::complex<double> g = std::sqrt(power[l]) * fields[l].gain(pos, t);
+      for (int i = 0; i < kNumSubcarriers; ++i) {
+        ref[static_cast<std::size_t>(i)] += g * rot[l][static_cast<std::size_t>(i)];
+      }
+    }
+    for (auto& g : ref) g += los;
+
+    for (int i = 0; i < kNumSubcarriers; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      ASSERT_EQ(snap.gains[k].real(), ref[k].real()) << "sample " << s << " sc " << i;
+      ASSERT_EQ(snap.gains[k].imag(), ref[k].imag()) << "sample " << s << " sc " << i;
+    }
+
+    // flat_gain shares the precomputed amplitudes; check it the same way.
+    std::complex<double> flat_ref =
+        std::sqrt(los_power) *
+        std::complex<double>{std::cos(los_phase_rate * pos.x),
+                             std::sin(los_phase_rate * pos.x)};
+    for (std::size_t l = 0; l < fields.size(); ++l) {
+      flat_ref += std::sqrt(power[l]) * fields[l].gain(pos, t);
+    }
+    const std::complex<double> flat = ch.flat_gain(pos, t);
+    ASSERT_EQ(flat.real(), flat_ref.real()) << "sample " << s;
+    ASSERT_EQ(flat.imag(), flat_ref.imag()) << "sample " << s;
+  }
+}
+
+// Same contract one layer up: measure()'s indexed fill into the fixed-size
+// SNR array must reproduce the seed's push_back loop bit for bit.
+TEST(LinkChannelTest, MeasureBitIdenticalToSeedFormula) {
+  LinkChannel::Config cfg;
+  Rng rng_real(31);
+  LinkChannel link({0.0, 15.0}, {40.0, 0.0}, cfg, rng_real);
+
+  // Replay the constructor's RNG consumption: one next_u64() for the shadow
+  // field seed, then the fading field construction.
+  Rng rng_ref(31);
+  (void)rng_ref.next_u64();
+  TappedDelayChannel ref_fading(cfg.fading, rng_ref);
+
+  for (int s = 0; s < 100; ++s) {
+    const Vec2 pos{-20.0 + s * 0.83, (s % 3) * 0.4};
+    const Time t = Time::ms(s * 7);
+    const CsiMeasurement m = link.measure(pos, t);
+
+    const double rx_dbm = link.large_scale_rx_dbm(pos);
+    const CsiSnapshot snap = ref_fading.csi(pos, t);
+    const double base_snr_db = rx_dbm - cfg.budget.noise_floor_dbm;
+    std::vector<double> ref_snr;
+    ref_snr.reserve(snap.gains.size());
+    double mean_power = 0.0;
+    double mean_snr_lin = 0.0;
+    for (const auto& g : snap.gains) {
+      const double p = std::norm(g);
+      mean_power += p;
+      const double snr_db = base_snr_db + to_db(std::max(p, 1e-4));
+      ref_snr.push_back(snr_db);
+      mean_snr_lin += from_db(snr_db);
+    }
+    mean_power /= static_cast<double>(snap.gains.size());
+    const double ref_rssi = rx_dbm + to_db(std::max(mean_power, 1e-4));
+    const double ref_mean_snr =
+        to_db(mean_snr_lin / static_cast<double>(snap.gains.size()));
+
+    for (int i = 0; i < kNumSubcarriers; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      ASSERT_EQ(m.subcarrier_snr_db[k], ref_snr[k]) << "sample " << s << " sc " << i;
+    }
+    ASSERT_EQ(m.rssi_dbm, ref_rssi) << "sample " << s;
+    ASSERT_EQ(m.mean_snr_db, ref_mean_snr) << "sample " << s;
+  }
 }
 
 TEST(LinkChannelTest, SnrFallsWithDistanceAlongRoad) {

@@ -98,7 +98,7 @@ class ControllerTest : public ::testing::Test {
     r.from_ap = ap;
     r.client = kClient;
     r.measurement.when = sched_.now();
-    r.measurement.subcarrier_snr_db.assign(kNumSubcarriers, snr_db);
+    r.measurement.subcarrier_snr_db.fill(snr_db);
     r.measurement.rssi_dbm = -94.0 + snr_db;
     r.measurement.mean_snr_db = snr_db;
     return r;

@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event scheduler and timers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -62,6 +66,131 @@ TEST(SchedulerTest, CancelPreventsExecution) {
   // Cancelling twice or cancelling unknown ids is harmless.
   s.cancel(id);
   s.cancel(EventId{999'999});
+}
+
+// Regression (ISSUE 4): the seed's cancel() recorded every id it was handed
+// in a tombstone set, so cancelling an already-fired or unknown id grew
+// memory forever and made pending() (heap size minus tombstones) underflow
+// size_t. Generation-stamped cancellation makes those cancels true no-ops.
+TEST(SchedulerTest, CancelFiredOrUnknownKeepsPendingSane) {
+  Scheduler s;
+  std::vector<EventId> fired_ids;
+  for (int i = 0; i < 16; ++i) {
+    fired_ids.push_back(s.schedule_at(Time::ms(i), [] {}));
+  }
+  EXPECT_EQ(s.pending(), 16u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+
+  // Cancel every fired id (twice), plus a pile of ids that never existed.
+  for (const EventId id : fired_ids) {
+    s.cancel(id);
+    s.cancel(id);
+  }
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    s.cancel(EventId{(k << 32) | 12345u});
+  }
+  EXPECT_EQ(s.pending(), 0u);  // the seed reported ~2^64 here
+
+  // The scheduler still works and counts correctly afterwards.
+  bool ran = false;
+  const EventId live = s.schedule_in(Time::ms(1), [&] { ran = true; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(fired_ids[0]);  // stale id again, with a live event present
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+  s.cancel(live);  // now fired; still a no-op
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelledThenCancelledAgainDecrementsPendingOnce) {
+  Scheduler s;
+  const EventId a = s.schedule_at(Time::ms(1), [] {});
+  s.schedule_at(Time::ms(2), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(a);  // double-cancel must not decrement again
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+// A stale EventId whose slot has been recycled for a newer event must not
+// cancel that newer event (the generation stamp distinguishes them).
+TEST(SchedulerTest, StaleIdDoesNotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId old_id = s.schedule_at(Time::ms(1), [] {});
+  s.cancel(old_id);
+  s.run_all();  // pops the tombstoned key, recycling the slot
+
+  bool ran = false;
+  s.schedule_at(Time::ms(2), [&] { ran = true; });  // reuses the slot
+  s.cancel(old_id);  // stale: same slot, older generation
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, CancelReleasesCapturesImmediately) {
+  Scheduler s;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = s.schedule_at(Time::ms(1), [t = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  s.cancel(id);
+  // O(1) cancel destroys the callback (and its captures) right away, not
+  // when the dead heap key eventually surfaces.
+  EXPECT_TRUE(watch.expired());
+  s.run_all();
+}
+
+// Ordering contract, locked in across the heap rewrite: an arbitrary
+// schedule/cancel interleaving fires exactly the surviving events, in
+// (when, seq) order — verified against a simple reference model.
+TEST(SchedulerTest, ChurnMatchesReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scheduler s;
+    Rng rng(seed * 7919 + 3);
+    struct Ref {
+      Time when;
+      int tag;
+      bool cancelled = false;
+    };
+    std::vector<Ref> model;
+    std::vector<EventId> ids;
+    std::vector<int> fired;
+    for (int i = 0; i < 400; ++i) {
+      if (!ids.empty() && rng.chance(0.3)) {
+        // Cancel a random prior event (possibly already cancelled).
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(ids.size())));
+        s.cancel(ids[pick]);
+        model[pick].cancelled = true;
+      } else {
+        const Time when =
+            Time::us(static_cast<std::int64_t>(rng.uniform_int(2'000)));
+        const int tag = i;
+        ids.push_back(s.schedule_at(when, [&fired, tag] { fired.push_back(tag); }));
+        model.push_back(Ref{when, tag});
+      }
+    }
+    s.run_all();
+
+    // Reference order: stable sort by time — equal times keep schedule order.
+    std::vector<int> expected;
+    std::vector<Ref> survivors;
+    for (const auto& r : model) {
+      if (!r.cancelled) survivors.push_back(r);
+    }
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [](const Ref& a, const Ref& b) { return a.when < b.when; });
+    for (const auto& r : survivors) expected.push_back(r.tag);
+    ASSERT_EQ(fired, expected) << "seed " << seed;
+    EXPECT_EQ(s.pending(), 0u);
+  }
 }
 
 TEST(SchedulerTest, RunUntilStopsAtLimit) {
@@ -173,6 +302,65 @@ TEST(TimerTest, DestructorCancels) {
   }
   s.run_all();
   EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, CancelAfterFireIsHarmless) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.start(Time::ms(1));
+  s.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+  // The timeout race: the event fired, then the owner cancels. Must not
+  // disturb the scheduler or any later use of the timer.
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(s.pending(), 0u);
+  t.start(Time::ms(1));
+  s.run_all();
+  EXPECT_EQ(fires, 2);
+}
+
+// The RTO/switch-ack pattern: one Timer restarted thousands of times. Each
+// start() must reuse the constructed-once callback (the trampoline is tiny
+// and inline), and semantics must hold across heavy restart churn.
+TEST(TimerTest, HeavyRestartChurn) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  for (int round = 0; round < 1000; ++round) {
+    t.start(Time::ms(5));  // restart-while-armed, 999 times
+  }
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(s.pending(), 1u);  // exactly one live event despite the churn
+  s.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// Callables bigger than InlineCallback's inline buffer fall back to a heap
+// allocation but behave identically (captures destroyed on fire/cancel).
+TEST(SchedulerTest, OversizedCapturesStillWork) {
+  Scheduler s;
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes: > kInlineBytes
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
+  static_assert(!sim::InlineCallback::fits_inline<decltype([p = payload] {})>());
+
+  std::uint64_t sum = 0;
+  s.schedule_at(Time::ms(1), [p = payload, &sum] {
+    for (const auto v : p) sum += v;
+  });
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  const EventId big =
+      s.schedule_at(Time::ms(2), [p = payload, t = std::move(token)] {});
+  s.cancel(big);
+  EXPECT_TRUE(watch.expired());  // heap-path cancel frees captures too
+  s.run_all();
+  std::uint64_t expected = 0;
+  for (const auto v : payload) expected += v;
+  EXPECT_EQ(sum, expected);
 }
 
 // Property: N randomly ordered schedules execute in nondecreasing time.
