@@ -117,6 +117,14 @@ DriveResult run_drive(const DriveConfig& cfg) {
     if (cfg.selection_window) scfg.controller.selection_window = *cfg.selection_window;
     if (cfg.hysteresis) scfg.controller.switch_hysteresis = *cfg.hysteresis;
     scfg.controller.metric = cfg.metric;
+    if (cfg.ack_timeout) scfg.controller.ack_timeout = *cfg.ack_timeout;
+    if (cfg.heartbeat_interval) {
+      scfg.controller.heartbeat_interval = *cfg.heartbeat_interval;
+    }
+    if (cfg.heartbeat_miss_threshold) {
+      scfg.controller.heartbeat_miss_threshold = *cfg.heartbeat_miss_threshold;
+    }
+    scfg.ap_faults = cfg.ap_faults;
     scfg.ap.start_from_newest = cfg.start_from_newest;
     if (cfg.control_loss_rate > 0.0) {
       for (const auto kind : {net::MsgKind::kStop, net::MsgKind::kStart,
@@ -375,6 +383,14 @@ DriveResult run_drive(const DriveConfig& cfg) {
     result.uplink_packets = st.uplink_packets;
     result.stop_retransmissions = st.stop_retransmissions;
     result.stale_acks_ignored = st.stale_acks_ignored;
+    result.aps_marked_dead = st.aps_marked_dead;
+    result.aps_readmitted = st.aps_readmitted;
+    result.forced_failovers = st.forced_failovers;
+    result.failovers_unserved = st.failovers_unserved;
+    for (int i = 0; i < n; ++i) {
+      result.downlink_dups_dropped +=
+          wgtt->client(i).downlink_duplicates_dropped();
+    }
     result.invariant_violations = wgtt->check_invariants().violations.size();
     for (int i = 0; i < wgtt->num_aps(); ++i) {
       const auto& aps = wgtt->ap(i).stats();

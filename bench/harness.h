@@ -53,6 +53,18 @@ struct DriveConfig {
   /// and epoch-idempotency machinery without touching the data path.
   /// WGTT system only.
   double control_loss_rate = 0.0;
+  /// Control retransmission timeout override (Controller::Config's 30 ms
+  /// default when unset). A shorter timeout tightens switch-time tails
+  /// under control loss at the cost of more spurious retransmits.
+  std::optional<Time> ack_timeout;
+  /// Scripted per-AP faults (crash/restart/zombie/partition). Non-empty
+  /// auto-enables the controller's heartbeat liveness machinery. WGTT
+  /// system only.
+  std::vector<scenario::ApFaultScript> ap_faults;
+  /// Liveness tuning used by the failover benches (only meaningful when
+  /// ap_faults is non-empty or liveness was enabled explicitly).
+  std::optional<Time> heartbeat_interval;
+  std::optional<int> heartbeat_miss_threshold;
   std::optional<scenario::GeometryConfig> geometry;  // density sweeps
   std::optional<Time> baseline_persistence;          // stock vs enhanced
   /// Sampling period of the serving-vs-optimal accuracy probe.
@@ -109,6 +121,14 @@ struct DriveResult {
   std::uint64_t idempotent_replies = 0;
   /// End-of-run WgttSystem::check_invariants violations (0 = clean).
   std::size_t invariant_violations = 0;
+  // AP liveness & failover (zero unless ap_faults/liveness configured).
+  std::uint64_t aps_marked_dead = 0;
+  std::uint64_t aps_readmitted = 0;
+  std::uint64_t forced_failovers = 0;
+  std::uint64_t failovers_unserved = 0;
+  /// Downlink packets the clients' uid filters dropped (failover replay
+  /// overlap that escaped the MAC scoreboard window).
+  std::uint64_t downlink_dups_dropped = 0;
   /// Populated when DriveConfig::collect_metrics (or metrics_path) is set.
   std::shared_ptr<obs::MetricsRegistry> metrics;
 

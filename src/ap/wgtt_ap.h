@@ -92,6 +92,14 @@ class WgttAp {
     std::uint64_t ba_forward_received = 0;
     std::uint64_t ba_forward_duplicate = 0;
     std::uint64_t stale_dropped = 0;
+    std::uint64_t heartbeats_answered = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    /// Times a new-epoch start pointed behind an already-serving drain
+    /// pointer and was clamped forward (a forced-failover start racing a
+    /// stop that died with the backhaul link). Re-sending from behind the
+    /// pointer would duplicate everything already delivered since.
+    std::uint64_t starts_clamped_forward = 0;
   };
 
   WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
@@ -112,6 +120,25 @@ class WgttAp {
   void set_ba_forwarding(bool enabled) { ba_forwarding_ = enabled; }
   /// Disable CSI reporting (ablation; starves the controller's selector).
   void set_csi_reporting(bool enabled) { csi_reporting_ = enabled; }
+
+  /// Hard crash: every per-client cyclic queue, drain pointer, and
+  /// ControlRecord is wiped (volatile state dies with the process), the NIC
+  /// queues are flushed, and the pump stops. The scenario additionally
+  /// takes the radio off the air and the backhaul link down — the AP itself
+  /// models only its own lost state.
+  void crash();
+  /// Restart after a crash: the AP rejoins with cold queues. Association
+  /// state needs no re-handshake — the shared-BSSID replication (paper
+  /// §4.3) means registered clients are re-read from the replicated store,
+  /// which register_client already populated.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// MAC-level delivered-MPDU count snapshotted at the moment of the last
+  /// crash; while the AP is down this must not advance (a Dead AP delivers
+  /// nothing), which check_invariants asserts.
+  [[nodiscard]] std::uint64_t delivered_at_crash() const {
+    return delivered_at_crash_;
+  }
 
   [[nodiscard]] net::ApId id() const { return id_; }
   [[nodiscard]] mac::WifiMac& mac() { return mac_; }
@@ -188,6 +215,8 @@ class WgttAp {
   std::unordered_map<mac::RadioId, net::ClientId> client_of_radio_;
   bool ba_forwarding_ = true;
   bool csi_reporting_ = true;
+  bool crashed_ = false;
+  std::uint64_t delivered_at_crash_ = 0;
   Stats stats_;
   std::unique_ptr<sim::Timer> pump_timer_;
 

@@ -19,6 +19,11 @@ Controller::Controller(sim::Scheduler& sched, net::Backhaul& backhaul,
                    [this](NodeId from, BackhaulMessage msg) {
                      handle_backhaul(from, std::move(msg));
                    });
+  if (config_.liveness_enabled) {
+    heartbeat_timer_ =
+        std::make_unique<sim::Timer>(sched_, [this] { heartbeat_tick(); });
+    heartbeat_timer_->start(config_.heartbeat_interval);
+  }
 }
 
 void Controller::set_metrics(obs::MetricsRegistry* registry) {
@@ -45,11 +50,25 @@ void Controller::set_metrics(obs::MetricsRegistry* registry) {
   // 1 ms agreement bound with the exact trace-derived values.
   m.switch_time_ms =
       &registry->histogram("controller.switch_time_ms", 0.0, 60.0, 240);
+  // Liveness instruments exist only when liveness does, so a fault-free
+  // snapshot keeps the exact key set (and bytes) of a pre-liveness build.
+  if (config_.liveness_enabled) {
+    m.ap_marked_dead = &registry->counter("controller.ap_marked_dead");
+    m.ap_readmitted = &registry->counter("controller.ap_readmitted");
+    m.forced_failovers = &registry->counter("controller.forced_failovers");
+    m.heartbeat_rtt_ms =
+        &registry->histogram("controller.heartbeat_rtt_ms", 0.0, 5.0, 100);
+  }
   metrics_ = m;
 }
 
 void Controller::add_ap(net::ApId ap) {
   if (std::find(aps_.begin(), aps_.end(), ap) == aps_.end()) aps_.push_back(ap);
+  const auto idx = static_cast<std::size_t>(net::index_of(ap));
+  if (liveness_.size() <= idx) {
+    liveness_.resize(idx + 1);
+    ap_evicted_.resize(idx + 1, false);
+  }
 }
 
 void Controller::add_client(net::ClientId client) {
@@ -61,7 +80,14 @@ void Controller::add_client(net::ClientId client) {
     if (it == clients_.end() || !it->second.switch_pending) return;
     ++stats_.stop_retransmissions;
     if (metrics_) metrics_->stop_retransmissions->inc();
-    if (it->second.serving) {
+    if (it->second.pending_forced) {
+      // Forced failover: the old AP is dead, so there is no stop to
+      // retransmit — resend the bootstrap start to the new AP.
+      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_target),
+                     net::StartMsg{client, it->second.pending_target,
+                                   it->second.pending_first_index,
+                                   it->second.epoch});
+    } else if (it->second.serving) {
       backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_from),
                      net::StopMsg{client, it->second.pending_target,
                                   it->second.epoch});
@@ -89,6 +115,8 @@ void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
           handle_uplink(std::move(m));
         } else if constexpr (std::is_same_v<T, net::SwitchAck>) {
           handle_switch_ack(m);
+        } else if constexpr (std::is_same_v<T, net::HeartbeatAck>) {
+          handle_heartbeat_ack(m);
         }
       },
       std::move(msg));
@@ -116,7 +144,7 @@ void Controller::maybe_switch(net::ClientId client) {
   if (cs.switch_pending) return;  // at most one outstanding switch
   if (metrics_) metrics_->selection_evaluations->inc();
 
-  const auto best = tracker_.best_ap(client, sched_.now());
+  const auto best = tracker_.best_ap(client, sched_.now(), eviction_mask());
   if (!best) return;
 
   if (!cs.serving) {
@@ -157,6 +185,7 @@ void Controller::maybe_switch(net::ClientId client) {
 void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
   ClientState& cs = clients_.at(client);
   cs.switch_pending = true;
+  cs.pending_forced = false;
   cs.pending_target = first_ap;
   cs.pending_from = first_ap;
   cs.pending_since = sched_.now();
@@ -173,6 +202,7 @@ void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
 void Controller::initiate_switch(net::ClientId client, net::ApId target) {
   ClientState& cs = clients_.at(client);
   cs.switch_pending = true;
+  cs.pending_forced = false;
   cs.pending_target = target;
   cs.pending_from = *cs.serving;
   cs.pending_since = sched_.now();
@@ -201,6 +231,7 @@ void Controller::handle_switch_ack(const net::SwitchAck& msg) {
   }
   cs.ack_timer->cancel();
   cs.switch_pending = false;
+  cs.pending_forced = false;
   const net::ApId from = cs.serving.value_or(msg.from_ap);
   cs.serving = msg.from_ap;
   cs.last_switch_completed = sched_.now();
@@ -224,12 +255,18 @@ void Controller::send_downlink(net::Packet packet) {
 
   const std::uint16_t index = cs.next_index;
   cs.next_index = (cs.next_index + 1) & 0x0fff;  // m = 12 bits
+  ++cs.downlink_sent;
 
   // Fan out to every AP that has recently heard the client; before any CSI
-  // exists (client just joined, or long idle), fall back to all APs.
+  // exists (client just joined, or long idle), fall back to all APs. Dead
+  // and Recovering APs are evicted from the set either way — packets handed
+  // to a corpse are packets lost.
   std::vector<net::ApId> targets =
       tracker_.fresh_aps(packet.client, sched_.now(), config_.fanout_freshness);
   if (targets.empty()) targets = aps_;
+  if (config_.liveness_enabled) {
+    std::erase_if(targets, [this](net::ApId ap) { return !ap_usable(ap); });
+  }
   for (net::ApId ap : targets) {
     ++stats_.downlink_fanout_copies;
     backhaul_.send(NodeId::controller(), NodeId::ap(ap),
@@ -267,6 +304,178 @@ void Controller::handle_uplink(net::UplinkData&& msg) {
     return;
   }
   if (on_uplink) on_uplink(msg.packet);
+}
+
+// --- AP liveness & forced failover --------------------------------------
+
+bool Controller::ap_usable(net::ApId ap) const {
+  const auto idx = static_cast<std::size_t>(net::index_of(ap));
+  return idx >= ap_evicted_.size() || !ap_evicted_[idx];
+}
+
+Controller::ApHealth Controller::ap_health(net::ApId ap) const {
+  if (!config_.liveness_enabled) return {};
+  const auto idx = static_cast<std::size_t>(net::index_of(ap));
+  if (idx >= liveness_.size()) return {};
+  return {liveness_[idx].state, liveness_[idx].state_since};
+}
+
+void Controller::heartbeat_tick() {
+  for (net::ApId ap : aps_) {
+    const auto idx = static_cast<std::size_t>(net::index_of(ap));
+    LivenessState& ls = liveness_[idx];
+    // Judge the probe sent last tick before sending the next one.
+    // (ack_since_tick starts true, so no miss accrues before first probe.)
+    if (!ls.ack_since_tick) {
+      ++ls.misses;
+      if (ls.state == ApLiveness::kAlive) {
+        ls.state = ApLiveness::kSuspect;
+        ls.state_since = sched_.now();
+        ++stats_.aps_marked_suspect;
+      }
+      if (ls.misses >= config_.heartbeat_miss_threshold &&
+          ls.state != ApLiveness::kDead) {
+        mark_dead(ap);
+      }
+    }
+    if (ls.state == ApLiveness::kRecovering &&
+        sched_.now() >= ls.readmit_at) {
+      readmit(ap);
+    }
+    ls.ack_since_tick = false;
+    ++ls.hb_seq;
+    ls.hb_sent_at = sched_.now();
+    ++stats_.heartbeats_sent;
+    backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+                   net::Heartbeat{ls.hb_seq});
+  }
+  heartbeat_timer_->start(config_.heartbeat_interval);
+}
+
+void Controller::handle_heartbeat_ack(const net::HeartbeatAck& msg) {
+  const auto idx = static_cast<std::size_t>(net::index_of(msg.from_ap));
+  if (idx >= liveness_.size()) return;
+  LivenessState& ls = liveness_[idx];
+  ++stats_.heartbeat_acks;
+  ls.ack_since_tick = true;
+  ls.misses = 0;
+  if (metrics_ && metrics_->heartbeat_rtt_ms && msg.seq == ls.hb_seq) {
+    metrics_->heartbeat_rtt_ms->observe(
+        (sched_.now() - ls.hb_sent_at).to_millis());
+  }
+  if (ls.state == ApLiveness::kDead) {
+    // Back from the dead: damp the flap with an exponential readmission
+    // backoff so an oscillating AP cannot thrash the fan-out set.
+    ls.state = ApLiveness::kRecovering;
+    ls.state_since = sched_.now();
+    if (ls.backoff == Time::zero()) ls.backoff = config_.readmission_backoff;
+    ls.readmit_at = sched_.now() + ls.backoff;
+    ls.backoff = std::min(ls.backoff * 2, config_.readmission_backoff_max);
+  } else if (ls.state == ApLiveness::kSuspect) {
+    ls.state = ApLiveness::kAlive;
+    ls.state_since = sched_.now();
+  }
+}
+
+void Controller::mark_dead(net::ApId ap) {
+  const auto idx = static_cast<std::size_t>(net::index_of(ap));
+  LivenessState& ls = liveness_[idx];
+  ls.state = ApLiveness::kDead;
+  ls.state_since = sched_.now();
+  ap_evicted_[idx] = true;
+  ++stats_.aps_marked_dead;
+  if (metrics_ && metrics_->ap_marked_dead) metrics_->ap_marked_dead->inc();
+  // Any client whose stream touches the dead AP — serving through it, or
+  // mid-switch into or out of it — is failed over immediately rather than
+  // waiting out retransmissions toward a corpse.
+  for (auto& [client, cs] : clients_) {
+    const bool serving_dead = cs.serving && *cs.serving == ap;
+    const bool pending_dead =
+        cs.switch_pending &&
+        (cs.pending_target == ap || cs.pending_from == ap);
+    if (serving_dead || pending_dead) {
+      // Remember the orphan: if the AP was a zombie (radio up, backhaul
+      // down) it still believes it serves this client and must be quenched
+      // once it is readmitted.
+      ls.orphaned.push_back(client);
+      force_failover(client);
+    }
+  }
+}
+
+void Controller::force_failover(net::ClientId client) {
+  ClientState& cs = clients_.at(client);
+  cs.ack_timer->cancel();
+  cs.switch_pending = false;
+  cs.pending_forced = false;
+  const auto target = tracker_.best_ap(client, sched_.now(), &ap_evicted_);
+  if (!target) {
+    // Degraded mode: no usable AP has in-window CSI for this client. Drop
+    // to unserved; the next CSI report re-bootstraps through the normal
+    // path (and the fan-out keeps reaching every fresh, usable AP).
+    cs.serving.reset();
+    ++stats_.failovers_unserved;
+    return;
+  }
+  // Mint a new epoch and bootstrap the new AP straight from our own fan-out
+  // watermark: the dead AP can never answer a stop, so the normal
+  // stop -> start chain is unavailable. Rewinding by failover_replay
+  // re-sends the tail the dead AP may have accepted but never delivered;
+  // the client's duplicate suppression absorbs the overlap.
+  const std::uint16_t replay = static_cast<std::uint16_t>(
+      std::min<std::uint64_t>(config_.failover_replay, cs.downlink_sent));
+  ++cs.epoch;
+  cs.switch_pending = true;
+  cs.pending_forced = true;
+  cs.pending_target = *target;
+  cs.pending_from = cs.serving.value_or(*target);
+  cs.pending_since = sched_.now();
+  cs.pending_first_index =
+      static_cast<std::uint16_t>((cs.next_index - replay) & 0x0fff);
+  ++stats_.switches_initiated;
+  ++stats_.forced_failovers;
+  if (metrics_) {
+    metrics_->switches_initiated->inc();
+    if (metrics_->forced_failovers) metrics_->forced_failovers->inc();
+  }
+  backhaul_.send(NodeId::controller(), NodeId::ap(*target),
+                 net::StartMsg{client, *target, cs.pending_first_index,
+                               cs.epoch});
+  cs.ack_timer->start(config_.ack_timeout);
+}
+
+void Controller::readmit(net::ApId ap) {
+  const auto idx = static_cast<std::size_t>(net::index_of(ap));
+  LivenessState& ls = liveness_[idx];
+  ls.state = ApLiveness::kAlive;
+  ls.state_since = sched_.now();
+  ap_evicted_[idx] = false;
+  ++stats_.aps_readmitted;
+  if (metrics_ && metrics_->ap_readmitted) metrics_->ap_readmitted->inc();
+  for (net::ClientId client : ls.orphaned) quench_orphan(ap, client);
+  ls.orphaned.clear();
+}
+
+void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  ClientState& cs = it->second;
+  // Nothing to quench if the client is unserved or came back through this
+  // very AP (a fresh start superseded the zombie's stale serving state).
+  if (!cs.serving || *cs.serving == ap) return;
+  if (cs.switch_pending) {
+    // A stop now could race the in-flight start of the pending switch;
+    // retry once the handshake quiesces.
+    sched_.schedule_in(config_.heartbeat_interval,
+                       [this, ap, client] { quench_orphan(ap, client); });
+    return;
+  }
+  // The stop carries the client's current epoch: newer than anything the
+  // zombie recorded, so it stops serving and forwards a start that the
+  // actual serving AP answers as a duplicate (a stale ack we ignore).
+  ++stats_.quench_stops;
+  backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+                 net::StopMsg{client, *cs.serving, cs.epoch});
 }
 
 std::optional<net::ApId> Controller::serving_ap(net::ClientId client) const {

@@ -10,6 +10,12 @@
 // index) to every AP that has recently heard the client; de-duplicate
 // uplink packets forwarded by multiple APs using the 48-bit
 // (source, IP-ID) key hashset (§3.2.2-§3.2.3).
+//
+// Liveness (opt-in, DESIGN.md §7): a periodic heartbeat per AP drives an
+// Alive -> Suspect -> Dead -> Recovering state machine. Dead APs are evicted
+// from the fan-out and the selection argmax, clients served by one are
+// force-failed-over by bootstrapping a live AP from the controller's own
+// index watermark, and readmission is flap-damped with exponential backoff.
 #pragma once
 
 #include <deque>
@@ -56,6 +62,26 @@ class Controller {
     /// Guards against the degenerate first-report-wins decision right after
     /// an uplink lull, when the window holds a single AP's sample.
     Time serving_stale_timeout = Time::ms(250);
+
+    // --- AP liveness & forced failover (DESIGN.md §7) ---
+    /// Master switch, off by default: heartbeats are extra backhaul traffic
+    /// (they consume jitter RNG draws), so fault-free seeded runs stay
+    /// byte-identical unless a scenario opts in.
+    bool liveness_enabled = false;
+    /// Heartbeat probe period per AP.
+    Time heartbeat_interval = Time::ms(25);
+    /// Consecutive missed heartbeats before an AP is declared Dead. The
+    /// first miss already demotes Alive -> Suspect.
+    int heartbeat_miss_threshold = 3;
+    /// Flap damping: a Dead AP that answers again waits this long before
+    /// readmission, doubling per death up to the max.
+    Time readmission_backoff = Time::ms(100);
+    Time readmission_backoff_max = Time::ms(1600);
+    /// On forced failover the new AP is bootstrapped from the controller's
+    /// own fan-out watermark, rewound by this many indices so packets the
+    /// dead AP accepted but never delivered are replayed. The client's
+    /// duplicate suppression absorbs the overlap.
+    std::uint16_t failover_replay = 32;
   };
 
   struct Stats {
@@ -72,6 +98,21 @@ class Controller {
     /// switch. Ignoring them is the fix for the stale-ack-completes-a-
     /// later-switch bug.
     std::uint64_t stale_acks_ignored = 0;
+    // Liveness & failover (all zero while liveness is disabled).
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeat_acks = 0;
+    std::uint64_t aps_marked_suspect = 0;
+    std::uint64_t aps_marked_dead = 0;
+    std::uint64_t aps_readmitted = 0;
+    /// Switches minted because the serving (or pending) AP died, completed
+    /// by bootstrapping the new AP from the controller's own watermark.
+    std::uint64_t forced_failovers = 0;
+    /// Serving AP died with no usable fallback in the selection window; the
+    /// client is unserved until fresh CSI re-bootstraps it (degraded mode).
+    std::uint64_t failovers_unserved = 0;
+    /// Quench stops sent to a readmitted AP that may still believe it
+    /// serves a client that was failed over away while it was dead.
+    std::uint64_t quench_stops = 0;
   };
 
   struct SwitchRecord {
@@ -97,6 +138,18 @@ class Controller {
   /// (switch completion), for association-timeline plots (Figures 14/15/22).
   std::function<void(net::ClientId, net::ApId, Time)> on_serving_changed;
 
+  /// Per-AP liveness verdict, driven by the heartbeat state machine.
+  /// Dead and Recovering APs are evicted from the downlink fan-out and the
+  /// ESNR selection argmax; Suspect APs keep serving (one missed heartbeat
+  /// is not evidence enough to abandon a good radio link).
+  enum class ApLiveness : std::uint8_t { kAlive, kSuspect, kDead, kRecovering };
+  struct ApHealth {
+    ApLiveness state = ApLiveness::kAlive;
+    Time since = Time::zero();  // when the AP entered this state
+  };
+  /// Health of one AP. Always Alive while liveness is disabled.
+  [[nodiscard]] ApHealth ap_health(net::ApId ap) const;
+
   [[nodiscard]] std::optional<net::ApId> serving_ap(net::ClientId client) const;
   /// Initiation time of the client's outstanding switch, if one is pending.
   /// The invariant checker uses this to detect permanently stalled clients.
@@ -120,9 +173,14 @@ class Controller {
  private:
   struct ClientState {
     std::uint16_t next_index = 0;  // 12-bit downlink index counter
+    std::uint64_t downlink_sent = 0;  // total fanned out (clamps the replay)
     std::optional<net::ApId> serving;
     // In-progress switch (at most one outstanding per client).
     bool switch_pending = false;
+    // The pending switch is a forced failover: the old AP is dead, so the
+    // retransmit path must resend the bootstrap start to the new AP rather
+    // than a stop the corpse can never answer.
+    bool pending_forced = false;
     net::ApId pending_target{};
     net::ApId pending_from{};
     Time pending_since;
@@ -146,12 +204,43 @@ class Controller {
   void bootstrap(net::ClientId client, net::ApId first_ap);
   [[nodiscard]] bool dedup_accept(const net::Packet& p);
 
+  // Liveness machinery (no-ops while liveness is disabled).
+  struct LivenessState {
+    ApLiveness state = ApLiveness::kAlive;
+    Time state_since = Time::zero();
+    int misses = 0;
+    std::uint32_t hb_seq = 0;      // seq of the most recent probe
+    Time hb_sent_at = Time::zero();
+    bool ack_since_tick = true;    // an ack arrived since the last tick
+    Time backoff = Time::zero();   // current readmission delay
+    Time readmit_at = Time::zero();
+    // Clients failed over away while this AP was dead; quenched with a stop
+    // at readmission in case the AP (a zombie) still believes it serves.
+    std::vector<net::ClientId> orphaned;
+  };
+  void heartbeat_tick();
+  void handle_heartbeat_ack(const net::HeartbeatAck& msg);
+  void mark_dead(net::ApId ap);
+  void readmit(net::ApId ap);
+  void force_failover(net::ClientId client);
+  void quench_orphan(net::ApId ap, net::ClientId client);
+  [[nodiscard]] bool ap_usable(net::ApId ap) const;
+  [[nodiscard]] const std::vector<bool>* eviction_mask() const {
+    return config_.liveness_enabled ? &ap_evicted_ : nullptr;
+  }
+
   sim::Scheduler& sched_;
   net::Backhaul& backhaul_;
   Config config_;
   EsnrTracker tracker_;
   std::vector<net::ApId> aps_;
   std::unordered_map<net::ClientId, ClientState> clients_;
+
+  // Liveness bookkeeping, indexed by AP index. ap_evicted_ mirrors
+  // (state == Dead || state == Recovering) so the hot paths test one bit.
+  std::vector<LivenessState> liveness_;
+  std::vector<bool> ap_evicted_;
+  std::unique_ptr<sim::Timer> heartbeat_timer_;
 
   // Bounded FIFO hashset for uplink de-dup (48-bit key: client | ip_id).
   std::unordered_set<std::uint64_t> dedup_set_;
@@ -174,6 +263,12 @@ class Controller {
     obs::Counter* dedup_misses;  // new key accepted
     obs::Gauge* dedup_table_size;
     obs::Histogram* switch_time_ms;  // stop sent -> ack received (Table 1)
+    // Liveness instruments; registered (and non-null) only when liveness is
+    // enabled so fault-free snapshots keep the identical key set.
+    obs::Counter* ap_marked_dead = nullptr;
+    obs::Counter* ap_readmitted = nullptr;
+    obs::Counter* forced_failovers = nullptr;
+    obs::Histogram* heartbeat_rtt_ms = nullptr;
   };
   std::optional<Metrics> metrics_;
 };

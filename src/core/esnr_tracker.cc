@@ -27,12 +27,17 @@ std::optional<double> EsnrTracker::median(net::ClientId client, net::ApId ap,
   return it->second.samples.lower_median(now);
 }
 
-std::optional<net::ApId> EsnrTracker::best_ap(net::ClientId client, Time now) {
+std::optional<net::ApId> EsnrTracker::best_ap(net::ClientId client, Time now,
+                                              const std::vector<bool>* evicted) {
   auto ca = aps_of_client_.find(client);
   if (ca == aps_of_client_.end()) return std::nullopt;
   std::optional<net::ApId> best;
   double best_median = 0.0;
   for (net::ApId ap : ca->second) {
+    if (evicted != nullptr) {
+      const auto idx = static_cast<std::size_t>(net::index_of(ap));
+      if (idx < evicted->size() && (*evicted)[idx]) continue;
+    }
     const auto m = median(client, ap, now);
     if (!m) continue;
     if (!best || *m > best_median) {

@@ -33,8 +33,13 @@ class EsnrTracker {
   [[nodiscard]] std::optional<double> median(net::ClientId client,
                                              net::ApId ap, Time now);
 
-  /// The selection rule: AP with maximal window-median ESNR.
-  [[nodiscard]] std::optional<net::ApId> best_ap(net::ClientId client, Time now);
+  /// The selection rule: AP with maximal window-median ESNR. `evicted`,
+  /// when non-null, is indexed by AP and masks APs out of the argmax — the
+  /// controller passes its liveness eviction set so a Dead AP can never win
+  /// selection no matter how good its (stale) CSI looks.
+  [[nodiscard]] std::optional<net::ApId> best_ap(
+      net::ClientId client, Time now,
+      const std::vector<bool>* evicted = nullptr);
 
   /// APs that have heard the client within `freshness` — the controller's
   /// downlink fan-out set (paper §3.1.2 footnote 1).

@@ -26,6 +26,7 @@ WgttClient::WgttClient(net::ClientId id, sim::Scheduler& sched,
                            std::make_unique<phy::MinstrelLite>(
                                phy::MinstrelLite::Config{}, Rng{rng.next_u64()}));
   mac_.on_deliver = [this](mac::RadioId, const net::Packet& p) {
+    if (!accept_downlink(p)) return;
     if (on_downlink) on_downlink(p);
   };
   probe_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
@@ -33,6 +34,20 @@ WgttClient::WgttClient(net::ClientId id, sim::Scheduler& sched,
     emit_probe();
     probe_timer_->start(config_.probe_interval);
   });
+}
+
+bool WgttClient::accept_downlink(const net::Packet& p) {
+  if (seen_downlink_uids_.contains(p.uid)) {
+    ++downlink_duplicates_dropped_;
+    return false;
+  }
+  seen_downlink_uids_.insert(p.uid);
+  seen_downlink_fifo_.push_back(p.uid);
+  if (seen_downlink_fifo_.size() > kDownlinkDedupCapacity) {
+    seen_downlink_uids_.erase(seen_downlink_fifo_.front());
+    seen_downlink_fifo_.pop_front();
+  }
+  return true;
 }
 
 void WgttClient::send_uplink(net::Packet packet) {

@@ -8,8 +8,10 @@
 // flows, and keeps the fan-out set warm across idle periods.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 
 #include "mac/wifi_mac.h"
 #include "mobility/trajectory.h"
@@ -48,12 +50,20 @@ class WgttClient {
   [[nodiscard]] net::ClientId id() const { return id_; }
   [[nodiscard]] mac::WifiMac& mac() { return mac_; }
   [[nodiscard]] mac::RadioId radio() const { return radio_; }
+  /// Downlink packets the uid filter dropped as duplicates. Zero in normal
+  /// operation (the MAC seq scoreboard already absorbs same-seq copies);
+  /// nonzero when a failover replay or a zombie AP's backlog drain re-sends
+  /// a packet outside the 256-seq scoreboard window.
+  [[nodiscard]] std::uint64_t downlink_duplicates_dropped() const {
+    return downlink_duplicates_dropped_;
+  }
   [[nodiscard]] channel::Vec2 position() const {
     return trajectory_->position(sched_.now());
   }
 
  private:
   void emit_probe();
+  [[nodiscard]] bool accept_downlink(const net::Packet& p);
 
   net::ClientId id_;
   sim::Scheduler& sched_;
@@ -64,6 +74,14 @@ class WgttClient {
   std::uint16_t next_ip_id_ = 1;
   bool probing_ = false;
   std::unique_ptr<sim::Timer> probe_timer_;
+  // Bounded FIFO hashset over packet uids: the failover overlap guard. The
+  // MAC seq scoreboard dedups same-seq copies within its 256-seq window;
+  // this catches replays landing OUTSIDE that window (deep failover rewind,
+  // a zombie AP draining ancient backlog).
+  static constexpr std::size_t kDownlinkDedupCapacity = 2048;
+  std::unordered_set<std::uint64_t> seen_downlink_uids_;
+  std::deque<std::uint64_t> seen_downlink_fifo_;
+  std::uint64_t downlink_duplicates_dropped_ = 0;
 };
 
 }  // namespace wgtt::core

@@ -24,9 +24,13 @@ std::size_t wire_bytes(const BackhaulMessage& msg) {
           return 64;
         } else if constexpr (std::is_same_v<T, BlockAckForward>) {
           return 28 + 2 + 8 + 14;  // UDP/IP + start seq + bitmap + addresses
-        } else {
-          static_assert(std::is_same_v<T, AssocSync>);
+        } else if constexpr (std::is_same_v<T, AssocSync>) {
           return 256;  // sta_info struct transfer
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          return 64;  // UDP/IP + seq + framing
+        } else {
+          static_assert(std::is_same_v<T, HeartbeatAck>);
+          return 64;
         }
       },
       msg);
@@ -35,7 +39,9 @@ std::size_t wire_bytes(const BackhaulMessage& msg) {
 bool is_control(const BackhaulMessage& msg) {
   return std::holds_alternative<StopMsg>(msg) ||
          std::holds_alternative<StartMsg>(msg) ||
-         std::holds_alternative<SwitchAck>(msg);
+         std::holds_alternative<SwitchAck>(msg) ||
+         std::holds_alternative<Heartbeat>(msg) ||
+         std::holds_alternative<HeartbeatAck>(msg);
 }
 
 MsgKind kind_of(const BackhaulMessage& msg) {
@@ -48,6 +54,10 @@ MsgKind kind_of(const BackhaulMessage& msg) {
                     static_cast<std::size_t>(MsgKind::kAssocSync),
                     BackhaulMessage>,
                 AssocSync>);
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                    static_cast<std::size_t>(MsgKind::kHeartbeatAck),
+                    BackhaulMessage>,
+                HeartbeatAck>);
   return static_cast<MsgKind>(msg.index());
 }
 
@@ -62,11 +72,27 @@ void Backhaul::attach(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
+void Backhaul::set_node_up(NodeId node, bool up) {
+  if (up) {
+    down_nodes_.erase(node);
+  } else {
+    down_nodes_.insert(node);
+  }
+}
+
 void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
   if (!handlers_.contains(to)) {
     throw std::logic_error("Backhaul::send to unattached node");
   }
   ++sent_;
+  // Link-down drops happen before any RNG draw so that a run where no node
+  // ever goes down consumes the identical draw sequence.
+  if (!down_nodes_.empty() &&
+      (down_nodes_.contains(from) || down_nodes_.contains(to))) {
+    ++dropped_;
+    ++link_dropped_;
+    return;
+  }
   if (rng_.chance(config_.loss_rate)) {
     ++dropped_;
     return;
@@ -99,31 +125,47 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
     latency += Time::ns(static_cast<std::int64_t>(
         rng_.uniform() * static_cast<double>(plan.delay_max.count_ns())));
   }
+  // A reordered message takes an extra delay and skips the FIFO clamp in
+  // deliver(): it neither waits for earlier messages nor holds back later
+  // ones, so the flow genuinely reorders around it.
+  bool reorder = false;
+  if (plan.reorder_rate > 0.0 && plan.reorder_max > Time::zero() &&
+      rng_.chance(plan.reorder_rate)) {
+    reorder = true;
+    ++reordered_;
+    latency += Time::ns(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(plan.reorder_max.count_ns())));
+  }
   const bool duplicate = plan.dup_rate > 0.0 && rng_.chance(plan.dup_rate);
   const Time arrival = sched_.now() + latency;
   if (duplicate) {
     ++duplicated_;
     BackhaulMessage copy = msg;
-    deliver(from, to, std::move(msg), arrival);
+    deliver(from, to, std::move(msg), arrival, reorder);
     // The copy trails the original; the FIFO clamp in deliver() keeps it
     // behind both the original and anything sent meanwhile.
-    deliver(from, to, std::move(copy), arrival + config_.switch_overhead);
+    deliver(from, to, std::move(copy), arrival + config_.switch_overhead,
+            reorder);
   } else {
-    deliver(from, to, std::move(msg), arrival);
+    deliver(from, to, std::move(msg), arrival, reorder);
   }
 }
 
 void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
-                       Time arrival) {
+                       Time arrival, bool bypass_fifo) {
   // Enforce per-(src,dst) FIFO: neither jitter nor injected delay may
-  // reorder a flow (a delayed message stalls everything behind it).
-  const std::uint64_t flow_key =
-      (static_cast<std::uint64_t>(std::hash<NodeId>{}(from)) << 32) ^
-      std::hash<NodeId>{}(to);
-  auto [it, inserted] = last_delivery_.try_emplace(flow_key, arrival);
-  if (!inserted) {
-    if (arrival <= it->second) arrival = it->second + Time::ns(1);
-    it->second = arrival;
+  // reorder a flow (a delayed message stalls everything behind it). A
+  // reorder-faulted message skips both the clamp and the watermark update,
+  // so messages sent after it can overtake it.
+  if (!bypass_fifo) {
+    const std::uint64_t flow_key =
+        (static_cast<std::uint64_t>(std::hash<NodeId>{}(from)) << 32) ^
+        std::hash<NodeId>{}(to);
+    auto [it, inserted] = last_delivery_.try_emplace(flow_key, arrival);
+    if (!inserted) {
+      if (arrival <= it->second) arrival = it->second + Time::ns(1);
+      it->second = arrival;
+    }
   }
   // Park the message in the slab and schedule a 16-byte (this, slot)
   // trampoline: the message body never rides inside the callback, so the
@@ -148,6 +190,13 @@ void Backhaul::deliver_parked(std::uint32_t slot) {
   // may send() reentrantly, which can grow in_flight_.
   PendingDelivery d = std::move(in_flight_[slot]);
   free_in_flight_.push_back(slot);
+  // A message in flight toward a node whose link went down meanwhile is
+  // lost with the cable.
+  if (!down_nodes_.empty() && down_nodes_.contains(d.to)) {
+    ++dropped_;
+    ++link_dropped_;
+    return;
+  }
   // Handler looked up at delivery time: attach order vs send order must
   // not matter, and a handler may be replaced mid-run.
   auto it = handlers_.find(d.to);

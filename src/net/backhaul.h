@@ -6,16 +6,20 @@
 // fault injection to exercise the switching protocol's 30 ms retransmission
 // timeout: a uniform `loss_rate` over all messages, and per-message-type
 // FaultPlans (loss, extra delay, duplication, deterministic first-N drops).
-// All faults preserve the per-(src,dst) FIFO discipline — a delayed message
+// Faults preserve the per-(src,dst) FIFO discipline — a delayed message
 // holds back the rest of its flow, and a duplicate arrives after the
 // original — because a switched-Ethernet path never reorders a flow and the
-// WGTT index stream depends on that.
+// WGTT index stream depends on that. The one deliberate exception is
+// FaultPlan::reorder_rate, which models a misbehaving switch by letting a
+// message escape the FIFO clamp. Whole-node faults (AP crash, partition)
+// are modelled by taking a node's link down via set_node_up().
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/messages.h"
@@ -36,6 +40,14 @@ struct FaultPlan {
   /// normally). The surgical knob regression tests use to lose exactly one
   /// control message.
   int drop_first = 0;
+  /// Opt-in reordering: with this probability the message takes an extra
+  /// U[0, reorder_max) delay AND bypasses the per-flow FIFO clamp, so
+  /// later sends on the same flow can overtake it. Off by default — a
+  /// healthy switched-Ethernet path never reorders a flow — but a
+  /// misbehaving switch or a routing flap can, and the epoch guards must
+  /// survive that.
+  double reorder_rate = 0.0;
+  Time reorder_max = Time::zero();
 };
 
 class Backhaul {
@@ -67,6 +79,16 @@ class Backhaul {
   /// simulator. Sending to an unattached node is an error.
   void send(NodeId from, NodeId to, BackhaulMessage msg);
 
+  /// Marks a node's backhaul link up or down (all links start up). While
+  /// down, sends from or to the node are dropped at send time, and messages
+  /// already in flight toward it are dropped at delivery time — a cable cut
+  /// loses what is on the wire. A pure map lookup: taking links down and up
+  /// never consumes RNG draws, so fault-free runs stay bit-identical.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return !down_nodes_.contains(node);
+  }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t messages_duplicated() const { return duplicated_; }
@@ -74,10 +96,16 @@ class Backhaul {
   /// Drops attributable to a FaultPlan (excluded from the uniform
   /// `loss_rate` drops, which `messages_dropped` also counts).
   [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
+  /// Drops attributable to a downed link (send-time and in-flight).
+  [[nodiscard]] std::uint64_t link_dropped() const { return link_dropped_; }
+  /// Messages that bypassed the FIFO clamp via FaultPlan::reorder_rate.
+  [[nodiscard]] std::uint64_t messages_reordered() const { return reordered_; }
 
  private:
-  /// Schedules one delivery at >= `arrival`, clamped to the flow's FIFO.
-  void deliver(NodeId from, NodeId to, BackhaulMessage msg, Time arrival);
+  /// Schedules one delivery at >= `arrival`, clamped to the flow's FIFO
+  /// unless `bypass_fifo` (a reorder-faulted message) is set.
+  void deliver(NodeId from, NodeId to, BackhaulMessage msg, Time arrival,
+               bool bypass_fifo = false);
 
   /// In-flight message parked between send() and its delivery event. Kept in
   /// a free-listed slab so the scheduled callback captures only
@@ -100,12 +128,15 @@ class Backhaul {
   // FIFO discipline per (src, dst): a switched-Ethernet path never reorders
   // packets of one flow, and the WGTT index stream depends on that.
   std::unordered_map<std::uint64_t, Time> last_delivery_;
+  std::unordered_set<NodeId> down_nodes_;
   std::array<int, kNumMsgKinds> drop_first_remaining_{};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_ = 0;
   std::uint64_t fault_dropped_ = 0;
+  std::uint64_t link_dropped_ = 0;
+  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace wgtt::net

@@ -89,9 +89,24 @@ struct AssocSync {
   ApId from_ap{};
 };
 
+/// Controller -> AP: liveness probe. `seq` is a per-AP monotonically
+/// increasing counter; the AP echoes it in a HeartbeatAck so the controller
+/// can both detect misses and measure backhaul round-trip time.
+struct Heartbeat {
+  std::uint32_t seq = 0;
+};
+
+/// AP -> controller: heartbeat echo. Answered immediately on receipt (no
+/// processing-queue delay) so the RTT sample measures the backhaul path.
+struct HeartbeatAck {
+  ApId from_ap{};
+  std::uint32_t seq = 0;
+};
+
 using BackhaulMessage =
     std::variant<DownlinkData, UplinkData, CsiReport, StopMsg, StartMsg,
-                 SwitchAck, BlockAckForward, AssocSync>;
+                 SwitchAck, BlockAckForward, AssocSync, Heartbeat,
+                 HeartbeatAck>;
 
 /// Message-type tag, in variant-alternative order; keys the backhaul's
 /// per-type fault-injection plans.
@@ -104,8 +119,10 @@ enum class MsgKind : std::uint8_t {
   kSwitchAck,
   kBlockAckForward,
   kAssocSync,
+  kHeartbeat,
+  kHeartbeatAck,
 };
-inline constexpr std::size_t kNumMsgKinds = 8;
+inline constexpr std::size_t kNumMsgKinds = 10;
 
 [[nodiscard]] MsgKind kind_of(const BackhaulMessage& msg);
 

@@ -10,6 +10,11 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
       medium_(sched_, config.medium),
       backhaul_(sched_, config.backhaul, Rng{config.geometry.seed ^ 0xbacc}),
       geometry_(config.geometry) {
+  // Fault scripts imply liveness: detecting a scripted AP death requires
+  // the heartbeat machinery. Scenarios may also enable it explicitly (to
+  // study the heartbeat overhead with no faults); with neither, the
+  // controller runs exactly as before — no heartbeats, no extra RNG draws.
+  if (!config_.ap_faults.empty()) config_.controller.liveness_enabled = true;
   controller_ = std::make_unique<core::Controller>(sched_, backhaul_,
                                                    config_.controller);
   for (int i = 0; i < config_.geometry.num_aps; ++i) {
@@ -32,6 +37,7 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
     controller_->add_ap(ap_id);
     aps_.push_back(std::move(ap));
   }
+  ap_channel_before_crash_.assign(aps_.size(), mac::Medium::kNoChannel);
   // Capture-effect power oracle: large-scale rx power of any transmitter at
   // any point, from the link-budget models.
   medium_.set_power_oracle([this](mac::RadioId tx, channel::Vec2 at) -> double {
@@ -197,6 +203,63 @@ void WgttSystem::start() {
     });
     channel_follow_timer_->start(Time::ms(1));
   }
+
+  // Scripted AP faults (DESIGN.md §7). Events are plain scheduler entries:
+  // an empty script list adds nothing to the event stream.
+  for (const auto& fs : config_.ap_faults) {
+    if (fs.ap < 0 || fs.ap >= num_aps()) continue;
+    const int i = fs.ap;
+    if (fs.crash_at) sched_.schedule_at(*fs.crash_at, [this, i] { crash_ap(i); });
+    if (fs.restart_at) {
+      sched_.schedule_at(*fs.restart_at, [this, i] { restart_ap(i); });
+    }
+    if (fs.zombie_at) {
+      sched_.schedule_at(*fs.zombie_at,
+                         [this, i] { set_ap_backhaul(i, false); });
+    }
+    if (fs.zombie_end_at) {
+      sched_.schedule_at(*fs.zombie_end_at,
+                         [this, i] { set_ap_backhaul(i, true); });
+    }
+    for (const auto& [from, until] : fs.partitions) {
+      sched_.schedule_at(from, [this, i] { set_ap_backhaul(i, false); });
+      sched_.schedule_at(until, [this, i] { set_ap_backhaul(i, true); });
+    }
+  }
+}
+
+void WgttSystem::crash_ap(int i) {
+  auto& ap = *aps_.at(static_cast<std::size_t>(i));
+  if (ap.crashed()) return;
+  const mac::RadioId radio = ap.mac().radio();
+  // Power loss takes everything at once: the radio off the air, the
+  // backhaul port dark, and the process state (modelled inside crash()).
+  ap_channel_before_crash_[static_cast<std::size_t>(i)] =
+      medium_.radio_channel(radio);
+  medium_.set_radio_channel(radio, mac::Medium::kNoChannel);
+  backhaul_.set_node_up(net::NodeId::ap(net::ApId{static_cast<std::uint32_t>(i)}),
+                        false);
+  ap.crash();
+}
+
+void WgttSystem::restart_ap(int i) {
+  auto& ap = *aps_.at(static_cast<std::size_t>(i));
+  if (!ap.crashed()) return;
+  const mac::RadioId radio = ap.mac().radio();
+  medium_.set_radio_channel(radio,
+                            ap_channel_before_crash_[static_cast<std::size_t>(i)]);
+  backhaul_.set_node_up(net::NodeId::ap(net::ApId{static_cast<std::uint32_t>(i)}),
+                        true);
+  // Association state needs no over-the-air handshake: the shared-BSSID
+  // replication (§4.3) means the restarted AP re-reads every client's
+  // sta_info from the replicated store — register_client state persists in
+  // the WgttAp across the crash, only volatile queue state was wiped.
+  ap.restart();
+}
+
+void WgttSystem::set_ap_backhaul(int i, bool up) {
+  backhaul_.set_node_up(net::NodeId::ap(net::ApId{static_cast<std::uint32_t>(i)}),
+                        up);
 }
 
 void WgttSystem::server_send(net::Packet packet) {
@@ -215,6 +278,17 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
                                              Time serving_grace) const {
   InvariantReport report;
   const Time now = sched_.now();
+  // An AP is `settled` when its serving flags are trustworthy evidence:
+  // Alive and not readmitted within the grace period. A Dead or zombie AP
+  // legitimately holds stale serving state until its quench lands; judging
+  // it would turn every mid-failover snapshot into a false positive.
+  const auto settled = [&](std::size_t a) {
+    if (aps_[a]->crashed()) return false;
+    const auto h = controller_->ap_health(
+        net::ApId{static_cast<std::uint32_t>(a)});
+    return h.state == core::Controller::ApLiveness::kAlive &&
+           now - h.since > serving_grace;
+  };
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     const net::ClientId cid{static_cast<std::uint32_t>(c)};
 
@@ -239,8 +313,8 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
         now - controller_->last_switch_completed(cid) > serving_grace;
     if (quiesced) {
       int serving_count = 0;
-      for (const auto& ap : aps_) {
-        if (ap->serving(cid)) ++serving_count;
+      for (std::size_t a = 0; a < aps_.size(); ++a) {
+        if (settled(a) && aps_[a]->serving(cid)) ++serving_count;
       }
       if (serving_count > 1) {
         ++report.duplicate_serving;
@@ -250,12 +324,29 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
       }
       // Controller and AP layer must agree on who is serving.
       const int ctrl_view = serving_ap(static_cast<int>(c));
-      if (ctrl_view >= 0 &&
+      if (ctrl_view >= 0 && settled(static_cast<std::size_t>(ctrl_view)) &&
           !aps_[static_cast<std::size_t>(ctrl_view)]->serving(cid)) {
         ++report.serving_disagreements;
         report.violations.push_back(
             "client " + std::to_string(c) + ": controller says AP " +
             std::to_string(ctrl_view) + " but that AP is not serving");
+      }
+    }
+
+    // A client must not stay routed through an AP the controller itself
+    // declared Dead: forced failover (or the degraded-mode unserve) bounds
+    // the stall under single-AP failure.
+    const int ctrl_view = serving_ap(static_cast<int>(c));
+    if (ctrl_view >= 0) {
+      const auto h = controller_->ap_health(
+          net::ApId{static_cast<std::uint32_t>(ctrl_view)});
+      if (h.state == core::Controller::ApLiveness::kDead &&
+          now - h.since > stall_bound) {
+        ++report.dead_serving;
+        report.violations.push_back(
+            "client " + std::to_string(c) + ": still routed through Dead AP " +
+            std::to_string(ctrl_view) + " after " +
+            std::to_string((now - h.since).to_millis()) + " ms");
       }
     }
   }
@@ -269,6 +360,20 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
     report.violations.push_back(
         std::to_string(report.index_regressions) +
         " cyclic-queue index regression(s) across the AP set");
+  }
+
+  // A crashed AP delivers nothing: its MAC-level delivered count must still
+  // equal the snapshot taken at the crash instant.
+  for (std::size_t a = 0; a < aps_.size(); ++a) {
+    if (!aps_[a]->crashed()) continue;
+    const auto delivered = aps_[a]->mac().total_stats().mpdus_delivered;
+    if (delivered != aps_[a]->delivered_at_crash()) {
+      ++report.dead_ap_deliveries;
+      report.violations.push_back(
+          "AP " + std::to_string(a) + ": delivered " +
+          std::to_string(delivered - aps_[a]->delivered_at_crash()) +
+          " MPDU(s) while crashed");
+    }
   }
   return report;
 }

@@ -5,7 +5,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ap/wgtt_ap.h"
@@ -37,8 +39,38 @@ struct InvariantReport {
   /// Sum of WgttAp::Stats::index_regressions over all APs: times a start
   /// rewound an already-serving drain pointer (the duplicate-StartMsg bug).
   std::uint64_t index_regressions = 0;
+  /// Crashed APs whose MAC delivered an MPDU after the crash instant — a
+  /// dead AP must deliver nothing.
+  int dead_ap_deliveries = 0;
+  /// Clients the controller still routes through an AP it has itself
+  /// declared Dead for longer than the stall bound: forced failover (or
+  /// degraded-mode unserve) should have moved them long before.
+  int dead_serving = 0;
   std::vector<std::string> violations;
   [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Scripted faults for one AP (DESIGN.md §7). All events are wall-clock sim
+/// times. An empty script list in the config schedules nothing and keeps
+/// seeded runs byte-identical; a non-empty list auto-enables the
+/// controller's liveness machinery.
+struct ApFaultScript {
+  int ap = 0;
+  /// Hard crash: cyclic queues and ControlRecords wiped, radio off the air,
+  /// backhaul link down.
+  std::optional<Time> crash_at;
+  /// Restart after a crash: link and radio restored, association state
+  /// replayed from the replicated store, queues cold.
+  std::optional<Time> restart_at;
+  /// Zombie window: backhaul link dies but the radio keeps serving — the
+  /// failure mode where the AP looks dead to the controller yet keeps
+  /// transmitting stale backlog.
+  std::optional<Time> zombie_at;
+  std::optional<Time> zombie_end_at;
+  /// Timed backhaul partition windows [from, until): link down, node state
+  /// intact. Mechanically like a zombie window; kept separate so scripts
+  /// read as what they model.
+  std::vector<std::pair<Time, Time>> partitions;
 };
 
 struct WgttSystemConfig {
@@ -65,6 +97,9 @@ struct WgttSystemConfig {
   /// paper's §7 points at.
   Time scan_period = Time::ms(150);
   Time scan_dwell = Time::ms(8);
+  /// Per-AP fault scripts. Empty (the default) schedules nothing — zero
+  /// extra events, zero extra RNG draws, byte-identical seeded runs.
+  std::vector<ApFaultScript> ap_faults;
 };
 
 class WgttSystem {
@@ -108,8 +143,21 @@ class WgttSystem {
   [[nodiscard]] int num_aps() const { return geometry_.num_aps(); }
   [[nodiscard]] int num_clients() const { return static_cast<int>(clients_.size()); }
   [[nodiscard]] mac::Medium& medium() { return medium_; }
+  [[nodiscard]] net::Backhaul& backhaul() { return backhaul_; }
   /// AP index serving client i, or -1 before bootstrap.
   [[nodiscard]] int serving_ap(int client) const;
+
+  // --- fault orchestration --------------------------------------------------
+  // Normally driven by the scripted schedule in `ap_faults`, public so tests
+  // can inject faults at exact protocol states.
+  /// Hard-crashes AP i: radio off the air, backhaul link down, volatile AP
+  /// state wiped (WgttAp::crash).
+  void crash_ap(int i);
+  /// Restarts a crashed AP i: channel and link restored, WgttAp::restart.
+  void restart_ap(int i);
+  /// Takes AP i's backhaul link down/up without touching the node (zombie
+  /// mode / partition): the radio keeps serving whatever it has.
+  void set_ap_backhaul(int i, bool up);
 
   /// Checks the switching-protocol invariants at the current sim time (see
   /// InvariantReport). `stall_bound` is how long a pending switch may stay
@@ -142,6 +190,7 @@ class WgttSystem {
   std::vector<std::unique_ptr<sim::Timer>> scan_timers_;
   std::vector<bool> client_retuning_;
   std::vector<int> scan_next_offset_;
+  std::vector<int> ap_channel_before_crash_;
   bool started_ = false;
 
   void sample_system_metrics();

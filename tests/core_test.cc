@@ -130,6 +130,23 @@ class ControllerTest : public ::testing::Test {
                    net::SwitchAck{kClient, ap, latest_epoch()});
   }
 
+  /// Replaces AP i's logging handler with one that also answers heartbeat
+  /// probes while *answering is true — a scriptable AP for liveness tests.
+  /// `answering` must outlive the backhaul.
+  void attach_heartbeat_responder(std::uint32_t i, const bool* answering) {
+    backhaul_.attach(
+        NodeId::ap(ApId{i}),
+        [this, i, answering](NodeId from, BackhaulMessage msg) {
+          if (const auto* hb = std::get_if<net::Heartbeat>(&msg)) {
+            if (*answering) {
+              backhaul_.send(NodeId::ap(ApId{i}), NodeId::controller(),
+                             net::HeartbeatAck{ApId{i}, hb->seq});
+            }
+          }
+          ap_log_[i].emplace_back(from, std::move(msg));
+        });
+  }
+
   template <typename T>
   int count_to_ap(std::uint32_t ap) const {
     int n = 0;
@@ -483,6 +500,164 @@ TEST_F(ControllerTest, IndexNumbersWrapAt4096) {
   for (std::size_t i = 0; i < indices.size(); ++i) {
     EXPECT_EQ(indices[i], static_cast<std::uint16_t>(i & 0x0fff));
   }
+}
+
+// --- AP liveness state machine (DESIGN.md §7) -------------------------------
+
+TEST_F(ControllerTest, LivenessStateMachineWithExponentialReadmission) {
+  Controller::Config cfg;
+  cfg.liveness_enabled = true;
+  cfg.heartbeat_interval = Time::ms(10);
+  cfg.heartbeat_miss_threshold = 2;
+  cfg.readmission_backoff = Time::ms(40);
+  cfg.readmission_backoff_max = Time::ms(400);
+  Controller& c = make(cfg);
+  bool answers[3] = {true, true, true};
+  for (std::uint32_t i = 0; i < 3; ++i) attach_heartbeat_responder(i, &answers[i]);
+
+  // Ticks land at 10, 20, 30, ... ms. A probe sent at tick N is judged at
+  // tick N+1, so after the silence begins at 15 ms the first miss accrues
+  // at tick 30 (probe@20 unanswered) and the second at tick 40.
+  sched_.run_until(Time::ms(15));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kAlive);
+  answers[2] = false;  // AP2 goes silent before its first answered probe ages
+  sched_.run_until(Time::ms(35));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kSuspect);
+  EXPECT_EQ(c.ap_health(ApId{0}).state, Controller::ApLiveness::kAlive);
+  sched_.run_until(Time::ms(45));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kDead);
+  EXPECT_EQ(c.stats().aps_marked_suspect, 1u);
+  EXPECT_EQ(c.stats().aps_marked_dead, 1u);
+
+  // Back from the dead at 45 ms: the probe@50 answer flips Dead ->
+  // Recovering (~50 ms), and readmission waits out the 40 ms backoff —
+  // the first tick past 90 ms, i.e. tick 100.
+  answers[2] = true;
+  sched_.run_until(Time::ms(55));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kRecovering);
+  sched_.run_until(Time::ms(85));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kRecovering);
+  sched_.run_until(Time::ms(105));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kAlive);
+  EXPECT_EQ(c.stats().aps_readmitted, 1u);
+
+  // Second death doubles the backoff to 80 ms: silent from 105 ms -> Dead
+  // at tick 130; answering again from 135 ms -> Recovering at ~140 ms.
+  // With the un-doubled 40 ms backoff it would readmit at tick 190, so
+  // still being Recovering at 215 ms proves the doubling.
+  answers[2] = false;
+  sched_.run_until(Time::ms(135));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kDead);
+  answers[2] = true;
+  sched_.run_until(Time::ms(145));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kRecovering);
+  sched_.run_until(Time::ms(215));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kRecovering)
+      << "flap damping did not double the readmission backoff";
+  sched_.run_until(Time::ms(235));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kAlive);
+  EXPECT_EQ(c.stats().aps_readmitted, 2u);
+  EXPECT_GT(c.stats().heartbeats_sent, 0u);
+  EXPECT_GT(c.stats().heartbeat_acks, 0u);
+}
+
+TEST_F(ControllerTest, DeadApEvictedFromSelectionAndFanout) {
+  Controller::Config cfg;
+  cfg.liveness_enabled = true;
+  cfg.heartbeat_interval = Time::ms(10);
+  cfg.heartbeat_miss_threshold = 2;
+  cfg.selection_window = Time::ms(500);
+  Controller& c = make(cfg);
+  bool answers[3] = {true, true, false};  // AP2 never answers: dead by 30 ms
+  for (std::uint32_t i = 0; i < 3; ++i) attach_heartbeat_responder(i, &answers[i]);
+  sched_.run_until(Time::ms(35));
+  ASSERT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kDead);
+
+  // AP2 has by far the best ESNR, but a Dead AP must never win the argmax:
+  // the bootstrap goes to the live runner-up.
+  send_csi(ApId{2}, 30.0);
+  send_csi(ApId{1}, 10.0);
+  sched_.run_until(Time::ms(45));
+  EXPECT_EQ(count_to_ap<net::StartMsg>(2), 0);
+  EXPECT_EQ(count_to_ap<net::StartMsg>(1), 1);
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(50));
+  ASSERT_EQ(c.serving_ap(kClient).value(), ApId{1});
+
+  // Both AP1 and AP2 heard the client recently (fresh CSI), but the dead
+  // AP is erased from the downlink fan-out.
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  c.send_downlink(p);
+  sched_.run_until(Time::ms(55));
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(1), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(2), 0);
+}
+
+TEST_F(ControllerTest, ServingApDeathForcesFailoverFromWatermark) {
+  Controller::Config cfg;
+  cfg.liveness_enabled = true;
+  cfg.heartbeat_interval = Time::ms(10);
+  cfg.heartbeat_miss_threshold = 2;
+  cfg.selection_window = Time::ms(500);
+  Controller& c = make(cfg);
+  bool answers[3] = {true, true, true};
+  for (std::uint32_t i = 0; i < 3; ++i) attach_heartbeat_responder(i, &answers[i]);
+
+  // Bootstrap onto AP0 (best CSI), with AP1 as the in-window fallback.
+  send_csi(ApId{0}, 30.0);
+  send_csi(ApId{1}, 20.0);
+  sched_.run_until(Time::ms(2));
+  ack_from(ApId{0});
+  sched_.run_until(Time::ms(5));
+  ASSERT_EQ(c.serving_ap(kClient).value(), ApId{0});
+  const std::uint32_t epoch_before = latest_epoch();
+
+  // 100 downlink packets establish the controller-side watermark.
+  for (int i = 0; i < 100; ++i) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    c.send_downlink(p);
+  }
+  sched_.run_until(Time::ms(15));
+
+  // The serving AP dies. The controller cannot run stop -> start through a
+  // corpse: it must mint a new epoch and bootstrap AP1 from its own
+  // watermark, rewound by failover_replay (100 sent, default replay 32).
+  answers[0] = false;
+  sched_.run_until(Time::ms(55));
+  EXPECT_EQ(c.ap_health(ApId{0}).state, Controller::ApLiveness::kDead);
+  EXPECT_EQ(c.stats().forced_failovers, 1u);
+  const net::StartMsg* forced = nullptr;
+  for (const auto& [from, msg] : ap_log_[1]) {
+    if (const auto* s = std::get_if<net::StartMsg>(&msg)) forced = s;
+  }
+  ASSERT_NE(forced, nullptr);
+  EXPECT_EQ(forced->first_unsent_index, (100 - 32) & 0x0fff);
+  EXPECT_EQ(forced->epoch, epoch_before + 1);
+
+  // Unacked forced starts ride the same retransmission chain as a normal
+  // switch.
+  const int starts_before_retx = count_to_ap<net::StartMsg>(1);
+  sched_.run_until(Time::ms(95));
+  EXPECT_GT(count_to_ap<net::StartMsg>(1), starts_before_retx);
+  ack_from(ApId{1});
+  sched_.run_until(Time::ms(100));
+  ASSERT_EQ(c.serving_ap(kClient).value(), ApId{1});
+
+  // The dead AP comes back. It might be a zombie that still believes it
+  // serves the client, so readmission sends a quench stop carrying the
+  // client's CURRENT epoch.
+  answers[0] = true;
+  sched_.run_until(Time::ms(400));
+  EXPECT_EQ(c.ap_health(ApId{0}).state, Controller::ApLiveness::kAlive);
+  EXPECT_EQ(c.stats().quench_stops, 1u);
+  const net::StopMsg* quench = nullptr;
+  for (const auto& [from, msg] : ap_log_[0]) {
+    if (const auto* s = std::get_if<net::StopMsg>(&msg)) quench = s;
+  }
+  ASSERT_NE(quench, nullptr);
+  EXPECT_EQ(quench->epoch, epoch_before + 1);
 }
 
 // --- StreamingMedian: must be bit-identical to the sort-based formula -------

@@ -3,6 +3,7 @@
 // fixes the per-trial snapshot overwrite, and the bench flag parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -104,6 +105,38 @@ TEST(TrialPoolTest, MeanOverSeedsMatchesSequentialHelper) {
   const double seq = mean_mbps_over_seeds(cfg, 3);
   const double par = mean_mbps_over_seeds(cfg, 3, 8);
   EXPECT_EQ(seq, par);
+}
+
+TEST(AckTimeoutKnob, ShorterTimeoutTightensSwitchTimeTail) {
+  // Satellite for the configurable control retransmission timeout: under
+  // control-plane loss every lost stop/start/ack leg costs one timeout
+  // round, so an 8 ms timeout must pull the switch-time tail in versus the
+  // paper's 30 ms default. Averaged over seeds to wash out which switches
+  // the loss happens to hit.
+  auto worst_switch_ms = [](Time timeout) {
+    double worst = 0.0;
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+      DriveConfig cfg;
+      cfg.mph = 15.0;
+      cfg.udp_rate_mbps = 10.0;
+      cfg.seed = seed;
+      cfg.control_loss_rate = 0.25;
+      cfg.ack_timeout = timeout;
+      const DriveResult r = run_drive(cfg);
+      for (double ms : r.switch_protocol_ms) worst = std::max(worst, ms);
+      EXPECT_EQ(r.invariant_violations, 0u) << "timeout="
+                                            << timeout.to_millis() << " ms";
+    }
+    return worst;
+  };
+  const double slow_tail = worst_switch_ms(Time::ms(30));
+  const double fast_tail = worst_switch_ms(Time::ms(8));
+  // At 25% loss some switch lost a leg, so the 30 ms config's tail carries
+  // at least one full timeout round...
+  EXPECT_GE(slow_tail, 30.0);
+  // ...while the 8 ms config re-drives the handshake before a 30 ms round
+  // would even have fired once.
+  EXPECT_LT(fast_tail, slow_tail);
 }
 
 TEST(BenchOptionsTest, ParsesAndStripsFlags) {

@@ -1,6 +1,7 @@
 // Unit tests for packets, backhaul messages, and the simulated Ethernet.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -49,12 +50,18 @@ TEST(MessagesTest, WireBytes) {
   EXPECT_GT(wire_bytes(CsiReport{}), 112u);
   EXPECT_GT(wire_bytes(AssocSync{}), 0u);
   EXPECT_GT(wire_bytes(BlockAckForward{}), 0u);
+  EXPECT_EQ(wire_bytes(Heartbeat{}), 64u);
+  EXPECT_EQ(wire_bytes(HeartbeatAck{}), 64u);
 }
 
 TEST(MessagesTest, ControlClassification) {
   EXPECT_TRUE(is_control(BackhaulMessage{StopMsg{}}));
   EXPECT_TRUE(is_control(BackhaulMessage{StartMsg{}}));
   EXPECT_TRUE(is_control(BackhaulMessage{SwitchAck{}}));
+  // Liveness probes ride the control class: they must not queue behind a
+  // bulk data burst, or heartbeat RTT would measure the data backlog.
+  EXPECT_TRUE(is_control(BackhaulMessage{Heartbeat{}}));
+  EXPECT_TRUE(is_control(BackhaulMessage{HeartbeatAck{}}));
   EXPECT_FALSE(is_control(BackhaulMessage{DownlinkData{}}));
   EXPECT_FALSE(is_control(BackhaulMessage{CsiReport{}}));
   EXPECT_FALSE(is_control(BackhaulMessage{BlockAckForward{}}));
@@ -220,6 +227,8 @@ TEST(MessagesTest, KindOfMatchesAlternative) {
   EXPECT_EQ(kind_of(BackhaulMessage{SwitchAck{}}), MsgKind::kSwitchAck);
   EXPECT_EQ(kind_of(BackhaulMessage{BlockAckForward{}}), MsgKind::kBlockAckForward);
   EXPECT_EQ(kind_of(BackhaulMessage{AssocSync{}}), MsgKind::kAssocSync);
+  EXPECT_EQ(kind_of(BackhaulMessage{Heartbeat{}}), MsgKind::kHeartbeat);
+  EXPECT_EQ(kind_of(BackhaulMessage{HeartbeatAck{}}), MsgKind::kHeartbeatAck);
 }
 
 TEST_F(BackhaulTest, FaultPlanLossTargetsOnlyItsKind) {
@@ -336,6 +345,81 @@ TEST_F(BackhaulTest, ZeroFaultPlanKeepsSeededRunsIdentical) {
   plain.loss_rate = 0.1;
   Backhaul::Config with_plan = plain;  // all FaultPlan knobs still zero
   EXPECT_EQ(trace(plain), trace(with_plan));
+}
+
+TEST_F(BackhaulTest, ReorderInjectionEscapesPerFlowFifo) {
+  // reorder_rate is the one fault that may break the per-flow FIFO: a
+  // reordered message bypasses the clamp (and the watermark update), so
+  // later sends genuinely overtake it. Nothing is lost — same multiset,
+  // different order.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.fault(MsgKind::kDownlinkData).reorder_rate = 0.3;
+  cfg.fault(MsgKind::kDownlinkData).reorder_max = Time::ms(2);
+  Backhaul bh(sched_, cfg, Rng{21});
+  std::vector<std::uint16_t> received;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) received.push_back(d->index);
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 300; ++i) {
+    Packet p = make_packet();
+    p.payload_bytes = 100;
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  ASSERT_EQ(received.size(), 300u);  // reorder never drops
+  EXPECT_GT(bh.messages_reordered(), 0u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (received[i] < received[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order) << "reorder_rate=0.3 never reordered anything";
+  std::vector<std::uint16_t> sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint16_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(sorted[i], i) << "reorder lost or duplicated a message";
+  }
+}
+
+TEST_F(BackhaulTest, DownNodeDropsAtSendTimeBothDirections) {
+  Backhaul bh(sched_, {}, Rng{3});
+  int got = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++got; });
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage) { ++got; });
+  bh.set_node_up(NodeId::ap(ApId{0}), false);
+  EXPECT_FALSE(bh.node_up(NodeId::ap(ApId{0})));
+  // Nothing in, nothing out: both directions die at the cut cable.
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), StopMsg{});
+  bh.send(NodeId::ap(ApId{0}), NodeId::controller(), SwitchAck{});
+  sched_.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(bh.link_dropped(), 2u);
+  // Re-up restores delivery.
+  bh.set_node_up(NodeId::ap(ApId{0}), true);
+  EXPECT_TRUE(bh.node_up(NodeId::ap(ApId{0})));
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), StopMsg{});
+  sched_.run_all();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(bh.link_dropped(), 2u);
+}
+
+TEST_F(BackhaulTest, MessageInFlightTowardDownNodeIsLost) {
+  // The cable cut catches messages already on the wire toward the node,
+  // but messages the node sent before the cut still arrive (they are past
+  // the cut point).
+  Backhaul bh(sched_, {}, Rng{3});
+  int to_ap = 0;
+  int to_ctrl = 0;
+  bh.attach(NodeId::controller(), [&](NodeId, BackhaulMessage) { ++to_ctrl; });
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage) { ++to_ap; });
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), StopMsg{});
+  bh.send(NodeId::ap(ApId{0}), NodeId::controller(), SwitchAck{});
+  bh.set_node_up(NodeId::ap(ApId{0}), false);  // cut while both are in flight
+  sched_.run_all();
+  EXPECT_EQ(to_ap, 0);
+  EXPECT_EQ(to_ctrl, 1);
+  EXPECT_EQ(bh.link_dropped(), 1u);
 }
 
 TEST(PacketPoolTest, RoundTripsPackets) {
