@@ -32,7 +32,16 @@ int main(int argc, char** argv) {
       for (const System sys : {System::kWgtt, System::kBaseline}) {
         cfg.workload = wl;
         cfg.system = sys;
-        pool.submit(cfg);
+        DriveConfig cell = cfg;
+        if (!opts.trace_dir.empty() && clients == 1 && sys == System::kWgtt &&
+            wl == Workload::kTcpDown) {
+          // Export the single-client WGTT TCP cell for wgtt-trace: the
+          // Tracer ring as CSV plus the per-client timeline (with TCP
+          // cwnd/srtt, since this is the TCP workload).
+          cell.trace_csv_path = opts.trace_dir + "/fig17_trace.csv";
+          cell.timeline_path = opts.trace_dir + "/fig17_timeline.jsonl";
+        }
+        pool.submit(std::move(cell));
       }
     }
   }

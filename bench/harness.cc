@@ -4,8 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -14,6 +17,9 @@
 
 #include "mobility/trajectory.h"
 #include "phy/mcs.h"
+#include "trace/postmortem.h"
+#include "trace/timeline.h"
+#include "trace/tracer.h"
 #include "transport/tcp.h"
 #include "transport/udp.h"
 
@@ -164,7 +170,8 @@ DriveResult run_drive(const DriveConfig& cfg) {
 
   // --- metrics ----------------------------------------------------------------
   const bool want_metrics =
-      (cfg.collect_metrics || !cfg.metrics_path.empty()) && wgtt != nullptr;
+      (cfg.collect_metrics || cfg.profile || !cfg.metrics_path.empty()) &&
+      wgtt != nullptr;
   if (want_metrics) {
     result.metrics = std::make_shared<obs::MetricsRegistry>();
     wgtt->enable_metrics(*result.metrics, cfg.metrics_interval);
@@ -328,6 +335,45 @@ DriveResult run_drive(const DriveConfig& cfg) {
   };
   sched->schedule_in(cfg.accuracy_probe, probe);
 
+  // --- observability ----------------------------------------------------------------
+  // Attached after every other hook consumer so the tracer/timeline chain
+  // last (the trace::attach contract). The tracer also backs the post-mortem
+  // bundle's flight-recorder tail, so a postmortem directory alone attaches
+  // one — pure observation either way, byte-identity is unaffected.
+  std::string postmortem_dir = cfg.postmortem_dir;
+  if (postmortem_dir.empty()) {
+    if (const char* env = std::getenv("WGTT_DUMP_ON_VIOLATION");
+        env != nullptr && *env != '\0') {
+      postmortem_dir = env;
+    }
+  }
+  std::unique_ptr<trace::Tracer> tracer;
+  if (wgtt && (!cfg.trace_csv_path.empty() || !postmortem_dir.empty())) {
+    tracer = std::make_unique<trace::Tracer>();
+    trace::attach(*tracer, *wgtt);
+  }
+  std::unique_ptr<trace::TimelineRecorder> timeline;
+  if (wgtt && !cfg.timeline_path.empty()) {
+    timeline = std::make_unique<trace::TimelineRecorder>(
+        *wgtt, trace::TimelineRecorder::Config{.tick = cfg.timeline_tick});
+    if (cfg.workload == Workload::kTcpDown) {
+      timeline->set_transport_probe(
+          [&flows](int i)
+              -> std::optional<trace::TimelineRecorder::TransportSample> {
+            if (i < 0 || static_cast<std::size_t>(i) >= flows.size()) {
+              return std::nullopt;
+            }
+            const auto& tx = flows[static_cast<std::size_t>(i)].tcp_tx;
+            if (!tx) return std::nullopt;
+            return trace::TimelineRecorder::TransportSample{
+                tx->cwnd_segments(), tx->stats().last_srtt_ms};
+          });
+    }
+    timeline->start();
+  }
+  sim::EventProfiler profiler;
+  if (cfg.profile && wgtt) sched->set_profiler(&profiler);
+
   // --- run --------------------------------------------------------------------------
   const auto wall_start = std::chrono::steady_clock::now();
   if (wgtt) {
@@ -339,8 +385,10 @@ DriveResult run_drive(const DriveConfig& cfg) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  if (cfg.profile && wgtt) sched->set_profiler(nullptr);
 
   // --- collect ------------------------------------------------------------------------
+  scenario::InvariantReport invariants;
   for (int i = 0; i < n; ++i) {
     ClientResult& cr = result.clients[static_cast<std::size_t>(i)];
     Flow& f = flows[static_cast<std::size_t>(i)];
@@ -391,7 +439,8 @@ DriveResult run_drive(const DriveConfig& cfg) {
       result.downlink_dups_dropped +=
           wgtt->client(i).downlink_duplicates_dropped();
     }
-    result.invariant_violations = wgtt->check_invariants().violations.size();
+    invariants = wgtt->check_invariants();
+    result.invariant_violations = invariants.violations.size();
     for (int i = 0; i < wgtt->num_aps(); ++i) {
       const auto& aps = wgtt->ap(i).stats();
       result.idempotent_replies += aps.stop_duplicates + aps.start_duplicates +
@@ -430,6 +479,30 @@ DriveResult run_drive(const DriveConfig& cfg) {
         .set(wall_s > 0.0
                  ? static_cast<double>(sched->events_executed()) / wall_s
                  : 0.0);
+  }
+
+  if (cfg.profile && wgtt) {
+    // Wall-clock breakdown, opt-in only (record_perf rule).
+    if (!result.metrics) result.metrics = std::make_shared<obs::MetricsRegistry>();
+    profiler.flush_to(*result.metrics);
+    result.metrics->gauge("sim.profile.wall_coverage")
+        .set(wall_s > 0.0
+                 ? static_cast<double>(profiler.total_ns()) / 1e9 / wall_s
+                 : 0.0);
+  }
+
+  if (timeline) {
+    timeline->stop();
+    std::ofstream out(cfg.timeline_path);
+    if (out) timeline->write_jsonl(out);
+  }
+  if (tracer && !cfg.trace_csv_path.empty()) {
+    std::ofstream out(cfg.trace_csv_path);
+    if (out) tracer->write_csv(out);
+  }
+  if (wgtt && !postmortem_dir.empty() && !invariants.ok()) {
+    trace::write_postmortem(postmortem_dir, *wgtt, invariants, tracer.get(),
+                            result.metrics.get());
   }
 
   if (result.metrics && !cfg.metrics_path.empty()) {
@@ -529,16 +602,34 @@ BenchOptions parse_bench_options(int* argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--profile") {
+      opts.profile = true;
     } else if (arg == "--jobs" && i + 1 < *argc) {
       opts.jobs = std::atoi(argv[++i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       opts.jobs = std::atoi(argv[i] + 7);
+    } else if (arg == "--trace-dir" && i + 1 < *argc) {
+      opts.trace_dir = argv[++i];
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      opts.trace_dir = arg.substr(12);
     } else {
       argv[out++] = argv[i];
     }
   }
   argv[out] = nullptr;
   *argc = out;
+  // Trace artifacts are written with plain ofstream, which cannot create
+  // directories — make the export directory here so a bare
+  // `--trace-dir /tmp/tr` works without a prior mkdir.
+  if (!opts.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --trace-dir '%s': %s\n",
+                   opts.trace_dir.c_str(), ec.message().c_str());
+      std::exit(1);
+    }
+  }
   return opts;
 }
 

@@ -83,6 +83,30 @@ struct DriveConfig {
   /// load, so it would break the byte-identical-snapshot guarantee that
   /// jobs=1 and jobs=N runs otherwise share.
   bool record_perf = false;
+
+  // --- observability knobs (DESIGN.md §6.4-§6.6). All off by default; all
+  // follow the record_perf rule: wall-clock instruments never enter a
+  // snapshot unless explicitly requested. WGTT system only. ---
+  /// Attach a sim::EventProfiler for the run and flush the per-event-kind
+  /// wall-time breakdown as `sim.profile.*` (implies collect_metrics).
+  bool profile = false;
+  /// Write the per-client TimelineRecorder series here as JSONL ("" = no
+  /// timeline). The tick Timer adds scheduler events, so a timeline-ON run
+  /// is a different (still deterministic) event sequence than OFF — same
+  /// caveat as the metrics sampler.
+  std::string timeline_path;
+  /// TimelineRecorder sampling period (only read when timeline_path is
+  /// set — present-but-unused is free, the knobs-at-rest contract).
+  Time timeline_tick = Time::ms(100);
+  /// Attach a trace::Tracer and write its retained ring here as CSV
+  /// ("" = none). Attaching only chains observation hooks: no scheduler
+  /// events, no RNG draws — byte-identity is preserved.
+  std::string trace_csv_path;
+  /// Dump a trace::write_postmortem bundle into this directory when
+  /// check_invariants reports violations at end of run. The
+  /// WGTT_DUMP_ON_VIOLATION environment variable supplies a directory when
+  /// this is empty.
+  std::string postmortem_dir;
 };
 
 struct ClientResult {
@@ -232,10 +256,16 @@ class TrialPool {
 struct BenchOptions {
   int jobs = 1;      ///< --jobs N / --jobs=N: TrialPool worker threads.
   bool smoke = false;  ///< --smoke: tiny trial counts for CI smoke runs.
+  /// --trace-dir DIR: benches that support it write trace artifacts
+  /// (Tracer CSV, timeline JSONL) into this directory for wgtt-trace.
+  std::string trace_dir;
+  /// --profile: benches that support it run with the event profiler on.
+  bool profile = false;
 };
 
-/// Extracts --jobs/--smoke from argv (removing them, adjusting *argc) and
-/// returns what was found. Call before benchx::finish().
+/// Extracts --jobs/--smoke/--trace-dir/--profile from argv (removing them,
+/// adjusting *argc) and returns what was found. Call before
+/// benchx::finish().
 BenchOptions parse_bench_options(int* argc, char** argv);
 
 /// Mean over `seeds` runs of the in-array throughput. Seeds chain

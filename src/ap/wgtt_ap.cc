@@ -46,10 +46,13 @@ WgttAp::WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
   backhaul_.attach(NodeId::ap(id_), [this](NodeId from, BackhaulMessage msg) {
     handle_backhaul(from, std::move(msg));
   });
-  pump_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
-    pump_all();
-    pump_timer_->start(config_.pump_period);
-  });
+  pump_timer_ = std::make_unique<sim::Timer>(
+      sched_,
+      [this] {
+        pump_all();
+        pump_timer_->start(config_.pump_period);
+      },
+      sim::EventCategory::kMacTx);
   pump_timer_->start(config_.pump_period);
 }
 
@@ -222,7 +225,7 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
         }
         backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(c.stop_new_ap),
                        net::StartMsg{client, id_, *c.stop_first_unsent, epoch});
-      });
+      }, sim::EventCategory::kControl);
     }
     // else: the kernel query is still in flight; its answer covers this
     // duplicate too.
@@ -270,8 +273,8 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
       }
       backhaul_.send(net::NodeId::ap(id_), net::NodeId::ap(new_ap),
                      net::StartMsg{client, id_, s2->next_index, epoch});
-    });
-  });
+    }, sim::EventCategory::kControl);
+  }, sim::EventCategory::kControl);
 }
 
 void WgttAp::handle_start(const net::StartMsg& msg) {
@@ -299,7 +302,7 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
         if (client_state(client) == nullptr) return;
         backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
                        net::SwitchAck{client, id_, epoch});
-      });
+      }, sim::EventCategory::kControl);
     }
     // else: the original start is still being processed; it will ack.
     return;
@@ -359,7 +362,7 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
     backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
                    net::SwitchAck{client, id_, epoch});
     pump(*s);
-  });
+  }, sim::EventCategory::kControl);
 }
 
 bool WgttAp::ba_seen(ClientState& cs, std::uint64_t uid) {

@@ -20,8 +20,8 @@ Controller::Controller(sim::Scheduler& sched, net::Backhaul& backhaul,
                      handle_backhaul(from, std::move(msg));
                    });
   if (config_.liveness_enabled) {
-    heartbeat_timer_ =
-        std::make_unique<sim::Timer>(sched_, [this] { heartbeat_tick(); });
+    heartbeat_timer_ = std::make_unique<sim::Timer>(
+        sched_, [this] { heartbeat_tick(); }, sim::EventCategory::kControl);
     heartbeat_timer_->start(config_.heartbeat_interval);
   }
 }
@@ -101,7 +101,7 @@ void Controller::add_client(net::ClientId client) {
                                    it->second.epoch});
     }
     it->second.ack_timer->start(config_.ack_timeout);
-  });
+  }, sim::EventCategory::kControl);
   clients_.emplace(client, std::move(cs));
 }
 
@@ -193,6 +193,9 @@ void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
   ++cs.epoch;
   ++stats_.switches_initiated;
   if (metrics_) metrics_->switches_initiated->inc();
+  if (on_switch_initiated) {
+    on_switch_initiated(client, std::nullopt, first_ap, sched_.now());
+  }
   backhaul_.send(NodeId::controller(), NodeId::ap(first_ap),
                  net::StartMsg{client, first_ap, cs.pending_first_index,
                                cs.epoch});
@@ -209,6 +212,9 @@ void Controller::initiate_switch(net::ClientId client, net::ApId target) {
   ++cs.epoch;
   ++stats_.switches_initiated;
   if (metrics_) metrics_->switches_initiated->inc();
+  if (on_switch_initiated) {
+    on_switch_initiated(client, cs.serving, target, sched_.now());
+  }
   backhaul_.send(NodeId::controller(), NodeId::ap(*cs.serving),
                  net::StopMsg{client, target, cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
@@ -438,6 +444,9 @@ void Controller::force_failover(net::ClientId client) {
     metrics_->switches_initiated->inc();
     if (metrics_->forced_failovers) metrics_->forced_failovers->inc();
   }
+  if (on_switch_initiated) {
+    on_switch_initiated(client, cs.serving, *target, sched_.now());
+  }
   backhaul_.send(NodeId::controller(), NodeId::ap(*target),
                  net::StartMsg{client, *target, cs.pending_first_index,
                                cs.epoch});
@@ -467,7 +476,8 @@ void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
     // A stop now could race the in-flight start of the pending switch;
     // retry once the handshake quiesces.
     sched_.schedule_in(config_.heartbeat_interval,
-                       [this, ap, client] { quench_orphan(ap, client); });
+                       [this, ap, client] { quench_orphan(ap, client); },
+                       sim::EventCategory::kControl);
     return;
   }
   // The stop carries the client's current epoch: newer than anything the
@@ -476,6 +486,32 @@ void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
   ++stats_.quench_stops;
   backhaul_.send(NodeId::controller(), NodeId::ap(ap),
                  net::StopMsg{client, *cs.serving, cs.epoch});
+}
+
+std::vector<Controller::ClientDebug> Controller::client_debug() const {
+  std::vector<ClientDebug> out;
+  out.reserve(clients_.size());
+  for (const auto& [client, cs] : clients_) {
+    ClientDebug d;
+    d.client = client;
+    d.next_index = cs.next_index;
+    d.downlink_sent = cs.downlink_sent;
+    d.serving = cs.serving;
+    d.switch_pending = cs.switch_pending;
+    d.pending_forced = cs.pending_forced;
+    d.pending_target = cs.pending_target;
+    d.pending_from = cs.pending_from;
+    d.pending_since = cs.pending_since;
+    d.epoch = cs.epoch;
+    d.pending_first_index = cs.pending_first_index;
+    d.last_switch_completed = cs.last_switch_completed;
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(), [](const ClientDebug& a,
+                                       const ClientDebug& b) {
+    return net::index_of(a.client) < net::index_of(b.client);
+  });
+  return out;
 }
 
 std::optional<net::ApId> Controller::serving_ap(net::ClientId client) const {

@@ -138,6 +138,13 @@ class Controller {
   /// (switch completion), for association-timeline plots (Figures 14/15/22).
   std::function<void(net::ClientId, net::ApId, Time)> on_serving_changed;
 
+  /// Observation hook fired when a switch is initiated — a regular
+  /// stop→start switch, the initial bootstrap, or a forced failover.
+  /// Arguments: (client, old serving AP if any, target AP, time). Pairs
+  /// with on_serving_changed to bracket the stop→start→ack span in traces.
+  std::function<void(net::ClientId, std::optional<net::ApId>, net::ApId, Time)>
+      on_switch_initiated;
+
   /// Per-AP liveness verdict, driven by the heartbeat state machine.
   /// Dead and Recovering APs are evicted from the downlink fan-out and the
   /// ESNR selection argmax; Suspect APs keep serving (one missed heartbeat
@@ -149,6 +156,27 @@ class Controller {
   };
   /// Health of one AP. Always Alive while liveness is disabled.
   [[nodiscard]] ApHealth ap_health(net::ApId ap) const;
+
+  /// Point-in-time snapshot of one client's control-plane state. Exists for
+  /// the post-mortem forensics dump: when an invariant trips, the exact
+  /// pending-switch bookkeeping (epoch, watermark, forced flag) is what
+  /// distinguishes a stalled handshake from a lost ack or a rewound index.
+  struct ClientDebug {
+    net::ClientId client{};
+    std::uint16_t next_index = 0;
+    std::uint64_t downlink_sent = 0;
+    std::optional<net::ApId> serving;
+    bool switch_pending = false;
+    bool pending_forced = false;
+    net::ApId pending_target{};
+    net::ApId pending_from{};
+    Time pending_since;
+    std::uint32_t epoch = 0;
+    std::uint16_t pending_first_index = 0;
+    Time last_switch_completed;
+  };
+  /// Debug snapshots of every registered client, ordered by client index.
+  [[nodiscard]] std::vector<ClientDebug> client_debug() const;
 
   [[nodiscard]] std::optional<net::ApId> serving_ap(net::ClientId client) const;
   /// Initiation time of the client's outstanding switch, if one is pending.

@@ -29,11 +29,14 @@ WgttClient::WgttClient(net::ClientId id, sim::Scheduler& sched,
     if (!accept_downlink(p)) return;
     if (on_downlink) on_downlink(p);
   };
-  probe_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
-    if (!probing_) return;
-    emit_probe();
-    probe_timer_->start(config_.probe_interval);
-  });
+  probe_timer_ = std::make_unique<sim::Timer>(
+      sched_,
+      [this] {
+        if (!probing_) return;
+        emit_probe();
+        probe_timer_->start(config_.probe_interval);
+      },
+      sim::EventCategory::kChannel);
 }
 
 bool WgttClient::accept_downlink(const net::Packet& p) {

@@ -105,7 +105,7 @@ std::uint64_t Medium::transmit(RadioId from, Frame frame, Time duration) {
       }
       if (collided) ++collisions_;
       radios_[r].on_rx(frame, RxContext{collided});
-    });
+    }, sim::EventCategory::kMacRx);
   }
   return frame.tx_uid;
 }

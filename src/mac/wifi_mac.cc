@@ -31,7 +31,8 @@ double mgmt_decode_probability(const channel::CsiMeasurement& csi,
 WifiMac::WifiMac(sim::Scheduler& sched, Medium& medium, Rng rng, Config config)
     : sched_(sched), medium_(medium), rng_(rng), config_(config) {
   cw_ = config_.timings.cw_min;
-  ba_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_ba_timeout(); });
+  ba_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_ba_timeout(); },
+                                           sim::EventCategory::kMacTx);
 }
 
 void WifiMac::set_metrics(obs::MetricsRegistry* registry,
@@ -172,7 +173,8 @@ void WifiMac::start_contention() {
   const Time idle_at = medium_.busy_until(radio_);
   const Time target =
       idle_at + config_.timings.difs + config_.timings.slot * slots;
-  contention_event_ = sched_.schedule_at(target, [this] { attempt_transmit(); });
+  contention_event_ = sched_.schedule_at(target, [this] { attempt_transmit(); },
+                                         sim::EventCategory::kMacTx);
 }
 
 void WifiMac::attempt_transmit() {
@@ -272,7 +274,7 @@ void WifiMac::transmit_mgmt(const MgmtItem& item) {
   sched_.schedule_in(duration, [this] {
     state_ = TxState::kIdle;
     kick();
-  });
+  }, sim::EventCategory::kMacTx);
 }
 
 void WifiMac::complete_mpdu(Peer& p, RadioId peer_id,
@@ -405,7 +407,7 @@ void WifiMac::send_block_ack(RadioId to, const BaBitmap& ba,
     baf.acked_tx_uid = acked_uid;
     f.body = baf;
     medium_.transmit(radio_, std::move(f), phy::block_ack_duration());
-  });
+  }, sim::EventCategory::kMacTx);
 }
 
 void WifiMac::handle_rx(const Frame& frame, const Medium::RxContext& ctx) {
@@ -520,12 +522,15 @@ void WifiMac::enable_beacons(Time interval) {
   beacons_enabled_ = true;
   beacon_interval_ = interval;
   if (!beacon_timer_) {
-    beacon_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
-      if (!beacons_enabled_) return;
-      mgmt_queue_.push_back(MgmtItem{kBroadcast, BeaconFrame{}});
-      kick();
-      beacon_timer_->start(beacon_interval_);
-    });
+    beacon_timer_ = std::make_unique<sim::Timer>(
+        sched_,
+        [this] {
+          if (!beacons_enabled_) return;
+          mgmt_queue_.push_back(MgmtItem{kBroadcast, BeaconFrame{}});
+          kick();
+          beacon_timer_->start(beacon_interval_);
+        },
+        sim::EventCategory::kMacTx);
   }
   beacon_timer_->start(beacon_interval_);
 }

@@ -171,7 +171,8 @@ void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
   // trampoline: the message body never rides inside the callback, so the
   // event stays in InlineCallback's inline buffer.
   const std::uint32_t slot = park(from, to, std::move(msg));
-  sched_.schedule_at(arrival, [this, slot] { deliver_parked(slot); });
+  sched_.schedule_at(arrival, [this, slot] { deliver_parked(slot); },
+                     sim::EventCategory::kBackhaul);
 }
 
 std::uint32_t Backhaul::park(NodeId from, NodeId to, BackhaulMessage msg) {

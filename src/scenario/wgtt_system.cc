@@ -68,7 +68,8 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
     if (p.proto == net::Proto::kArp) return;  // background probes stop here
     if (!on_server_uplink) return;
     sched_.schedule_in(config_.server_latency,
-                       [this, p] { on_server_uplink(p); });
+                       [this, p] { on_server_uplink(p); },
+                       sim::EventCategory::kBackhaul);
   };
 }
 
@@ -158,7 +159,9 @@ void WgttSystem::start() {
     // with a probe, and return — that is how APs on other channels obtain
     // CSI for this client, making cross-channel switches possible at all.
     for (std::size_t c = 0; c < clients_.size(); ++c) {
-      scan_timers_.push_back(std::make_unique<sim::Timer>(sched_, [this, c] {
+      scan_timers_.push_back(std::make_unique<sim::Timer>(
+          sched_,
+          [this, c] {
         if (!client_retuning_[c]) {
           const mac::RadioId radio = clients_[c]->radio();
           const int current = medium_.radio_channel(radio);
@@ -170,20 +173,25 @@ void WgttSystem::start() {
             client_retuning_[c] = true;  // suspend channel-follow
             medium_.set_radio_channel(radio, scan_ch);
             clients_[c]->probe_now();
-            sched_.schedule_in(config_.scan_dwell, [this, c, radio, current] {
-              medium_.set_radio_channel(radio, current);
-              client_retuning_[c] = false;
-            });
+            sched_.schedule_in(config_.scan_dwell,
+                               [this, c, radio, current] {
+                                 medium_.set_radio_channel(radio, current);
+                                 client_retuning_[c] = false;
+                               },
+                               sim::EventCategory::kChannel);
           }
         }
         scan_timers_[c]->start(config_.scan_period);
-      }));
+      },
+          sim::EventCategory::kChannel));
       // Stagger scans so clients do not hop in lockstep.
       scan_timers_.back()->start(config_.scan_period +
                                  Time::ms(static_cast<std::int64_t>(c) * 37));
     }
 
-    channel_follow_timer_ = std::make_unique<sim::Timer>(sched_, [this] {
+    channel_follow_timer_ = std::make_unique<sim::Timer>(
+        sched_,
+        [this] {
       for (std::size_t c = 0; c < clients_.size(); ++c) {
         if (client_retuning_[c]) continue;
         const int serving = serving_ap(static_cast<int>(c));
@@ -194,13 +202,16 @@ void WgttSystem::start() {
         // Retune: blackout, then land on the new channel.
         client_retuning_[c] = true;
         medium_.set_radio_channel(radio, mac::Medium::kNoChannel);
-        sched_.schedule_in(config_.retune_blackout, [this, c, radio, want] {
-          medium_.set_radio_channel(radio, want);
-          client_retuning_[c] = false;
-        });
+        sched_.schedule_in(config_.retune_blackout,
+                           [this, c, radio, want] {
+                             medium_.set_radio_channel(radio, want);
+                             client_retuning_[c] = false;
+                           },
+                           sim::EventCategory::kChannel);
       }
       channel_follow_timer_->start(Time::ms(1));
-    });
+    },
+        sim::EventCategory::kChannel);
     channel_follow_timer_->start(Time::ms(1));
   }
 
@@ -209,21 +220,29 @@ void WgttSystem::start() {
   for (const auto& fs : config_.ap_faults) {
     if (fs.ap < 0 || fs.ap >= num_aps()) continue;
     const int i = fs.ap;
-    if (fs.crash_at) sched_.schedule_at(*fs.crash_at, [this, i] { crash_ap(i); });
+    if (fs.crash_at) {
+      sched_.schedule_at(*fs.crash_at, [this, i] { crash_ap(i); },
+                         sim::EventCategory::kControl);
+    }
     if (fs.restart_at) {
-      sched_.schedule_at(*fs.restart_at, [this, i] { restart_ap(i); });
+      sched_.schedule_at(*fs.restart_at, [this, i] { restart_ap(i); },
+                         sim::EventCategory::kControl);
     }
     if (fs.zombie_at) {
       sched_.schedule_at(*fs.zombie_at,
-                         [this, i] { set_ap_backhaul(i, false); });
+                         [this, i] { set_ap_backhaul(i, false); },
+                         sim::EventCategory::kControl);
     }
     if (fs.zombie_end_at) {
       sched_.schedule_at(*fs.zombie_end_at,
-                         [this, i] { set_ap_backhaul(i, true); });
+                         [this, i] { set_ap_backhaul(i, true); },
+                         sim::EventCategory::kControl);
     }
     for (const auto& [from, until] : fs.partitions) {
-      sched_.schedule_at(from, [this, i] { set_ap_backhaul(i, false); });
-      sched_.schedule_at(until, [this, i] { set_ap_backhaul(i, true); });
+      sched_.schedule_at(from, [this, i] { set_ap_backhaul(i, false); },
+                         sim::EventCategory::kControl);
+      sched_.schedule_at(until, [this, i] { set_ap_backhaul(i, true); },
+                         sim::EventCategory::kControl);
     }
   }
 }
@@ -263,9 +282,11 @@ void WgttSystem::set_ap_backhaul(int i, bool up) {
 }
 
 void WgttSystem::server_send(net::Packet packet) {
-  sched_.schedule_in(config_.server_latency, [this, p = std::move(packet)] {
-    controller_->send_downlink(p);
-  });
+  sched_.schedule_in(config_.server_latency,
+                     [this, p = std::move(packet)] {
+                       controller_->send_downlink(p);
+                     },
+                     sim::EventCategory::kBackhaul);
 }
 
 int WgttSystem::serving_ap(int client) const {

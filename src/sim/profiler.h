@@ -1,0 +1,97 @@
+// Event-kind profiler for the scheduler hot path (DESIGN.md §6.4).
+//
+// Every scheduled event carries a one-byte EventCategory chosen at the
+// call site (channel sampling, MAC tx/rx, backhaul delivery, control
+// handling, timer fires). The tag itself is free and always present; the
+// *measurement* is opt-in: only when an EventProfiler is attached does
+// Scheduler::step() bracket each event with two steady_clock reads and
+// attribute the wall time to the event's category. With no profiler
+// attached the scheduler pays a single pointer compare per event and
+// seeded runs stay byte-identical — profiling never perturbs virtual time,
+// only observes wall time.
+//
+// The profile answers the question ROADMAP item 3 (SIMD channel kernel,
+// parallel event loop) depends on: where do the ~0.5M events/sec actually
+// go? bench_perf_engine prints the per-kind breakdown and run_drive
+// exports it as `sim.profile.*` instruments in the metrics snapshot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace wgtt::sim {
+
+/// Attribution label for one scheduled event. The named categories mirror
+/// the simulator's layers; kOther is the default for call sites that carry
+/// no tag (accuracy probes, scenario glue).
+enum class EventCategory : std::uint8_t {
+  kChannel,   // CSI sampling / probing / channel scan-and-follow
+  kMacTx,     // AP-side transmission: contention, A-MPDU tx, pump, beacons
+  kMacRx,     // medium delivery: airtime end, decode, on_heard fan-out
+  kBackhaul,  // wired message delivery (controller <-> APs, server wire)
+  kControl,   // switching protocol handling, liveness, fault scripts
+  kTimer,     // transport timers: TCP RTO, UDP pacing, app ticks
+  kOther,     // untagged (scenario glue, accuracy probes)
+};
+
+/// Total number of categories; values are contiguous from 0. Tests iterate
+/// this to catch a new category left out of to_string.
+inline constexpr int kNumEventCategories = 7;
+
+[[nodiscard]] std::string_view to_string(EventCategory cat);
+
+/// Wall-time accumulator per event category. Owned by whoever drives the
+/// run (the bench harness); attached to a Scheduler via set_profiler().
+///
+/// Per-event durations land in fixed-layout histograms (microseconds,
+/// 0-50 us in 0.25 us buckets — comfortably around the ~2 us median event)
+/// so flush_to() can fold them into a MetricsRegistry bucket-for-bucket
+/// via Histogram::merge_from.
+class EventProfiler {
+ public:
+  /// Shared bucket layout of the per-category histograms and their
+  /// registry counterparts (`sim.profile.<cat>_us`). merge_from is a no-op
+  /// on mismatch, so both sides construct from these constants.
+  static constexpr double kHistLoUs = 0.0;
+  static constexpr double kHistHiUs = 50.0;
+  static constexpr std::size_t kHistBuckets = 200;
+
+  EventProfiler();
+
+  /// Records one event of `cat` that took `ns` wall nanoseconds.
+  void record(EventCategory cat, std::uint64_t ns);
+
+  [[nodiscard]] std::uint64_t events(EventCategory cat) const;
+  [[nodiscard]] std::uint64_t total_ns(EventCategory cat) const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t total_ns() const;
+
+  /// Per-event duration distribution (microseconds) for one category.
+  [[nodiscard]] const obs::Histogram& histogram(EventCategory cat) const {
+    return hist_[static_cast<std::size_t>(cat)];
+  }
+
+  /// Exports the profile into `registry`:
+  ///   sim.profile.<cat>_us   histogram  per-event wall microseconds
+  ///   sim.profile.<cat>_ns   counter    total wall nanoseconds
+  ///   sim.profile.events     counter    events profiled across categories
+  /// Wall-clock values vary host to host, so callers only flush when the
+  /// profiler was explicitly enabled (the record_perf rule).
+  void flush_to(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Cell {
+    std::uint64_t events = 0;
+    std::uint64_t ns = 0;
+  };
+  std::array<Cell, kNumEventCategories> cells_{};
+  // Histogram is neither copyable nor movable (atomics); the aggregate
+  // initializer in the constructor builds each element in place (guaranteed
+  // elision).
+  std::array<obs::Histogram, kNumEventCategories> hist_;
+};
+
+}  // namespace wgtt::sim

@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace wgtt::sim {
@@ -11,7 +12,8 @@ constexpr std::uint64_t make_id(std::uint32_t slot, std::uint32_t generation) {
 }
 }  // namespace
 
-EventId Scheduler::schedule_at(Time when, InlineCallback fn) {
+EventId Scheduler::schedule_at(Time when, InlineCallback fn,
+                               EventCategory cat) {
   if (when < now_) when = now_;
   const std::uint64_t seq = next_seq_++;
 
@@ -26,6 +28,7 @@ EventId Scheduler::schedule_at(Time when, InlineCallback fn) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.seq = seq;
+  s.cat = cat;
   s.armed = true;
   // Generation stamps make stale EventIds inert. A slot would need 2^32
   // re-arms between an id's issue and its cancel for a false match; ids are
@@ -38,9 +41,10 @@ EventId Scheduler::schedule_at(Time when, InlineCallback fn) {
   return EventId{make_id(slot, gen)};
 }
 
-EventId Scheduler::schedule_in(Time delay, InlineCallback fn) {
+EventId Scheduler::schedule_in(Time delay, InlineCallback fn,
+                               EventCategory cat) {
   if (delay < Time::zero()) delay = Time::zero();
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), cat);
 }
 
 void Scheduler::cancel(EventId id) {
@@ -56,6 +60,10 @@ void Scheduler::cancel(EventId id) {
 }
 
 bool Scheduler::step() {
+  // Profiled path: one steady_clock read per event, charged as the delta
+  // from profile_mark_ (stamped at attach and advanced per event). Covers
+  // heap pop, cancelled-key skips, the callback, and loop glue since the
+  // previous event; zero clock reads when no profiler is attached.
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     pop_top();
@@ -65,11 +73,20 @@ bool Scheduler::step() {
     // Move the callback out before invoking: the event may schedule (growing
     // slots_) or cancel, so the slot must be fully released first.
     InlineCallback fn = std::move(s.fn);
+    const EventCategory cat = s.cat;
     s.armed = false;
     --live_;
     now_ = top.when;
     ++executed_;
     fn();
+    if (profiler_ != nullptr) {
+      const auto end = std::chrono::steady_clock::now();
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          end - profile_mark_)
+                          .count();
+      profile_mark_ = end;
+      profiler_->record(cat, static_cast<std::uint64_t>(ns));
+    }
     return true;
   }
   return false;
@@ -132,7 +149,7 @@ void Scheduler::sift_down(std::size_t i) {
 void Timer::start(Time delay) {
   cancel();
   armed_ = true;
-  pending_ = sched_.schedule_in(delay, Fire{this});
+  pending_ = sched_.schedule_in(delay, Fire{this}, cat_);
 }
 
 void Timer::cancel() {

@@ -17,11 +17,13 @@
 // byte-identical to the pre-rewrite engine.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sim/inline_callback.h"
+#include "sim/profiler.h"
 #include "util/units.h"
 
 namespace wgtt::sim {
@@ -40,11 +42,15 @@ class Scheduler {
   /// Current virtual time. Monotonically non-decreasing.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  EventId schedule_at(Time when, InlineCallback fn);
+  /// Schedules `fn` at absolute time `when` (must be >= now()). `cat` is
+  /// the profiler attribution label (a one-byte tag, free when no profiler
+  /// is attached); untagged call sites land in kOther.
+  EventId schedule_at(Time when, InlineCallback fn,
+                      EventCategory cat = EventCategory::kOther);
 
   /// Schedules `fn` `delay` after now(). Negative delays clamp to now().
-  EventId schedule_in(Time delay, InlineCallback fn);
+  EventId schedule_in(Time delay, InlineCallback fn,
+                      EventCategory cat = EventCategory::kOther);
 
   /// Cancels a pending event in O(1), releasing its captures immediately.
   /// Cancelling an already-fired, already-cancelled, unknown, or
@@ -68,6 +74,22 @@ class Scheduler {
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Attaches (or, with nullptr, detaches) a wall-time profiler. While one
+  /// is attached, step() takes ONE steady_clock read per event and charges
+  /// the elapsed time since the previous read — heap pop, cancelled-key
+  /// skips, the callback, and the run_until loop glue in between — to the
+  /// event's category. Chaining timestamps this way (instead of bracketing
+  /// each event with two reads) halves the measurement cost and makes the
+  /// per-category totals sum to essentially all of run_until's wall time;
+  /// the price is that inter-event engine overhead lands on the *next*
+  /// event's category. Virtual time is untouched either way: profiling is
+  /// pure observation and seeded runs stay deterministic.
+  void set_profiler(EventProfiler* profiler) {
+    profiler_ = profiler;
+    if (profiler != nullptr) profile_mark_ = std::chrono::steady_clock::now();
+  }
+  [[nodiscard]] EventProfiler* profiler() const { return profiler_; }
+
  private:
   // POD heap key; callbacks live in slots_, addressed by `slot`.
   struct HeapEntry {
@@ -79,6 +101,7 @@ class Scheduler {
     InlineCallback fn;
     std::uint64_t seq = 0;          // seq of the currently armed event
     std::uint32_t generation = 0;   // bumped on every arm; id must match
+    EventCategory cat = EventCategory::kOther;  // profiler attribution
     bool armed = false;
   };
 
@@ -103,6 +126,10 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  EventProfiler* profiler_ = nullptr;
+  /// Timestamp of the last profiled read; the next event is charged the
+  /// delta from here. Reset on attach.
+  std::chrono::steady_clock::time_point profile_mark_{};
 };
 
 /// One-shot restartable timer bound to a Scheduler. Used for the switching
@@ -112,8 +139,12 @@ class Scheduler {
 /// in the scheduler slot, no allocation).
 class Timer {
  public:
-  Timer(Scheduler& sched, InlineCallback on_fire)
-      : sched_(sched), on_fire_(std::move(on_fire)) {}
+  /// `cat` tags every firing of this timer for the event profiler; the
+  /// kTimer default fits transport/app timers, protocol timers pass their
+  /// own layer's category.
+  Timer(Scheduler& sched, InlineCallback on_fire,
+        EventCategory cat = EventCategory::kTimer)
+      : sched_(sched), on_fire_(std::move(on_fire)), cat_(cat) {}
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -136,6 +167,7 @@ class Timer {
   Scheduler& sched_;
   InlineCallback on_fire_;
   EventId pending_{};
+  EventCategory cat_;
   bool armed_ = false;
 };
 

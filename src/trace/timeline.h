@@ -1,0 +1,103 @@
+// Per-client time-series recorder (DESIGN.md §6.5): the simulator's
+// equivalent of the paper's tcpdump-derived timeline plots (Figs. 14/15/17).
+//
+// On a configurable virtual-time tick, one Sample per client captures the
+// serving AP, the switch-epoch counter, the freshest ESNR of the top
+// candidate APs, MAC-level goodput over the tick, and (when the harness
+// provides a probe) TCP cwnd/srtt. write_jsonl() emits one JSON object per
+// line; tools/wgtt_trace folds the series into Chrome trace_event counter
+// tracks next to the switch spans.
+//
+// Determinism: the tick Timer adds events to the shared scheduler, so a
+// timeline-ON run is a *different* (equally deterministic) event sequence
+// than an OFF run — exactly like the metrics sampler. ESNR is read through
+// EsnrTracker's const accessors (last_value/last_heard), never median(),
+// which maintains the selection window incrementally and would perturb
+// controller decisions if driven from here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace wgtt::scenario {
+class WgttSystem;
+}
+
+namespace wgtt::trace {
+
+class TimelineRecorder {
+ public:
+  struct Config {
+    /// Sampling period (virtual time).
+    Time tick = Time::ms(100);
+    /// ESNR entries kept per sample: the best `top_aps` candidates by
+    /// freshest value, among APs heard within `esnr_freshness`.
+    int top_aps = 3;
+    Time esnr_freshness = Time::ms(250);
+  };
+
+  struct TransportSample {
+    double cwnd_segments = 0.0;
+    double srtt_ms = 0.0;
+  };
+  /// Supplied by the harness to surface per-client transport state (the
+  /// recorder cannot see TCP flows — they live outside the WgttSystem).
+  /// Return nullopt for clients without an instrumented flow.
+  using TransportProbe = std::function<std::optional<TransportSample>(int)>;
+
+  struct EsnrPoint {
+    int ap = -1;
+    double db = 0.0;
+  };
+  struct Sample {
+    Time when;
+    int client = -1;
+    int serving = -1;  // -1 = unserved
+    std::uint32_t epoch = 0;
+    bool switch_pending = false;
+    double goodput_mbps = 0.0;  // MAC-delivered bytes over the last tick
+    std::vector<EsnrPoint> esnr;  // best-first
+    std::optional<TransportSample> transport;
+  };
+
+  TimelineRecorder(scenario::WgttSystem& system, Config config);
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  void set_transport_probe(TransportProbe probe) { probe_ = std::move(probe); }
+
+  /// Chains the per-client delivery hooks (for goodput deltas) and arms the
+  /// tick timer. Call after the system started and after all other hook
+  /// consumers installed theirs (same contract as trace::attach).
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// One JSON object per line:
+  ///   {"t_s":..,"client":..,"serving":..,"epoch":..,"switch_pending":..,
+  ///    "goodput_mbps":..,"esnr":[{"ap":..,"db":..},...],
+  ///    "cwnd_segments":..,"srtt_ms":..}
+  /// The transport fields appear only when the probe reported a sample.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  void tick();
+
+  scenario::WgttSystem& system_;
+  Config config_;
+  TransportProbe probe_;
+  std::unique_ptr<sim::Timer> timer_;
+  std::vector<std::uint64_t> delivered_bytes_;  // cumulative, per client
+  std::vector<std::uint64_t> last_bytes_;       // snapshot at previous tick
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wgtt::trace

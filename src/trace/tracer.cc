@@ -119,8 +119,20 @@ void attach(Tracer& tracer, scenario::WgttSystem& system) {
     };
   }
 
-  // Switch completions (+ the protocol duration from the switch log).
+  // Switch initiations: the opening edge of the stop→start→ack span.
   auto& ctrl = system.controller();
+  ctrl.on_switch_initiated =
+      [&tracer, prev = std::move(ctrl.on_switch_initiated)](
+          net::ClientId c, std::optional<net::ApId> from, net::ApId to,
+          Time t) {
+        if (prev) prev(c, from, to, t);
+        tracer.record({t, EventKind::kSwitchInitiated,
+                       static_cast<int>(net::index_of(c)),
+                       from ? static_cast<int>(net::index_of(*from)) : -1,
+                       static_cast<int>(net::index_of(to)), 0.0});
+      };
+
+  // Switch completions (+ the protocol duration from the switch log).
   ctrl.on_serving_changed = [&tracer, &ctrl,
                              prev = std::move(ctrl.on_serving_changed)](
                                 net::ClientId c, net::ApId ap, Time t) {

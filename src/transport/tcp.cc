@@ -11,7 +11,8 @@ TcpSender::TcpSender(sim::Scheduler& sched, SendFn send, Config config)
       cwnd_(config.initial_cwnd_segments * static_cast<double>(config.mss)),
       ssthresh_(config.max_cwnd_segments * static_cast<double>(config.mss)),
       rto_(Time::sec(1)) {
-  rto_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_rto(); });
+  rto_timer_ = std::make_unique<sim::Timer>(sched_, [this] { on_rto(); },
+                                            sim::EventCategory::kTimer);
 }
 
 void TcpSender::register_metrics(obs::MetricsRegistry& registry) {

@@ -79,7 +79,8 @@ UdpSource::~UdpSource() { stop(); }
 void UdpSource::start() {
   if (running_) return;
   running_ = true;
-  pending_ = sched_.schedule_in(Time::zero(), [this] { emit(); });
+  pending_ = sched_.schedule_in(Time::zero(), [this] { emit(); },
+                                sim::EventCategory::kTimer);
 }
 
 void UdpSource::stop() {
@@ -102,7 +103,8 @@ void UdpSource::emit() {
   p.created = sched_.now();
   ++sent_;
   send_(std::move(p));
-  pending_ = sched_.schedule_in(interval_, [this] { emit(); });
+  pending_ = sched_.schedule_in(interval_, [this] { emit(); },
+                                sim::EventCategory::kTimer);
 }
 
 void UdpSink::on_packet(Time now, const net::Packet& p) {

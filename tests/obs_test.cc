@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "mobility/trajectory.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -184,6 +185,133 @@ TEST(FlightRecorderTest, DropOldestStress) {
   EXPECT_EQ(fr.dropped(), 0u);
 }
 
+TEST(FlightRecorderTest, ExactCapacityBoundaries) {
+  // The wraparound seams: exactly full (no drop yet), one past full (first
+  // drop), exactly twice around (window is precisely the second half), and
+  // the degenerate capacity-1 ring.
+  constexpr std::size_t kCapacity = 64;
+  FlightRecorder<std::size_t> fr(kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) fr.push(i);
+  EXPECT_EQ(fr.size(), kCapacity);
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_EQ(fr.at(0), 0u);
+  EXPECT_EQ(fr.at(kCapacity - 1), kCapacity - 1);
+
+  fr.push(kCapacity);  // first overwrite
+  EXPECT_EQ(fr.size(), kCapacity);
+  EXPECT_EQ(fr.dropped(), 1u);
+  EXPECT_EQ(fr.at(0), 1u);
+  EXPECT_EQ(fr.at(kCapacity - 1), kCapacity);
+
+  for (std::size_t i = kCapacity + 1; i < 2 * kCapacity; ++i) fr.push(i);
+  EXPECT_EQ(fr.dropped(), kCapacity);
+  EXPECT_EQ(fr.at(0), kCapacity);
+  EXPECT_EQ(fr.at(kCapacity - 1), 2 * kCapacity - 1);
+  std::size_t expect = kCapacity;
+  fr.for_each([&](std::size_t v) { EXPECT_EQ(v, expect++); });
+  EXPECT_EQ(expect, 2 * kCapacity);
+
+  FlightRecorder<int> one(1);
+  one.push(10);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.dropped(), 0u);
+  one.push(11);
+  one.push(12);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.dropped(), 2u);
+  EXPECT_EQ(one.at(0), 12);
+}
+
+TEST(HistogramMergeTest, EmptySourceIsANoOp) {
+  Histogram dst(0.0, 10.0, 10);
+  dst.observe(2.0);
+  dst.observe(7.5);
+  const Histogram empty(0.0, 10.0, 10);
+  dst.merge_from(empty);
+  // Counts, sum and — critically — the extrema are untouched: an empty
+  // source's min()/max() answer 0.0 and must not clobber real ones.
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_DOUBLE_EQ(dst.sum(), 9.5);
+  EXPECT_DOUBLE_EQ(dst.min(), 2.0);
+  EXPECT_DOUBLE_EQ(dst.max(), 7.5);
+
+  Histogram both_empty(0.0, 10.0, 10);
+  both_empty.merge_from(empty);
+  EXPECT_EQ(both_empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(both_empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(both_empty.max(), 0.0);
+}
+
+TEST(HistogramMergeTest, MergeIntoEmptyAdoptsSourceExtrema) {
+  Histogram src(0.0, 10.0, 10);
+  src.observe(-3.0);  // underflow
+  src.observe(4.0);
+  src.observe(42.0);  // overflow
+  Histogram dst(0.0, 10.0, 10);
+  dst.merge_from(src);
+  EXPECT_EQ(dst.count(), 3u);
+  EXPECT_EQ(dst.underflow(), 1u);
+  EXPECT_EQ(dst.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(dst.min(), -3.0);
+  EXPECT_DOUBLE_EQ(dst.max(), 42.0);
+  EXPECT_DOUBLE_EQ(dst.sum(), 43.0);
+}
+
+TEST(HistogramMergeTest, MismatchedLayoutIsIgnored) {
+  Histogram dst(0.0, 10.0, 10);
+  dst.observe(5.0);
+  Histogram wider(0.0, 20.0, 10);   // different range
+  wider.observe(15.0);
+  Histogram finer(0.0, 10.0, 20);   // different bucket count
+  finer.observe(1.0);
+  dst.merge_from(wider);
+  dst.merge_from(finer);
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_DOUBLE_EQ(dst.sum(), 5.0);
+  EXPECT_DOUBLE_EQ(dst.max(), 5.0);
+}
+
+TEST(RegistryMergeTest, DisjointInstrumentSetsUnion) {
+  // Merging registries with disjoint (and partially overlapping) key sets:
+  // missing instruments are created, overlapping counters add, gauges take
+  // the source's value, disjoint histograms arrive with their own layout.
+  MetricsRegistry a;
+  a.counter("shared.count").inc(5);
+  a.counter("only_a.count").inc(1);
+  a.histogram("only_a.lat_ms", 0.0, 10.0, 10).observe(3.0);
+
+  MetricsRegistry b;
+  b.counter("shared.count").inc(7);
+  b.counter("only_b.count").inc(2);
+  b.gauge("only_b.depth").set(4.5);
+  b.histogram("only_b.lat_ms", 0.0, 50.0, 25).observe(30.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("shared.count")->value(), 12u);
+  EXPECT_EQ(a.find_counter("only_a.count")->value(), 1u);
+  EXPECT_EQ(a.find_counter("only_b.count")->value(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_gauge("only_b.depth")->value(), 4.5);
+  const Histogram* hb = a.find_histogram("only_b.lat_ms");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->count(), 1u);
+  EXPECT_DOUBLE_EQ(hb->hi(), 50.0);
+  EXPECT_EQ(hb->num_buckets(), 25u);
+  const Histogram* ha = a.find_histogram("only_a.lat_ms");
+  ASSERT_NE(ha, nullptr);
+  EXPECT_EQ(ha->count(), 1u);
+}
+
+TEST(RegistryMergeTest, EmptySourceLeavesSnapshotUnchanged) {
+  MetricsRegistry a;
+  a.counter("x.count").inc(3);
+  a.gauge("x.depth").set(1.5);
+  a.histogram("x.lat_ms", 0.0, 10.0, 10).observe(2.0);
+  const std::string before = a.to_json();
+  const MetricsRegistry empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.to_json(), before);
+}
+
 TEST(SpanTrackerTest, BeginEndCancel) {
   Histogram sink(0.0, 100.0, 100);
   SpanTracker spans(&sink);
@@ -275,6 +403,46 @@ TEST(MetricsSystemTest, SwitchTimesMatchTracerWithinOneMs) {
   const Histogram* occ = metrics.find_histogram("ap.cyclic_occupancy");
   ASSERT_NE(occ, nullptr);
   EXPECT_GT(occ->count(), 0u);
+}
+
+// The knobs-at-rest contract (DESIGN.md §6.4-§6.6): merely HAVING the
+// observability knobs in DriveConfig — profiler off, a non-default timeline
+// tick with no timeline path, a postmortem directory that never triggers —
+// must not change one byte of a seeded run's metrics snapshot. 20 seeds,
+// each compared against a plain collect_metrics run of the same config.
+TEST(KnobsAtRestTest, TwentySeedSnapshotsByteIdentical) {
+  scenario::GeometryConfig geo;
+  geo.num_aps = 4;  // short drive; 20 seeds x 2 runs must stay CI-friendly
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    benchx::DriveConfig base;
+    base.mph = 25.0;
+    base.udp_rate_mbps = 8.0;
+    base.seed = seed;
+    base.geometry = geo;
+    base.collect_metrics = true;
+
+    benchx::DriveConfig knobs = base;
+    knobs.profile = false;                   // present, off
+    knobs.timeline_tick = Time::ms(37);      // present, unused (no path)
+    knobs.timeline_path.clear();
+    knobs.trace_csv_path.clear();
+    // A postmortem dir is armed but the run is healthy, so nothing fires;
+    // arming it does attach a Tracer, which must be pure observation.
+    knobs.postmortem_dir = ::testing::TempDir() + "wgtt_knobs_at_rest";
+
+    const benchx::DriveResult plain = benchx::run_drive(base);
+    const benchx::DriveResult armed = benchx::run_drive(knobs);
+    ASSERT_NE(plain.metrics, nullptr);
+    ASSERT_NE(armed.metrics, nullptr);
+    EXPECT_EQ(armed.invariant_violations, 0u) << "seed " << seed;
+
+    const std::string a = plain.metrics->to_json();
+    const std::string b = armed.metrics->to_json();
+    EXPECT_EQ(a, b) << "seed " << seed
+                    << ": knobs-at-rest run diverged from the seed snapshot";
+    // Wall-clock instruments must not leak in uninvited (record_perf rule).
+    EXPECT_EQ(b.find("sim.profile."), std::string::npos) << "seed " << seed;
+  }
 }
 
 }  // namespace

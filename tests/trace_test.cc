@@ -1,10 +1,14 @@
 // Tests for the event tracer and its analysis queries.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "mobility/trajectory.h"
+#include "obs/metrics.h"
 #include "scenario/wgtt_system.h"
+#include "trace/postmortem.h"
 #include "trace/tracer.h"
 #include "transport/udp.h"
 
@@ -169,6 +173,59 @@ TEST(TracerAttachTest, CapturesLiveSystem) {
   double mbit = 0.0;
   for (double v : series) mbit += v * 0.1;
   EXPECT_GT(mbit, 1.0);
+}
+
+TEST(PostmortemTest, WritesFullBundleOnViolation) {
+  scenario::WgttSystemConfig cfg;
+  cfg.geometry.seed = 17;
+  scenario::WgttSystem system(cfg);
+  mobility::LineDrive drive(-10.0, 0.0, mph_to_mps(25.0));
+  const int c = system.add_client(&drive);
+  system.start();
+
+  obs::MetricsRegistry metrics;
+  system.enable_metrics(metrics, Time::ms(100));
+  Tracer tracer;
+  attach(tracer, system);
+
+  transport::UdpSource src(
+      system.sched(),
+      [&](net::Packet p) {
+        p.client = net::ClientId{0};
+        system.server_send(std::move(p));
+      },
+      {.rate_mbps = 12.0, .client = net::ClientId{static_cast<unsigned>(c)}});
+  src.start();
+  system.run_until(Time::sec(3));
+
+  // Fabricate a report (the real trigger path is check_invariants; the
+  // bundle writer only cares that it is non-ok).
+  scenario::InvariantReport report;
+  report.stalled_switches = 1;
+  report.violations.push_back("client 0: switch pending for 999 ms");
+
+  const std::string dir =
+      ::testing::TempDir() + "wgtt_postmortem_bundle_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(write_postmortem(dir, system, report, &tracer, &metrics));
+
+  for (const char* name : {"invariants.txt", "trace_tail.csv", "metrics.json",
+                           "liveness.txt", "clients.txt"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+  }
+  const auto slurp = [&](const char* name) {
+    std::ifstream in(dir + "/" + name);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_NE(slurp("invariants.txt").find("switch pending for 999 ms"),
+            std::string::npos);
+  EXPECT_NE(slurp("trace_tail.csv").find("when_s,kind,client,node,aux,value"),
+            std::string::npos);
+  EXPECT_NE(slurp("metrics.json").find("wgtt.metrics.v1"), std::string::npos);
+  EXPECT_NE(slurp("clients.txt").find("client 0"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -11,6 +11,14 @@
 //   - cyclic-queue, A-MPDU, block-ACK-forward and de-dup instruments
 //   - tcp.* keys present even for a UDP workload (pre-registration)
 //
+// With a key manifest (argv[3], normally tools/metrics_keys.txt) it also
+// diffs the snapshot's full key set against the committed list: keys that
+// DISAPPEARED from the snapshot are printed as "- missing: ..." lines and
+// fail the check (a renamed or dropped instrument silently breaks every
+// dashboard and tooling query that reads it); keys that are NEW are printed
+// as "+ new: ..." informational lines — add them to the manifest when the
+// instrument is intentional.
+//
 // Exit 0 on success; nonzero with a message naming the first failure.
 #include <cctype>
 #include <cstdio>
@@ -298,6 +306,53 @@ int main(int argc, char** argv) {
   }
   const JsonValue* delivered = counters->find("controller.downlink_packets");
   if (delivered->number < 1.0) return fail("no downlink packets flowed");
+
+  // --- manifest diff: catch keys that disappeared from the snapshot ----------
+  if (argc >= 4) {
+    std::ifstream manifest(argv[3]);
+    if (!manifest) return fail(std::string("cannot read manifest ") + argv[3]);
+
+    // "<kind> <name>" pairs present in the snapshot.
+    std::map<std::string, const JsonValue*> sections = {
+        {"counter", counters}, {"gauge", gauges}, {"histogram", histograms}};
+    std::vector<std::string> missing;
+    std::map<std::string, std::map<std::string, bool>> listed;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(manifest, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t sp = line.find(' ');
+      const std::string kind = line.substr(0, sp);
+      auto sec = sections.find(kind);
+      if (sp == std::string::npos || sec == sections.end()) {
+        return fail("manifest line " + std::to_string(lineno) +
+                    " is not '<counter|gauge|histogram> <name>': " + line);
+      }
+      const std::string name = line.substr(sp + 1);
+      listed[kind][name] = true;
+      if (sec->second->find(name) == nullptr) {
+        missing.push_back("- missing: " + kind + " " + name);
+      }
+    }
+    // New keys are informational: print them so intentional additions get
+    // promoted into the manifest, but do not fail.
+    for (const auto& [kind, section] : sections) {
+      for (const auto& [name, value] : section->object) {
+        if (!listed[kind].contains(name)) {
+          std::printf("+ new: %s %s (add to %s)\n", kind.c_str(), name.c_str(),
+                      argv[3]);
+        }
+      }
+    }
+    if (!missing.empty()) {
+      for (const std::string& m : missing) {
+        std::fprintf(stderr, "%s\n", m.c_str());
+      }
+      return fail(std::to_string(missing.size()) +
+                  " manifest key(s) disappeared from the snapshot");
+    }
+  }
 
   std::printf("metrics_check OK: %zu counters, %zu gauges, %zu histograms; "
               "%g switches\n",

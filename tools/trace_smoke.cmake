@@ -1,0 +1,37 @@
+# Smoke chain for the trace exporter: run bench_fig17_multi_client --smoke
+# with trace export enabled, then convert the artifacts with wgtt-trace and
+# fail unless per-client switch spans came out of the conversion.
+# Invoked by the trace-export-smoke CTest target:
+#   cmake -DBENCH=<bench> -DTRACE_TOOL=<wgtt-trace> -DWORK_DIR=<dir>
+#         -P trace_smoke.cmake
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${BENCH}" --smoke --trace-dir "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed with ${bench_rc}")
+endif()
+
+foreach(artifact fig17_trace.csv fig17_timeline.jsonl)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${TRACE_TOOL}"
+          --csv "${WORK_DIR}/fig17_trace.csv"
+          --timeline "${WORK_DIR}/fig17_timeline.jsonl"
+          --out "${WORK_DIR}/fig17_trace.json"
+          --require-spans
+  RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+  message(FATAL_ERROR "wgtt-trace conversion failed with ${trace_rc}")
+endif()
+
+# The output must at least be a traceEvents JSON document.
+file(READ "${WORK_DIR}/fig17_trace.json" trace_json LIMIT 64)
+if(NOT trace_json MATCHES "traceEvents")
+  message(FATAL_ERROR "fig17_trace.json is not Chrome trace_event JSON")
+endif()

@@ -133,7 +133,17 @@ Options parse(int argc, char** argv) {
       if (v) o.drive.metrics_path = v;
     } else if (arg == "--metrics-interval-ms") {
       const char* v = need_value("--metrics-interval-ms");
-      if (v) o.drive.metrics_interval = Time::millis(std::atof(v));
+      if (v) {
+        const double ms = std::atof(v);
+        if (ms <= 0.0) {
+          std::fprintf(stderr,
+                       "--metrics-interval-ms must be positive, got '%s'\n", v);
+          usage();
+          o.ok = false;
+        } else {
+          o.drive.metrics_interval = Time::millis(ms);
+        }
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage();
       o.help = true;
@@ -228,6 +238,18 @@ int main(int argc, char** argv) {
   if (!o.drive.metrics_path.empty() && o.drive.system != System::kWgtt) {
     std::fprintf(stderr, "--metrics requires the wgtt system\n");
     return 1;
+  }
+  // Fail unwritable output paths up front, not after a multi-second drive.
+  // Probe in append mode so an existing file's contents survive the probe
+  // (the real writers truncate, but only once the run has succeeded).
+  for (const std::string& path : {o.drive.metrics_path, o.csv_path}) {
+    if (path.empty()) continue;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "cannot write output file '%s'\n", path.c_str());
+      usage();
+      return 1;
+    }
   }
 
   // CSV tracing needs the hook-based path (WGTT, UDP downlink).
