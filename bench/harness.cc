@@ -68,6 +68,20 @@ std::vector<std::unique_ptr<mobility::Trajectory>> make_trajectories(
       out.push_back(std::make_unique<mobility::LineDrive>(
           road_span + cfg.lead_in_m, -3.5, -v));
       break;
+    case Pattern::kDistributed: {
+      // Starts spread evenly over the part of the array every client can
+      // traverse within the horizon: constant client density throughout.
+      const double usable = std::max(0.0, road_span - cfg.drive_span_m);
+      for (int i = 0; i < cfg.num_clients; ++i) {
+        const double frac =
+            cfg.num_clients > 1
+                ? static_cast<double>(i) / (cfg.num_clients - 1)
+                : 0.0;
+        out.push_back(
+            std::make_unique<mobility::LineDrive>(usable * frac, 0.0, v));
+      }
+      break;
+    }
   }
   return out;
 }
@@ -103,7 +117,9 @@ DriveResult run_drive(const DriveConfig& cfg) {
   scenario::GeometryConfig geo = cfg.geometry.value_or(scenario::GeometryConfig{});
   geo.seed = cfg.seed;
   const double last_ap_x = (geo.num_aps - 1) * geo.ap_spacing_m;
-  const double span = cfg.lead_in_m + last_ap_x + cfg.lead_in_m;
+  const double span = cfg.pattern == Pattern::kDistributed
+                          ? cfg.drive_span_m
+                          : cfg.lead_in_m + last_ap_x + cfg.lead_in_m;
   const Time horizon = cfg.mph > 0.0
                            ? Time::seconds(span / mph_to_mps(cfg.mph))
                            : Time::sec(10);
@@ -132,6 +148,8 @@ DriveResult run_drive(const DriveConfig& cfg) {
     }
     scfg.ap_faults = cfg.ap_faults;
     scfg.ap.start_from_newest = cfg.start_from_newest;
+    if (cfg.use_spatial_index) scfg.spatial.use_index = *cfg.use_spatial_index;
+    scfg.controller.bounded_fallback = cfg.bounded_fallback;
     if (cfg.control_loss_rate > 0.0) {
       for (const auto kind : {net::MsgKind::kStop, net::MsgKind::kStart,
                               net::MsgKind::kSwitchAck}) {
@@ -317,8 +335,14 @@ DriveResult run_drive(const DriveConfig& cfg) {
   std::vector<int> probe_total(static_cast<std::size_t>(n), 0);
   std::vector<std::pair<Time, Time>> windows;
   for (int i = 0; i < n; ++i) {
-    windows.push_back(measure_window(*trajectories[static_cast<std::size_t>(i)],
-                                     last_ap_x, horizon));
+    if (cfg.pattern == Pattern::kDistributed) {
+      // Every distributed client is in-array for the whole run; skip the
+      // bootstrap transient, then measure to the horizon.
+      windows.emplace_back(std::min(Time::ms(500), horizon), horizon);
+    } else {
+      windows.push_back(measure_window(
+          *trajectories[static_cast<std::size_t>(i)], last_ap_x, horizon));
+    }
   }
   std::function<void()> probe = [&] {
     for (int i = 0; i < n; ++i) {
@@ -326,7 +350,10 @@ DriveResult run_drive(const DriveConfig& cfg) {
       const Time now = sched->now();
       if (now < t0 || now >= t1) continue;
       const int serving = wgtt ? wgtt->serving_ap(i) : base->serving_ap(i);
-      const int optimal = wgtt ? wgtt->geometry().optimal_ap(i, now)
+      // WgttSystem::optimal_ap bounds the ground-truth argmax to the
+      // sense-range neighborhood when the spatial index is on (identical
+      // answer whenever the whole array is in range, as in the testbed).
+      const int optimal = wgtt ? wgtt->optimal_ap(i, now)
                                : base->geometry().optimal_ap(i, now);
       ++probe_total[static_cast<std::size_t>(i)];
       if (serving == optimal) ++probe_match[static_cast<std::size_t>(i)];

@@ -28,7 +28,17 @@ namespace wgtt::benchx {
 
 enum class System { kWgtt, kBaseline };
 enum class Workload { kUdpDown, kTcpDown, kUdpUp };
-enum class Pattern { kSingle, kFollowing, kParallel, kOpposing };
+enum class Pattern {
+  kSingle,
+  kFollowing,
+  kParallel,
+  kOpposing,
+  /// City-scale pattern: clients spread at constant density along the
+  /// array, each driving `drive_span_m` from its own start — the client
+  /// density (and hence contention per AP) stays flat over the whole
+  /// measurement window instead of a convoy sweeping past each AP once.
+  kDistributed,
+};
 
 struct DriveConfig {
   System system = System::kWgtt;
@@ -39,6 +49,17 @@ struct DriveConfig {
   int num_clients = 1;
   Pattern pattern = Pattern::kSingle;
   double lead_in_m = 15.0;
+  /// Per-client drive distance for Pattern::kDistributed; also sets the
+  /// horizon (drive_span_m / speed) so every client stays in-array for the
+  /// whole run. Ignored by the other patterns.
+  double drive_span_m = 90.0;
+  /// Overrides WgttSystemConfig::spatial.use_index (on by default there).
+  /// The spatial-equivalence tests force it both ways.
+  std::optional<bool> use_spatial_index;
+  /// Controller::Config::bounded_fallback — bound the cold-start downlink
+  /// fan-out to the client's spatial neighborhood instead of every AP.
+  /// Off by default (byte-identity with the seed); the city bench opts in.
+  bool bounded_fallback = false;
 
   // Knobs (paper parameters / ablations).
   std::optional<Time> selection_window;  // W (Figure 21)

@@ -7,8 +7,11 @@ namespace wgtt::ap {
 CyclicQueue::CyclicQueue(net::PacketPool* pool)
     : owned_pool_(pool == nullptr ? std::make_unique<net::PacketPool>()
                                   : nullptr),
-      pool_(pool == nullptr ? owned_pool_.get() : pool),
-      slots_(kIndexSpace) {}
+      pool_(pool == nullptr ? owned_pool_.get() : pool) {}
+// The slot ring is allocated on the first put(): every AP keeps one queue
+// per registered client, and at city scale (1024 APs x 256 clients) the
+// eager 32 KB rings alone would cost ~8 GB while only the handful of
+// queues near each client ever see a packet.
 
 CyclicQueue::~CyclicQueue() {
   // Hand occupied slots back so a shared pool's accounting stays exact.
@@ -17,6 +20,7 @@ CyclicQueue::~CyclicQueue() {
 
 void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
   index &= kIndexSpace - 1;
+  if (slots_.empty()) slots_.resize(kIndexSpace);
   Slot& s = slots_[index];
   ++puts_;
   if (!s.occupied) {
@@ -32,12 +36,14 @@ void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
 }
 
 const net::Packet* CyclicQueue::peek(std::uint16_t index) const {
+  if (slots_.empty()) return nullptr;
   index &= kIndexSpace - 1;
   const Slot& s = slots_[index];
   return s.occupied && s.index == index ? pool_->get(s.handle) : nullptr;
 }
 
 std::optional<net::Packet> CyclicQueue::take(std::uint16_t index) {
+  if (slots_.empty()) return std::nullopt;
   index &= kIndexSpace - 1;
   Slot& s = slots_[index];
   if (!s.occupied || s.index != index) return std::nullopt;

@@ -13,6 +13,9 @@
 // Storage: ring slots hold 4-byte net::PacketPool handles, not packets —
 // the 4096-entry ring costs ~32 KB regardless of packet size, and packet
 // memory scales with the live backlog via the pool (see packet_pool.h).
+// The ring itself is allocated lazily on the first put(), so the vast
+// majority of (AP, client) queues in a city-scale deployment — which never
+// receive a packet thanks to the bounded fan-out — cost a few pointers.
 // Queues of one AP share that AP's pool; a queue constructed without a pool
 // (tests, microbenches) owns a private one.
 #pragma once

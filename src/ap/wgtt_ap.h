@@ -25,6 +25,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "ap/cyclic_queue.h"
 #include "mac/wifi_mac.h"
@@ -144,8 +145,20 @@ class WgttAp {
   [[nodiscard]] mac::WifiMac& mac() { return mac_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] bool serving(net::ClientId client) const;
+  /// Clients this AP currently serves, ordered by client index. Kept
+  /// incrementally at the serving transitions so the pump loop and the
+  /// invariant checker's serving-count aggregation never scan the full
+  /// per-client map (which holds every registered client at city scale).
+  [[nodiscard]] const std::vector<net::ClientId>& serving_clients() const {
+    return serving_clients_;
+  }
   /// Backlog currently held for `client` in the cyclic queue.
   [[nodiscard]] std::size_t cyclic_backlog(net::ClientId client) const;
+  /// Adds this AP's total cyclic backlog and NIC hardware-queue depth over
+  /// every registered client to the two accumulators — one pass for the
+  /// system-wide gauges instead of two map lookups per (AP, client) pair.
+  void queue_totals(std::size_t& cyclic_backlog_total,
+                    std::size_t& hw_queue_total) const;
   /// The AP-wide pool behind the per-client cyclic queues (live packet
   /// count, peak backlog, allocated capacity).
   [[nodiscard]] const net::PacketPool& packet_pool() const {
@@ -197,6 +210,9 @@ class WgttAp {
                 const channel::CsiMeasurement& csi);
   void pump(ClientState& cs);
   void pump_all();
+  /// Single point through which cs.serving ever changes, keeping the sorted
+  /// serving_clients_ list exact.
+  void set_serving(ClientState& cs, net::ClientId client, bool serving);
   ClientState* client_state(net::ClientId client);
   [[nodiscard]] bool ba_seen(ClientState& cs, std::uint64_t uid);
   [[nodiscard]] Time draw_delay(Time mean, Time std);
@@ -213,6 +229,9 @@ class WgttAp {
   net::PacketPool packet_pool_;
   std::unordered_map<net::ClientId, ClientState> clients_;
   std::unordered_map<mac::RadioId, net::ClientId> client_of_radio_;
+  /// Clients with cs.serving == true, sorted by client index (see
+  /// serving_clients()); maintained only through set_serving.
+  std::vector<net::ClientId> serving_clients_;
   bool ba_forwarding_ = true;
   bool csi_reporting_ = true;
   bool crashed_ = false;

@@ -42,6 +42,7 @@ void Controller::set_metrics(obs::MetricsRegistry* registry) {
   m.stale_acks_ignored = &registry->counter("controller.stale_acks_ignored");
   m.downlink_packets = &registry->counter("controller.downlink_packets");
   m.fanout_copies = &registry->counter("controller.fanout_copies");
+  m.fanout_empty_drops = &registry->counter("controller.fanout_empty_drops");
   m.uplink_packets = &registry->counter("controller.uplink_packets");
   m.dedup_hits = &registry->counter("controller.dedup_hits");
   m.dedup_misses = &registry->counter("controller.dedup_misses");
@@ -72,37 +73,94 @@ void Controller::add_ap(net::ApId ap) {
 }
 
 void Controller::add_client(net::ClientId client) {
-  if (clients_.contains(client)) return;
-  ClientState cs;
+  const auto idx = static_cast<std::size_t>(net::index_of(client));
+  if (idx >= clients_.size()) clients_.resize(idx + 1);
+  ClientState& cs = clients_[idx];
+  if (cs.registered) return;
+  cs.registered = true;
   cs.ack_timer = std::make_unique<sim::Timer>(sched_, [this, client] {
     // stop/ack lost: retransmit the stop (paper §3.1.2, 30 ms timeout).
-    auto it = clients_.find(client);
-    if (it == clients_.end() || !it->second.switch_pending) return;
+    ClientState* s = state(client);
+    if (s == nullptr || !s->switch_pending) return;
     ++stats_.stop_retransmissions;
     if (metrics_) metrics_->stop_retransmissions->inc();
-    if (it->second.pending_forced) {
+    if (s->pending_forced) {
       // Forced failover: the old AP is dead, so there is no stop to
       // retransmit — resend the bootstrap start to the new AP.
-      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_target),
-                     net::StartMsg{client, it->second.pending_target,
-                                   it->second.pending_first_index,
-                                   it->second.epoch});
-    } else if (it->second.serving) {
-      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_from),
-                     net::StopMsg{client, it->second.pending_target,
-                                  it->second.epoch});
+      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_target),
+                     net::StartMsg{client, s->pending_target,
+                                   s->pending_first_index, s->epoch});
+    } else if (s->serving) {
+      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_from),
+                     net::StopMsg{client, s->pending_target, s->epoch});
     } else {
       // Bootstrap start was lost; resend it directly, with the fan-out
       // index captured at initiation (next_index has kept advancing and
       // would skip everything fanned out since).
-      backhaul_.send(NodeId::controller(), NodeId::ap(it->second.pending_target),
-                     net::StartMsg{client, it->second.pending_target,
-                                   it->second.pending_first_index,
-                                   it->second.epoch});
+      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_target),
+                     net::StartMsg{client, s->pending_target,
+                                   s->pending_first_index, s->epoch});
     }
-    it->second.ack_timer->start(config_.ack_timeout);
+    s->ack_timer->start(config_.ack_timeout);
   }, sim::EventCategory::kControl);
-  clients_.emplace(client, std::move(cs));
+}
+
+Controller::ClientState* Controller::state(net::ClientId client) {
+  const auto idx = static_cast<std::size_t>(net::index_of(client));
+  if (idx >= clients_.size() || !clients_[idx].registered) return nullptr;
+  return &clients_[idx];
+}
+
+const Controller::ClientState* Controller::state(net::ClientId client) const {
+  const auto idx = static_cast<std::size_t>(net::index_of(client));
+  if (idx >= clients_.size() || !clients_[idx].registered) return nullptr;
+  return &clients_[idx];
+}
+
+void Controller::set_spatial(const SpatialIndex* index,
+                             double neighbor_radius_m) {
+  spatial_ = index;
+  spatial_radius_m_ = neighbor_radius_m;
+  tracker_.set_spatial(index, neighbor_radius_m);
+  ap_neighbors_.clear();
+  shard_clients_.clear();
+  for (ClientState& cs : clients_) cs.shard = -1;
+  if (index == nullptr || index->empty()) {
+    spatial_ = nullptr;
+    return;
+  }
+  ap_neighbors_.resize(static_cast<std::size_t>(index->num_aps()));
+  for (net::ApId ap : aps_) {
+    const auto i = static_cast<int>(net::index_of(ap));
+    if (i >= index->num_aps()) continue;
+    std::vector<int> near = index->neighbors(index->ap_x(i), neighbor_radius_m);
+    auto& out = ap_neighbors_[static_cast<std::size_t>(i)];
+    out.reserve(near.size());
+    for (int n : near) out.push_back(static_cast<net::ApId>(n));
+  }
+  shard_clients_.resize(static_cast<std::size_t>(index->num_segments()));
+  // Clients that already have an anchor (CSI arrived before set_spatial)
+  // are sharded immediately; the rest join on their first report.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].registered && clients_[i].anchor_ap >= 0) {
+      update_shard(static_cast<std::uint32_t>(i), clients_[i]);
+    }
+  }
+}
+
+void Controller::update_shard(std::uint32_t client_idx, ClientState& cs) {
+  if (spatial_ == nullptr || shard_clients_.empty() || cs.anchor_ap < 0 ||
+      cs.anchor_ap >= spatial_->num_aps()) {
+    return;
+  }
+  const int seg = spatial_->segment_of_ap(cs.anchor_ap);
+  if (seg == cs.shard) return;
+  if (cs.shard >= 0) {
+    auto& old = shard_clients_[static_cast<std::size_t>(cs.shard)];
+    old.erase(std::remove(old.begin(), old.end(), client_idx), old.end());
+  }
+  shard_clients_[static_cast<std::size_t>(seg)].push_back(client_idx);
+  cs.shard = seg;
 }
 
 void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
@@ -125,8 +183,8 @@ void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
 void Controller::handle_csi(const net::CsiReport& report) {
   ++stats_.csi_reports;
   if (metrics_) metrics_->csi_reports->inc();
-  auto it = clients_.find(report.client);
-  if (it == clients_.end()) return;
+  ClientState* cs = state(report.client);
+  if (cs == nullptr) return;
   // The controller, not the AP, computes ESNR from raw CSI (§3.1.1). The
   // RSSI variant exists for the selection-metric ablation.
   const double value =
@@ -134,13 +192,15 @@ void Controller::handle_csi(const net::CsiReport& report) {
           ? phy::esnr_metric_db(report.measurement.subcarrier_snr_db)
           : report.measurement.rssi_dbm;
   tracker_.add(report.client, report.from_ap, sched_.now(), value);
+  cs->anchor_ap = static_cast<int>(net::index_of(report.from_ap));
+  update_shard(net::index_of(report.client), *cs);
   maybe_switch(report.client);
 }
 
 void Controller::maybe_switch(net::ClientId client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) return;
-  ClientState& cs = it->second;
+  ClientState* csp = state(client);
+  if (csp == nullptr) return;
+  ClientState& cs = *csp;
   if (cs.switch_pending) return;  // at most one outstanding switch
   if (metrics_) metrics_->selection_evaluations->inc();
 
@@ -183,7 +243,7 @@ void Controller::maybe_switch(net::ClientId client) {
 }
 
 void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
-  ClientState& cs = clients_.at(client);
+  ClientState& cs = *state(client);
   cs.switch_pending = true;
   cs.pending_forced = false;
   cs.pending_target = first_ap;
@@ -203,7 +263,7 @@ void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
 }
 
 void Controller::initiate_switch(net::ClientId client, net::ApId target) {
-  ClientState& cs = clients_.at(client);
+  ClientState& cs = *state(client);
   cs.switch_pending = true;
   cs.pending_forced = false;
   cs.pending_target = target;
@@ -221,9 +281,9 @@ void Controller::initiate_switch(net::ClientId client, net::ApId target) {
 }
 
 void Controller::handle_switch_ack(const net::SwitchAck& msg) {
-  auto it = clients_.find(msg.client);
-  if (it == clients_.end()) return;
-  ClientState& cs = it->second;
+  ClientState* csp = state(msg.client);
+  if (csp == nullptr) return;
+  ClientState& cs = *csp;
   // Only the ack for the outstanding switch counts: matching on
   // (epoch, target) rather than the sender alone rejects duplicates from a
   // retransmit chain and leftovers of a previous switch to the same AP,
@@ -253,9 +313,9 @@ void Controller::handle_switch_ack(const net::SwitchAck& msg) {
 }
 
 void Controller::send_downlink(net::Packet packet) {
-  auto it = clients_.find(packet.client);
-  if (it == clients_.end()) return;
-  ClientState& cs = it->second;
+  ClientState* csp = state(packet.client);
+  if (csp == nullptr) return;
+  ClientState& cs = *csp;
   ++stats_.downlink_packets;
   if (metrics_) metrics_->downlink_packets->inc();
 
@@ -263,15 +323,37 @@ void Controller::send_downlink(net::Packet packet) {
   cs.next_index = (cs.next_index + 1) & 0x0fff;  // m = 12 bits
   ++cs.downlink_sent;
 
-  // Fan out to every AP that has recently heard the client; before any CSI
-  // exists (client just joined, or long idle), fall back to all APs. Dead
-  // and Recovering APs are evicted from the set either way — packets handed
-  // to a corpse are packets lost.
+  // Fan out to every AP that has recently heard the client. Before any CSI
+  // exists (client just joined, or long idle), fall back to all APs — or,
+  // with bounded_fallback, to the spatial neighborhood of the client's
+  // anchor AP: at 1024 APs the all-AP fallback is a broadcast storm, and
+  // any AP that could possibly reach the client is within the neighbor
+  // radius of the last AP that heard it. A client with no anchor yet has
+  // no known location, so it still gets the full broadcast. Dead and
+  // Recovering APs are evicted from the set either way — packets handed to
+  // a corpse are packets lost.
   std::vector<net::ApId> targets =
       tracker_.fresh_aps(packet.client, sched_.now(), config_.fanout_freshness);
-  if (targets.empty()) targets = aps_;
+  if (targets.empty()) {
+    if (config_.bounded_fallback && spatial_ != nullptr && cs.anchor_ap >= 0 &&
+        static_cast<std::size_t>(cs.anchor_ap) < ap_neighbors_.size()) {
+      targets = ap_neighbors_[static_cast<std::size_t>(cs.anchor_ap)];
+    } else {
+      targets = aps_;
+    }
+  }
   if (config_.liveness_enabled) {
     std::erase_if(targets, [this](net::ApId ap) { return !ap_usable(ap); });
+  }
+  if (targets.empty()) {
+    // Liveness erased every candidate: the packet has nowhere to go. Count
+    // and announce the drop instead of letting it vanish silently — at this
+    // point the client is effectively partitioned from the deployment and
+    // upper layers (TCP, the operator's dashboards) deserve to know.
+    ++stats_.fanout_empty_drops;
+    if (metrics_) metrics_->fanout_empty_drops->inc();
+    if (on_fanout_empty) on_fanout_empty(packet.client, sched_.now());
+    return;
   }
   for (net::ApId ap : targets) {
     ++stats_.downlink_fanout_copies;
@@ -289,12 +371,16 @@ bool Controller::dedup_accept(const net::Packet& p) {
     if (metrics_) metrics_->dedup_hits->inc();
     return false;
   }
-  dedup_set_.insert(key);
-  dedup_fifo_.push_back(key);
-  if (dedup_fifo_.size() > config_.dedup_capacity) {
+  // Evict before inserting, with >=: the table never holds more than
+  // dedup_capacity keys at any instant. The old post-insert `>` check let
+  // it grow to capacity + 1 before evicting — the off-by-one fixed in PR 7
+  // (locked by the DedupCapacityBoundary test).
+  if (dedup_fifo_.size() >= config_.dedup_capacity) {
     dedup_set_.erase(dedup_fifo_.front());
     dedup_fifo_.pop_front();
   }
+  dedup_set_.insert(key);
+  dedup_fifo_.push_back(key);
   if (metrics_) {
     metrics_->dedup_misses->inc();
     metrics_->dedup_table_size->set(static_cast<double>(dedup_set_.size()));
@@ -327,8 +413,24 @@ Controller::ApHealth Controller::ap_health(net::ApId ap) const {
 }
 
 void Controller::heartbeat_tick() {
+  // With a stagger of N (and spatial state wired), each tick probes only
+  // the APs whose road segment falls in the current round-robin group:
+  // per-tick control traffic drops N-fold, each AP is still probed — and
+  // its previous probe judged — every N ticks.
+  const int stagger =
+      (config_.heartbeat_stagger > 0 && spatial_ != nullptr &&
+       !spatial_->empty())
+          ? config_.heartbeat_stagger
+          : 0;
   for (net::ApId ap : aps_) {
     const auto idx = static_cast<std::size_t>(net::index_of(ap));
+    if (stagger > 0) {
+      const auto i = static_cast<int>(idx);
+      if (i >= spatial_->num_aps() ||
+          spatial_->segment_of_ap(i) % stagger != hb_phase_) {
+        continue;
+      }
+    }
     LivenessState& ls = liveness_[idx];
     // Judge the probe sent last tick before sending the next one.
     // (ack_since_tick starts true, so no miss accrues before first probe.)
@@ -355,6 +457,7 @@ void Controller::heartbeat_tick() {
     backhaul_.send(NodeId::controller(), NodeId::ap(ap),
                    net::Heartbeat{ls.hb_seq});
   }
+  if (stagger > 0) hb_phase_ = (hb_phase_ + 1) % stagger;
   heartbeat_timer_->start(config_.heartbeat_interval);
 }
 
@@ -394,7 +497,7 @@ void Controller::mark_dead(net::ApId ap) {
   // Any client whose stream touches the dead AP — serving through it, or
   // mid-switch into or out of it — is failed over immediately rather than
   // waiting out retransmissions toward a corpse.
-  for (auto& [client, cs] : clients_) {
+  const auto touch = [&](net::ClientId client, ClientState& cs) {
     const bool serving_dead = cs.serving && *cs.serving == ap;
     const bool pending_dead =
         cs.switch_pending &&
@@ -406,11 +509,37 @@ void Controller::mark_dead(net::ApId ap) {
       ls.orphaned.push_back(client);
       force_failover(client);
     }
+  };
+  if (spatial_ != nullptr && !shard_clients_.empty() &&
+      static_cast<int>(idx) < spatial_->num_aps()) {
+    // Only clients anchored near the AP can be serving through it or
+    // switching to it: serving requires CSI, CSI requires sense-range
+    // proximity, and the anchor trails the client by at most the neighbor
+    // radius — so 2x the radius around the AP covers every candidate.
+    const double x = spatial_->ap_x(static_cast<int>(idx));
+    const int s0 = spatial_->segment_of(x - 2.0 * spatial_radius_m_);
+    const int s1 = spatial_->segment_of(x + 2.0 * spatial_radius_m_);
+    for (int s = s0; s <= s1; ++s) {
+      // Copy: force_failover never edits shards, but stay robust to
+      // future hooks mutating client state mid-scan.
+      const std::vector<std::uint32_t> members =
+          shard_clients_[static_cast<std::size_t>(s)];
+      for (std::uint32_t ci : members) {
+        ClientState& cs = clients_[ci];
+        if (cs.registered) touch(static_cast<net::ClientId>(ci), cs);
+      }
+    }
+  } else {
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+      if (clients_[ci].registered) {
+        touch(static_cast<net::ClientId>(ci), clients_[ci]);
+      }
+    }
   }
 }
 
 void Controller::force_failover(net::ClientId client) {
-  ClientState& cs = clients_.at(client);
+  ClientState& cs = *state(client);
   cs.ack_timer->cancel();
   cs.switch_pending = false;
   cs.pending_forced = false;
@@ -466,9 +595,9 @@ void Controller::readmit(net::ApId ap) {
 }
 
 void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) return;
-  ClientState& cs = it->second;
+  ClientState* csp = state(client);
+  if (csp == nullptr) return;
+  ClientState& cs = *csp;
   // Nothing to quench if the client is unserved or came back through this
   // very AP (a fresh start superseded the zombie's stale serving state).
   if (!cs.serving || *cs.serving == ap) return;
@@ -489,11 +618,14 @@ void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
 }
 
 std::vector<Controller::ClientDebug> Controller::client_debug() const {
+  // The slab is already ordered by client index.
   std::vector<ClientDebug> out;
   out.reserve(clients_.size());
-  for (const auto& [client, cs] : clients_) {
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    const ClientState& cs = clients_[ci];
+    if (!cs.registered) continue;
     ClientDebug d;
-    d.client = client;
+    d.client = static_cast<net::ClientId>(ci);
     d.next_index = cs.next_index;
     d.downlink_sent = cs.downlink_sent;
     d.serving = cs.serving;
@@ -507,29 +639,24 @@ std::vector<Controller::ClientDebug> Controller::client_debug() const {
     d.last_switch_completed = cs.last_switch_completed;
     out.push_back(d);
   }
-  std::sort(out.begin(), out.end(), [](const ClientDebug& a,
-                                       const ClientDebug& b) {
-    return net::index_of(a.client) < net::index_of(b.client);
-  });
   return out;
 }
 
 std::optional<net::ApId> Controller::serving_ap(net::ClientId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? std::nullopt : it->second.serving;
+  const ClientState* cs = state(client);
+  return cs == nullptr ? std::nullopt : cs->serving;
 }
 
 std::optional<Time> Controller::pending_switch_since(
     net::ClientId client) const {
-  auto it = clients_.find(client);
-  if (it == clients_.end() || !it->second.switch_pending) return std::nullopt;
-  return it->second.pending_since;
+  const ClientState* cs = state(client);
+  if (cs == nullptr || !cs->switch_pending) return std::nullopt;
+  return cs->pending_since;
 }
 
 Time Controller::last_switch_completed(net::ClientId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? Time::ms(-1'000'000)
-                              : it->second.last_switch_completed;
+  const ClientState* cs = state(client);
+  return cs == nullptr ? Time::ms(-1'000'000) : cs->last_switch_completed;
 }
 
 }  // namespace wgtt::core

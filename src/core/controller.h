@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/esnr_tracker.h"
+#include "core/spatial_index.h"
 #include "net/backhaul.h"
 #include "net/ids.h"
 #include "net/messages.h"
@@ -63,6 +64,21 @@ class Controller {
     /// an uplink lull, when the window holds a single AP's sample.
     Time serving_stale_timeout = Time::ms(250);
 
+    // --- Spatial interest management (DESIGN.md §9) ---
+    /// Bound the no-fresh-CSI downlink fallback to the spatial neighborhood
+    /// of the client's anchor AP instead of broadcasting to every AP in the
+    /// deployment. Needs set_spatial and at least one CSI report from the
+    /// client (no anchor yet -> still all APs). Off by default: it changes
+    /// behaviour after long silences, so only city-scale scenarios opt in.
+    bool bounded_fallback = false;
+    /// When > 0 and spatial state is wired, each heartbeat tick probes only
+    /// the APs whose road segment falls in the current 1-of-N round-robin
+    /// group instead of every AP, bounding per-tick control traffic at
+    /// city scale. Each AP is still probed (and its previous probe judged)
+    /// every N ticks, so detection latency grows by the same factor.
+    /// 0 = legacy all-AP probing.
+    int heartbeat_stagger = 0;
+
     // --- AP liveness & forced failover (DESIGN.md §7) ---
     /// Master switch, off by default: heartbeats are extra backhaul traffic
     /// (they consume jitter RNG draws), so fault-free seeded runs stay
@@ -93,6 +109,11 @@ class Controller {
     std::uint64_t switches_initiated = 0;
     std::uint64_t switches_completed = 0;
     std::uint64_t stop_retransmissions = 0;
+    /// Downlink packets dropped because the fan-out set came up empty after
+    /// the fallback and liveness eviction — every candidate AP was dead or
+    /// recovering. Before this counter existed such packets vanished with
+    /// no trace (the silent-drop bug fixed in PR 7).
+    std::uint64_t fanout_empty_drops = 0;
     /// Acks whose (epoch, AP) did not match the outstanding switch:
     /// duplicates from a retransmit chain or leftovers of a superseded
     /// switch. Ignoring them is the fix for the stale-ack-completes-a-
@@ -144,6 +165,18 @@ class Controller {
   /// with on_serving_changed to bracket the stop→start→ack span in traces.
   std::function<void(net::ClientId, std::optional<net::ApId>, net::ApId, Time)>
       on_switch_initiated;
+
+  /// Observation hook fired when a downlink packet is dropped because the
+  /// fan-out set was empty (see Stats::fanout_empty_drops).
+  std::function<void(net::ClientId, Time)> on_fanout_empty;
+
+  /// Wires the road-segment spatial index (owned by the scenario; must
+  /// outlive the controller). Bounds the tracker's per-client ESNR scans to
+  /// `neighbor_radius_m` of the client's anchor AP, shards per-client state
+  /// by road segment (so mark_dead touches only nearby clients), and
+  /// enables the bounded fan-out fallback / staggered heartbeats when those
+  /// knobs are set. Call once, after every add_ap. nullptr detaches.
+  void set_spatial(const SpatialIndex* index, double neighbor_radius_m);
 
   /// Per-AP liveness verdict, driven by the heartbeat state machine.
   /// Dead and Recovering APs are evicted from the downlink fan-out and the
@@ -221,6 +254,14 @@ class Controller {
     std::uint16_t pending_first_index = 0;
     std::unique_ptr<sim::Timer> ack_timer;
     Time last_switch_completed = Time::ms(-1'000'000);
+    // Slab bookkeeping: slots exist for every client index up to the
+    // highest registered one; only registered slots are live.
+    bool registered = false;
+    // AP index of the last AP to report CSI for this client (-1 before the
+    // first report) and the road segment shard the client currently sits
+    // in (-1 while unsharded). Maintained by handle_csi/update_shard.
+    int anchor_ap = -1;
+    int shard = -1;
   };
 
   void handle_backhaul(net::NodeId from, net::BackhaulMessage msg);
@@ -252,6 +293,10 @@ class Controller {
   void readmit(net::ApId ap);
   void force_failover(net::ClientId client);
   void quench_orphan(net::ApId ap, net::ClientId client);
+  /// Moves the client into the shard of its current anchor segment.
+  void update_shard(std::uint32_t client_idx, ClientState& cs);
+  [[nodiscard]] ClientState* state(net::ClientId client);
+  [[nodiscard]] const ClientState* state(net::ClientId client) const;
   [[nodiscard]] bool ap_usable(net::ApId ap) const;
   [[nodiscard]] const std::vector<bool>* eviction_mask() const {
     return config_.liveness_enabled ? &ap_evicted_ : nullptr;
@@ -262,7 +307,19 @@ class Controller {
   Config config_;
   EsnrTracker tracker_;
   std::vector<net::ApId> aps_;
-  std::unordered_map<net::ClientId, ClientState> clients_;
+  // Per-client state lives in a dense slab indexed by net::index_of(client)
+  // (client ids are dense join-order integers), so the hot-path lookup is
+  // an array index instead of a hash probe.
+  std::vector<ClientState> clients_;
+
+  // Spatial interest management (set_spatial). ap_neighbors_ is the
+  // precomputed per-AP neighbor set (for the bounded fan-out fallback);
+  // shard_clients_ is the per-road-segment directory of client indices.
+  const SpatialIndex* spatial_ = nullptr;
+  double spatial_radius_m_ = 0.0;
+  std::vector<std::vector<net::ApId>> ap_neighbors_;
+  std::vector<std::vector<std::uint32_t>> shard_clients_;
+  int hb_phase_ = 0;  // round-robin group for staggered heartbeats
 
   // Liveness bookkeeping, indexed by AP index. ap_evicted_ mirrors
   // (state == Dead || state == Recovering) so the hot paths test one bit.
@@ -286,6 +343,7 @@ class Controller {
     obs::Counter* stale_acks_ignored;
     obs::Counter* downlink_packets;
     obs::Counter* fanout_copies;
+    obs::Counter* fanout_empty_drops;
     obs::Counter* uplink_packets;
     obs::Counter* dedup_hits;    // duplicate found in the table and dropped
     obs::Counter* dedup_misses;  // new key accepted

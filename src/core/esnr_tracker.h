@@ -11,12 +11,24 @@
 // core::StreamingMedian per link (amortized O(log W) per CSI sample and
 // allocation-free in steady state) instead of re-sorting the window on
 // every report; the two are bit-identical, which core_test asserts.
+//
+// Links are stored contiguously per client (first-heard order, preserving
+// the argmax tie-break of the original per-client AP list), and when a
+// SpatialIndex is wired via set_spatial the per-client scans are bounded to
+// APs within the neighbor radius of the client's anchor AP — the last AP to
+// report CSI. Any AP with an in-window sample or fresh last_heard is within
+// 2 * sense_range of the anchor (both had to hear the client within the
+// freshness horizon, during which the client moves metres, not hundreds of
+// metres), so a radius of 2 * sense_range plus slack makes the bounded scan
+// return byte-identical results to the full scan; spatial_test proves this
+// over a seeded sweep.
 #pragma once
 
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/spatial_index.h"
 #include "core/streaming_median.h"
 #include "net/ids.h"
 #include "util/units.h"
@@ -57,28 +69,37 @@ class EsnrTracker {
 
   [[nodiscard]] Time window() const { return window_; }
 
+  /// Bounds per-client scans to APs within `radius_m` (along the road) of
+  /// the client's anchor AP. Links are never deleted — only skipped by the
+  /// reach filter — so iteration order (and with it every tie-break) stays
+  /// identical to the unbounded tracker. `index` must outlive the tracker;
+  /// nullptr restores the unbounded behaviour.
+  void set_spatial(const SpatialIndex* index, double radius_m);
+
+  /// AP index of the last AP to report CSI for this client, or -1.
+  [[nodiscard]] int anchor_ap(net::ClientId client) const;
+
  private:
-  struct Key {
-    net::ClientId client;
+  struct Link {
     net::ApId ap;
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return (static_cast<std::size_t>(k.client) << 32) ^
-             static_cast<std::size_t>(k.ap);
-    }
-  };
-  struct LinkState {
     StreamingMedian samples;
     Time last_heard = Time::zero();
     double last_value = 0.0;
-    explicit LinkState(Time w) : samples(w) {}
+    Link(net::ApId a, Time w) : ap(a), samples(w) {}
+  };
+  struct PerClient {
+    std::vector<Link> links;  // first-heard order
+    int anchor = -1;          // AP index of the last reporter
   };
 
+  [[nodiscard]] Link* find_link(PerClient& pc, net::ApId ap);
+  [[nodiscard]] const Link* find_link(const PerClient& pc, net::ApId ap) const;
+  [[nodiscard]] bool in_reach(const PerClient& pc, net::ApId ap) const;
+
   Time window_;
-  std::unordered_map<Key, LinkState, KeyHash> links_;
-  std::unordered_map<net::ClientId, std::vector<net::ApId>> aps_of_client_;
+  const SpatialIndex* spatial_ = nullptr;
+  double radius_m_ = 0.0;
+  std::unordered_map<net::ClientId, PerClient> clients_;
 };
 
 }  // namespace wgtt::core

@@ -1,0 +1,82 @@
+#include "core/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace wgtt::core {
+
+void SpatialIndex::build(std::vector<double> ap_x, double cell_m) {
+  ap_x_ = std::move(ap_x);
+  cell_m_ = cell_m > 0.0 ? cell_m : 30.0;
+  order_.resize(ap_x_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+    const double xa = ap_x_[static_cast<std::size_t>(a)];
+    const double xb = ap_x_[static_cast<std::size_t>(b)];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  sorted_x_.resize(ap_x_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    sorted_x_[i] = ap_x_[static_cast<std::size_t>(order_[i])];
+  }
+  min_x_ = sorted_x_.empty() ? 0.0 : sorted_x_.front();
+  const double max_x = sorted_x_.empty() ? 0.0 : sorted_x_.back();
+  num_segments_ =
+      sorted_x_.empty()
+          ? 0
+          : static_cast<int>(std::floor((max_x - min_x_) / cell_m_)) + 1;
+  seg_of_ap_.resize(ap_x_.size());
+  for (std::size_t i = 0; i < ap_x_.size(); ++i) {
+    seg_of_ap_[i] = segment_of(ap_x_[i]);
+  }
+}
+
+int SpatialIndex::segment_of(double x) const {
+  if (num_segments_ <= 0) return 0;
+  const auto raw = static_cast<int>(std::floor((x - min_x_) / cell_m_));
+  return std::clamp(raw, 0, num_segments_ - 1);
+}
+
+int SpatialIndex::nearest(double x) const {
+  const std::size_t n = sorted_x_.size();
+  if (n == 0) return -1;
+  const std::size_t at = static_cast<std::size_t>(
+      std::lower_bound(sorted_x_.begin(), sorted_x_.end(), x) -
+      sorted_x_.begin());
+  double dmin = std::numeric_limits<double>::infinity();
+  if (at < n) dmin = sorted_x_[at] - x;
+  if (at > 0) dmin = std::min(dmin, x - sorted_x_[at - 1]);
+  // Several APs can sit at exactly |dx| == dmin (co-located installs, or x
+  // exactly between two neighbours). Brute force scans AP indices ascending
+  // with strict <, so the winner is the LOWEST AP index among them — walk
+  // both equal-distance runs and take the min index.
+  int best = -1;
+  for (std::size_t i = at; i-- > 0;) {
+    if (x - sorted_x_[i] > dmin) break;
+    if (best < 0 || order_[i] < best) best = order_[i];
+  }
+  for (std::size_t i = at; i < n; ++i) {
+    if (sorted_x_[i] - x > dmin) break;
+    if (best < 0 || order_[i] < best) best = order_[i];
+  }
+  return best;
+}
+
+void SpatialIndex::neighbors(double x, double radius_m,
+                             std::vector<int>& out) const {
+  const auto first = std::lower_bound(sorted_x_.begin(), sorted_x_.end(),
+                                      x - radius_m) -
+                     sorted_x_.begin();
+  const std::size_t start = out.size();
+  for (std::size_t i = static_cast<std::size_t>(first); i < sorted_x_.size();
+       ++i) {
+    if (sorted_x_[i] > x + radius_m) break;
+    out.push_back(order_[i]);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+}  // namespace wgtt::core

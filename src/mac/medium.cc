@@ -68,46 +68,62 @@ std::uint64_t Medium::transmit(RadioId from, Frame frame, Time duration) {
   in_flight_.push_back(
       Flight{frame.tx_uid, from, origin, start, end, radios_[from_idx].channel});
 
-  // Schedule reception at air end for every currently registered radio.
-  // Audibility and collision are evaluated at delivery time, against the
-  // receiver position/channel then (positions move metres per second; a
-  // frame lasts microseconds, so end-time evaluation is accurate — and a
-  // mid-frame retune correctly loses the frame).
-  for (std::size_t r = 0; r < radios_.size(); ++r) {
-    if (r == from_idx || !radios_[r].active) continue;
-    sched_.schedule_at(end, [this, r, frame] {
-      if (r >= radios_.size() || !radios_[r].active) return;
-      const channel::Vec2 pos = radios_[r].position();
-      const int ch = radios_[r].channel;
-      // Find this flight again (it is pruned lazily, so it may linger).
-      const Flight* self = nullptr;
-      bool collided = false;
-      for (const auto& f : in_flight_) {
-        if (f.uid == frame.tx_uid) {
-          self = &f;
-          continue;
-        }
-      }
-      if (self == nullptr || !audible(*self, pos, ch)) return;
-      const double own_dbm = power_ ? power_(frame.from, pos) : 0.0;
-      for (const auto& f : in_flight_) {
-        if (f.uid == frame.tx_uid) continue;
-        const bool overlaps = f.start < self->end && f.end > self->start;
-        if (!overlaps || !audible(f, pos, ch)) continue;
-        if (power_) {
-          // Capture effect: the frame survives if it is decisively
-          // stronger than the interferer at this listener.
-          const double other_dbm = power_(f.from, pos);
-          if (own_dbm >= other_dbm + config_.capture_threshold_db) continue;
-        }
-        collided = true;
-        break;
-      }
-      if (collided) ++collisions_;
-      radios_[r].on_rx(frame, RxContext{collided});
-    }, sim::EventCategory::kMacRx);
+  // Schedule reception at air end for every radio that could hear the
+  // frame: every registered radio, or — with a reach filter wired — the
+  // filter's superset of the audible set. Audibility and collision are
+  // evaluated at delivery time, against the receiver position/channel then
+  // (positions move metres per second; a frame lasts microseconds, so
+  // end-time evaluation is accurate — and a mid-frame retune correctly
+  // loses the frame).
+  if (reach_) {
+    reach_scratch_.clear();
+    reach_(origin, reach_scratch_);
+    for (const RadioId rid : reach_scratch_) {
+      const auto r = static_cast<std::size_t>(rid);
+      if (r == from_idx || r >= radios_.size() || !radios_[r].active) continue;
+      sched_.schedule_at(end, [this, r, frame] { deliver(r, frame); },
+                         sim::EventCategory::kMacRx);
+    }
+  } else {
+    for (std::size_t r = 0; r < radios_.size(); ++r) {
+      if (r == from_idx || !radios_[r].active) continue;
+      sched_.schedule_at(end, [this, r, frame] { deliver(r, frame); },
+                         sim::EventCategory::kMacRx);
+    }
   }
   return frame.tx_uid;
+}
+
+void Medium::deliver(std::size_t r, const Frame& frame) {
+  if (r >= radios_.size() || !radios_[r].active) return;
+  const channel::Vec2 pos = radios_[r].position();
+  const int ch = radios_[r].channel;
+  // Find this flight again (it is pruned lazily, so it may linger).
+  const Flight* self = nullptr;
+  bool collided = false;
+  for (const auto& f : in_flight_) {
+    if (f.uid == frame.tx_uid) {
+      self = &f;
+      continue;
+    }
+  }
+  if (self == nullptr || !audible(*self, pos, ch)) return;
+  const double own_dbm = power_ ? power_(frame.from, pos) : 0.0;
+  for (const auto& f : in_flight_) {
+    if (f.uid == frame.tx_uid) continue;
+    const bool overlaps = f.start < self->end && f.end > self->start;
+    if (!overlaps || !audible(f, pos, ch)) continue;
+    if (power_) {
+      // Capture effect: the frame survives if it is decisively
+      // stronger than the interferer at this listener.
+      const double other_dbm = power_(f.from, pos);
+      if (own_dbm >= other_dbm + config_.capture_threshold_db) continue;
+    }
+    collided = true;
+    break;
+  }
+  if (collided) ++collisions_;
+  radios_[r].on_rx(frame, RxContext{collided});
 }
 
 }  // namespace wgtt::mac

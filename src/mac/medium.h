@@ -53,6 +53,24 @@ class Medium {
 
   void set_power_oracle(PowerFn oracle) { power_ = std::move(oracle); }
 
+  /// Optional interest filter (spatial interest management, DESIGN.md §9):
+  /// given a transmit origin, appends the id of every radio that could
+  /// possibly be within sense range — a SUPERSET of the audible set.
+  /// Audibility is still checked at delivery time, so the filter only
+  /// prunes deliveries that would have been discarded anyway; a pruned
+  /// delivery fires no handler and draws no RNG, so a correct (superset)
+  /// filter keeps seeded runs byte-identical while cutting the per-frame
+  /// event fan-out from O(radios) to O(neighborhood).
+  ///
+  /// Contract: the filter must append each candidate at most once, in
+  /// INCREASING RadioId order — delivery events for one frame share a
+  /// timestamp, so their FIFO order (and hence every downstream RNG draw)
+  /// is the order they were scheduled in, which the unfiltered path does
+  /// in ascending radio id.
+  using ReachFn = std::function<void(channel::Vec2 origin,
+                                     std::vector<RadioId>& out)>;
+  void set_reach_filter(ReachFn filter) { reach_ = std::move(filter); }
+
   /// Registers a radio; returns its id. `on_rx` fires at frame air-end for
   /// every audible frame (including frames addressed to others — that is
   /// monitor-mode overhearing). Radios start on channel 1.
@@ -102,10 +120,13 @@ class Medium {
   [[nodiscard]] bool audible(const Flight& f, channel::Vec2 at,
                              int rx_channel) const;
   void prune(Time now);
+  void deliver(std::size_t r, const Frame& frame);
 
   sim::Scheduler& sched_;
   Config config_;
   PowerFn power_;
+  ReachFn reach_;
+  std::vector<RadioId> reach_scratch_;
   std::vector<Radio> radios_;
   std::vector<Flight> in_flight_;
   std::uint64_t next_tx_uid_ = 1;

@@ -22,27 +22,55 @@ channel::Vec2 TestbedGeometry::ap_position(int ap) const {
   return {ap * config_.ap_spacing_m, config_.ap_setback_m};
 }
 
+std::unique_ptr<channel::LinkChannel> TestbedGeometry::make_link(
+    int ap, Rng& rng) const {
+  const channel::Vec2 pos = ap_position(ap);
+  const ApInstall& inst = installs_[static_cast<std::size_t>(ap)];
+  const channel::Vec2 target{pos.x + inst.aim_offset_m,
+                             config_.boresight_lane_y};
+  channel::LinkChannel::Config link_cfg = config_.link;
+  link_cfg.budget.ap_antenna_peak_dbi += inst.gain_delta_db;
+  return std::make_unique<channel::LinkChannel>(pos, target, link_cfg, rng);
+}
+
+std::uint64_t TestbedGeometry::link_seed(int ap, int client) const {
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(client)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(ap));
+  // splitmix64 over (seed ^ golden-ratio-spread pair): decorrelates
+  // neighbouring (ap, client) pairs.
+  std::uint64_t z = config_.seed ^ (pair * 0x9e3779b97f4a7c15ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 int TestbedGeometry::add_client(const mobility::Trajectory* trajectory) {
   const int idx = static_cast<int>(clients_.size());
   clients_.push_back(trajectory);
   auto& row = channels_.emplace_back();
+  if (config_.lazy_links) {
+    // Null slots; link() materialises each one on first use from its own
+    // (seed, ap, client)-derived RNG.
+    row.resize(static_cast<std::size_t>(config_.num_aps));
+    return idx;
+  }
   row.reserve(static_cast<std::size_t>(config_.num_aps));
   for (int ap = 0; ap < config_.num_aps; ++ap) {
-    const channel::Vec2 pos = ap_position(ap);
-    const ApInstall& inst = installs_[static_cast<std::size_t>(ap)];
-    const channel::Vec2 target{pos.x + inst.aim_offset_m,
-                               config_.boresight_lane_y};
-    channel::LinkChannel::Config link_cfg = config_.link;
-    link_cfg.budget.ap_antenna_peak_dbi += inst.gain_delta_db;
-    row.push_back(
-        std::make_unique<channel::LinkChannel>(pos, target, link_cfg, rng_));
+    row.push_back(make_link(ap, rng_));
   }
   return idx;
 }
 
 const channel::LinkChannel& TestbedGeometry::link(int ap, int client) const {
-  return *channels_.at(static_cast<std::size_t>(client))
-              .at(static_cast<std::size_t>(ap));
+  auto& slot = channels_.at(static_cast<std::size_t>(client))
+                   .at(static_cast<std::size_t>(ap));
+  if (slot == nullptr) {
+    Rng rng(link_seed(ap, client));
+    slot = make_link(ap, rng);
+  }
+  return *slot;
 }
 
 channel::Vec2 TestbedGeometry::client_position(int client, Time now) const {

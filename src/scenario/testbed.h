@@ -33,6 +33,16 @@ struct GeometryConfig {
   double gain_jitter_db = 1.5;
   channel::LinkChannel::Config link{};
   std::uint64_t seed = 1;
+  /// Build each (AP, client) LinkChannel on first use instead of eagerly in
+  /// add_client. Each lazy link draws from a private RNG seeded from
+  /// (seed, ap, client), so the realization is deterministic and
+  /// independent of access order — but DIFFERENT from the eager build,
+  /// which draws all links sequentially from one shared stream. Default off
+  /// (eager) keeps every existing seeded scenario byte-identical; the
+  /// city-scale bench opts in because an eager 1024 x 256 matrix of
+  /// multipath taps would dwarf the links that are ever actually used
+  /// (each client only ever exercises the handful of APs in sense range).
+  bool lazy_links = false;
 };
 
 class TestbedGeometry {
@@ -69,16 +79,27 @@ class TestbedGeometry {
   [[nodiscard]] const GeometryConfig& config() const { return config_; }
 
  private:
-  GeometryConfig config_;
-  Rng rng_;
   struct ApInstall {
     double aim_offset_m = 0.0;   // boresight target slid along the road
     double gain_delta_db = 0.0;  // peak gain deviation
   };
+
+  [[nodiscard]] std::unique_ptr<channel::LinkChannel> make_link(int ap,
+                                                               Rng& rng) const;
+  /// Per-link seed for lazy construction: a splitmix-style combine of the
+  /// geometry seed with (ap, client), so every link realization is fixed by
+  /// configuration alone, never by who touched which link first.
+  [[nodiscard]] std::uint64_t link_seed(int ap, int client) const;
+
+  GeometryConfig config_;
+  Rng rng_;
   std::vector<ApInstall> installs_;
   std::vector<const mobility::Trajectory*> clients_;
-  // channels_[client][ap]
-  std::vector<std::vector<std::unique_ptr<channel::LinkChannel>>> channels_;
+  // channels_[client][ap]; slots are null until first use in lazy mode,
+  // hence mutable — materialising a link through the const accessor is not
+  // an observable mutation.
+  mutable std::vector<std::vector<std::unique_ptr<channel::LinkChannel>>>
+      channels_;
 };
 
 }  // namespace wgtt::scenario

@@ -3,6 +3,13 @@
 #include <limits>
 
 namespace wgtt::scenario {
+namespace {
+/// Slack added to sense range when turning the medium's audibility rule
+/// into an interest neighborhood: covers receiver motion during a frame's
+/// flight (centimetres at transit speeds) with room to spare, so the
+/// filtered candidate set is always a superset of the audible set.
+constexpr double kReachMarginM = 5.0;
+}  // namespace
 
 WgttSystem::WgttSystem(const WgttSystemConfig& config)
     : config_(config),
@@ -38,6 +45,40 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
     aps_.push_back(std::move(ap));
   }
   ap_channel_before_crash_.assign(aps_.size(), mac::Medium::kNoChannel);
+  if (config_.spatial.use_index) {
+    std::vector<double> xs;
+    xs.reserve(aps_.size());
+    for (int i = 0; i < num_aps(); ++i) {
+      xs.push_back(geometry_.ap_position(i).x);
+    }
+    spatial_index_.build(std::move(xs), config_.spatial.cell_m);
+    spatial_radius_m_ = config_.spatial.neighbor_radius_m > 0.0
+                            ? config_.spatial.neighbor_radius_m
+                            : 2.0 * config_.medium.sense_range_m + 50.0;
+    controller_->set_spatial(&spatial_index_, spatial_radius_m_);
+    // Medium interest filter: only radios that could possibly be within
+    // sense range of the transmit origin get delivery events. AP radios are
+    // 0..A-1 in AP-index order and client radios follow in add_client
+    // order, so appending index-sorted APs then index-ordered clients
+    // satisfies the medium's increasing-RadioId contract.
+    medium_.set_reach_filter(
+        [this](channel::Vec2 origin, std::vector<mac::RadioId>& out) {
+          const double reach = config_.medium.sense_range_m + kReachMarginM;
+          spatial_scratch_.clear();
+          spatial_index_.neighbors(origin.x, reach, spatial_scratch_);
+          for (const int i : spatial_scratch_) {
+            out.push_back(aps_[static_cast<std::size_t>(i)]->mac().radio());
+          }
+          const Time now = sched_.now();
+          for (std::size_t c = 0; c < clients_.size(); ++c) {
+            const channel::Vec2 pos =
+                geometry_.client_position(static_cast<int>(c), now);
+            if (channel::distance(origin, pos) <= reach) {
+              out.push_back(clients_[c]->radio());
+            }
+          }
+        });
+  }
   // Capture-effect power oracle: large-scale rx power of any transmitter at
   // any point, from the link-budget models.
   medium_.set_power_oracle([this](mac::RadioId tx, channel::Vec2 at) -> double {
@@ -50,13 +91,19 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
       // at the client; use the nearest AP's link as the estimate.
       const channel::Vec2 cpos =
           geometry_.client_position(it->second, sched_.now());
-      int best = 0;
-      double best_d = std::numeric_limits<double>::max();
-      for (int i = 0; i < geometry_.num_aps(); ++i) {
-        const double d = channel::distance(at, geometry_.ap_position(i));
-        if (d < best_d) {
-          best_d = d;
-          best = i;
+      // All APs share the facade y, so argmin 2D distance == argmin |dx|
+      // and the index's nearest() (ties to the lowest AP index, like this
+      // loop's strict-<) gives the identical answer in O(log A).
+      int best = spatial_index_.nearest(at.x);
+      if (best < 0) {
+        best = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (int i = 0; i < geometry_.num_aps(); ++i) {
+          const double d = channel::distance(at, geometry_.ap_position(i));
+          if (d < best_d) {
+            best_d = d;
+            best = i;
+          }
         }
       }
       return geometry_.link(best, it->second).large_scale_rx_dbm(cpos);
@@ -118,13 +165,7 @@ void WgttSystem::sample_system_metrics() {
   if (metrics_ == nullptr) return;
   std::size_t backlog = 0;
   std::size_t hw_depth = 0;
-  for (auto& ap : aps_) {
-    for (std::size_t c = 0; c < clients_.size(); ++c) {
-      const net::ClientId cid{static_cast<std::uint32_t>(c)};
-      backlog += ap->cyclic_backlog(cid);
-      hw_depth += ap->mac().queue_depth(clients_[c]->radio());
-    }
-  }
+  for (const auto& ap : aps_) ap->queue_totals(backlog, hw_depth);
   metrics_->gauge("system.cyclic_backlog_total")
       .set(static_cast<double>(backlog));
   metrics_->gauge("system.hw_queue_depth_total")
@@ -310,6 +351,21 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
     return h.state == core::Controller::ApLiveness::kAlive &&
            now - h.since > serving_grace;
   };
+  // Serving-count aggregation, inverted: instead of probing every AP per
+  // client (A x C map lookups), walk each settled AP's (short) serving list
+  // once. Integer sums are order-free, so the counts are identical.
+  std::vector<char> settled_ap(aps_.size(), 0);
+  for (std::size_t a = 0; a < aps_.size(); ++a) {
+    settled_ap[a] = settled(a) ? 1 : 0;
+  }
+  std::vector<int> serving_count(clients_.size(), 0);
+  for (std::size_t a = 0; a < aps_.size(); ++a) {
+    if (!settled_ap[a]) continue;
+    for (const net::ClientId cid : aps_[a]->serving_clients()) {
+      const std::size_t c = net::index_of(cid);
+      if (c < serving_count.size()) ++serving_count[c];
+    }
+  }
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     const net::ClientId cid{static_cast<std::uint32_t>(c)};
 
@@ -333,19 +389,15 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
         !controller_->pending_switch_since(cid).has_value() &&
         now - controller_->last_switch_completed(cid) > serving_grace;
     if (quiesced) {
-      int serving_count = 0;
-      for (std::size_t a = 0; a < aps_.size(); ++a) {
-        if (settled(a) && aps_[a]->serving(cid)) ++serving_count;
-      }
-      if (serving_count > 1) {
+      if (serving_count[c] > 1) {
         ++report.duplicate_serving;
         report.violations.push_back("client " + std::to_string(c) + ": " +
-                                    std::to_string(serving_count) +
+                                    std::to_string(serving_count[c]) +
                                     " APs serving after quiesce");
       }
       // Controller and AP layer must agree on who is serving.
       const int ctrl_view = serving_ap(static_cast<int>(c));
-      if (ctrl_view >= 0 && settled(static_cast<std::size_t>(ctrl_view)) &&
+      if (ctrl_view >= 0 && settled_ap[static_cast<std::size_t>(ctrl_view)] &&
           !aps_[static_cast<std::size_t>(ctrl_view)]->serving(cid)) {
         ++report.serving_disagreements;
         report.violations.push_back(
@@ -412,6 +464,9 @@ channel::CsiMeasurement WgttSystem::fallback_csi() const {
 
 int WgttSystem::nearest_ap(int client) const {
   const channel::Vec2 pos = geometry_.client_position(client, sched_.now());
+  // Same argmin-|dx| equivalence as the power oracle: the index answer is
+  // byte-identical to the brute scan whenever it is available.
+  if (const int best = spatial_index_.nearest(pos.x); best >= 0) return best;
   int best = 0;
   double best_d = std::numeric_limits<double>::max();
   for (int i = 0; i < geometry_.num_aps(); ++i) {
@@ -419,6 +474,28 @@ int WgttSystem::nearest_ap(int client) const {
     if (d < best_d) {
       best_d = d;
       best = i;
+    }
+  }
+  return best;
+}
+
+int WgttSystem::optimal_ap(int client, Time now) const {
+  if (spatial_index_.empty()) return geometry_.optimal_ap(client, now);
+  const channel::Vec2 pos = geometry_.client_position(client, now);
+  spatial_scratch_.clear();
+  spatial_index_.neighbors(pos.x, config_.medium.sense_range_m + kReachMarginM,
+                           spatial_scratch_);
+  // An AP outside sense range cannot be heard at all, so it can never be
+  // the accuracy metric's ground-truth choice; when the whole array is out
+  // of range the nearest AP is the degenerate answer.
+  if (spatial_scratch_.empty()) return spatial_index_.nearest(pos.x);
+  int best = spatial_scratch_.front();
+  double best_esnr = -std::numeric_limits<double>::infinity();
+  for (const int ap : spatial_scratch_) {
+    const double e = geometry_.esnr_db(ap, client, now);
+    if (e > best_esnr) {
+      best_esnr = e;
+      best = ap;
     }
   }
   return best;

@@ -12,6 +12,7 @@
 
 #include "ap/wgtt_ap.h"
 #include "core/controller.h"
+#include "core/spatial_index.h"
 #include "core/wgtt_client.h"
 #include "mac/medium.h"
 #include "net/backhaul.h"
@@ -73,6 +74,26 @@ struct ApFaultScript {
   std::vector<std::pair<Time, Time>> partitions;
 };
 
+/// Spatial interest management (DESIGN.md §9): a road-segment index over
+/// the AP positions that bounds every per-(client, AP) hot-path scan —
+/// medium delivery fan-out, CSI sampling, ESNR argmax, heartbeat sharding —
+/// to the O(1) neighborhood that can physically matter. The index is purely
+/// an exactness-preserving accelerator: with `use_index` on (the default),
+/// every candidate set, metric and packet is byte-identical to the brute
+/// O(APs) scans, which tests/spatial_test.cc proves seed-by-seed.
+struct SpatialConfig {
+  bool use_index = true;
+  /// Road-segment (grid cell) width. APs are 7.5 m apart in the testbed,
+  /// so 30 m buckets ~4 APs per segment.
+  double cell_m = 30.0;
+  /// Neighborhood radius for per-client AP interest (tracker scans, bounded
+  /// fan-out fallback, liveness sharding). 0 derives the safe default
+  /// 2 * sense_range + 50 m: any AP that could hold in-window or fresh CSI
+  /// for a client anchored at AP a heard the client within sense range,
+  /// and the client moved < 50 m since (see esnr_tracker.h).
+  double neighbor_radius_m = 0.0;
+};
+
 struct WgttSystemConfig {
   GeometryConfig geometry{};
   mac::Medium::Config medium{};
@@ -80,6 +101,7 @@ struct WgttSystemConfig {
   core::Controller::Config controller{};
   ap::WgttAp::Config ap{};
   core::WgttClient::Config client{};
+  SpatialConfig spatial{};
   /// One-way wire latency between the (local) server and the controller.
   Time server_latency = Time::ms(1);
   /// Channel reuse factor (paper §7 "Multi-channel settings"). 1 = the
@@ -146,6 +168,17 @@ class WgttSystem {
   [[nodiscard]] net::Backhaul& backhaul() { return backhaul_; }
   /// AP index serving client i, or -1 before bootstrap.
   [[nodiscard]] int serving_ap(int client) const;
+  /// Ground truth for the switching-accuracy metric: the AP with maximal
+  /// instantaneous ESNR to client i. With the spatial index on, only the
+  /// neighborhood within sense range (plus margin) is evaluated — an AP the
+  /// client cannot hear at all can never be the paper's "optimal AP" — and
+  /// falls back to the nearest AP when the neighborhood is empty. With the
+  /// index off this is exactly TestbedGeometry::optimal_ap.
+  [[nodiscard]] int optimal_ap(int client, Time now) const;
+  /// The road-segment index, empty when `spatial.use_index` is off.
+  [[nodiscard]] const core::SpatialIndex& spatial_index() const {
+    return spatial_index_;
+  }
 
   // --- fault orchestration --------------------------------------------------
   // Normally driven by the scripted schedule in `ap_faults`, public so tests
@@ -181,6 +214,9 @@ class WgttSystem {
   mac::Medium medium_;
   net::Backhaul backhaul_;
   TestbedGeometry geometry_;
+  core::SpatialIndex spatial_index_;
+  double spatial_radius_m_ = 0.0;
+  mutable std::vector<int> spatial_scratch_;
   std::unique_ptr<core::Controller> controller_;
   std::vector<std::unique_ptr<ap::WgttAp>> aps_;
   std::vector<std::unique_ptr<core::WgttClient>> clients_;

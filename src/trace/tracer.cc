@@ -15,6 +15,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kSwitchInitiated: return "switch_initiated";
     case EventKind::kSwitchCompleted: return "switch_completed";
     case EventKind::kCsiReport: return "csi_report";
+    case EventKind::kFanoutEmptyDrop: return "fanout_empty_drop";
   }
   return "?";
 }
@@ -158,6 +159,15 @@ void attach(Tracer& tracer, scenario::WgttSystem& system) {
                      static_cast<double>(mpdus)});
     };
   }
+
+  // Downlink packets dropped at the controller because every candidate AP
+  // was evicted by liveness — the silent-drop path made visible.
+  ctrl.on_fanout_empty = [&tracer, prev = std::move(ctrl.on_fanout_empty)](
+                             net::ClientId c, Time t) {
+    if (prev) prev(c, t);
+    tracer.record({t, EventKind::kFanoutEmptyDrop,
+                   static_cast<int>(net::index_of(c)), -1, -1, 0.0});
+  };
 
   // Uplink packets surviving de-duplication.
   system.on_server_uplink = [&tracer, &system,

@@ -35,11 +35,12 @@ enum class EventKind : std::uint8_t {
   kSwitchInitiated,  // node = old AP, aux = new AP
   kSwitchCompleted,  // node = new AP, value = protocol ms
   kCsiReport,        // node = AP
+  kFanoutEmptyDrop,  // downlink dropped: fan-out set empty after liveness
 };
 
 /// Total number of EventKind values; kinds are contiguous from 0. Tests
 /// iterate this to catch a new kind left out of to_string/from_string.
-inline constexpr int kNumEventKinds = 6;
+inline constexpr int kNumEventKinds = 7;
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
 /// Inverse of to_string (CSV round trip); nullopt for unknown names.

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <utility>
@@ -13,6 +15,7 @@
 
 #include "core/controller.h"
 #include "core/esnr_tracker.h"
+#include "core/spatial_index.h"
 #include "core/streaming_median.h"
 #include "net/backhaul.h"
 #include "sim/scheduler.h"
@@ -658,6 +661,276 @@ TEST_F(ControllerTest, ServingApDeathForcesFailoverFromWatermark) {
   }
   ASSERT_NE(quench, nullptr);
   EXPECT_EQ(quench->epoch, epoch_before + 1);
+}
+
+// --- SpatialIndex: must be byte-identical to the brute-force scans ----------
+
+TEST(SpatialIndexTest, NearestAndNeighborsMatchBruteForce) {
+  // 20 random layouts (coarse quarter-metre grid, so exact duplicates and
+  // midpoint ties occur) x 50 queries each, checked against the ascending
+  // strict-< scans the index replaces.
+  std::uint64_t state = 7;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_aps = 1 + static_cast<int>(next() % 40);
+    std::vector<double> xs;
+    for (int i = 0; i < num_aps; ++i) {
+      xs.push_back(static_cast<double>(next() % 2000) / 4.0);
+    }
+    SpatialIndex idx;
+    idx.build(xs, 30.0);
+    ASSERT_EQ(idx.num_aps(), num_aps);
+    for (int q = 0; q < 50; ++q) {
+      // Queries land on, between and well outside the array.
+      const double x = static_cast<double>(next() % 2400) / 4.0 - 50.0;
+      int brute_best = -1;
+      double brute_d = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < num_aps; ++i) {
+        const double d = std::abs(xs[static_cast<std::size_t>(i)] - x);
+        if (d < brute_d) {
+          brute_d = d;
+          brute_best = i;
+        }
+      }
+      ASSERT_EQ(idx.nearest(x), brute_best)
+          << "trial " << trial << " query x=" << x;
+      const double r = static_cast<double>(next() % 400) / 4.0;
+      std::vector<int> brute;
+      for (int i = 0; i < num_aps; ++i) {
+        if (std::abs(xs[static_cast<std::size_t>(i)] - x) <= r) {
+          brute.push_back(i);
+        }
+      }
+      ASSERT_EQ(idx.neighbors(x, r), brute)
+          << "trial " << trial << " query x=" << x << " r=" << r;
+    }
+  }
+}
+
+TEST(SpatialIndexTest, NearestTieGoesToLowestApIndex) {
+  SpatialIndex idx;
+  idx.build({10.0, 20.0, 20.0, 30.0}, 30.0);
+  EXPECT_EQ(idx.nearest(15.0), 0);  // midpoint between AP0 and AP1
+  EXPECT_EQ(idx.nearest(20.0), 1);  // co-located AP1 / AP2
+  EXPECT_EQ(idx.nearest(25.0), 1);  // 5 m from AP1, AP2 and AP3 alike
+}
+
+TEST(SpatialIndexTest, SegmentsClampAndCoverEveryAp) {
+  SpatialIndex idx;
+  idx.build({0.0, 35.0, 70.0}, 30.0);
+  ASSERT_GE(idx.num_segments(), 1);
+  // Off-array positions land in the edge segments, never out of range.
+  EXPECT_EQ(idx.segment_of(-1e6), 0);
+  EXPECT_EQ(idx.segment_of(1e6), idx.num_segments() - 1);
+  for (int i = 0; i < idx.num_aps(); ++i) {
+    EXPECT_EQ(idx.segment_of(idx.ap_x(i)), idx.segment_of_ap(i)) << "ap " << i;
+    EXPECT_GE(idx.segment_of_ap(i), 0);
+    EXPECT_LT(idx.segment_of_ap(i), idx.num_segments());
+  }
+  // Segment assignment is monotone in x.
+  EXPECT_LE(idx.segment_of_ap(0), idx.segment_of_ap(1));
+  EXPECT_LE(idx.segment_of_ap(1), idx.segment_of_ap(2));
+  EXPECT_TRUE(SpatialIndex{}.empty());
+  EXPECT_EQ(SpatialIndex{}.nearest(0.0), -1);
+}
+
+// --- EsnrTracker with a wired SpatialIndex ----------------------------------
+
+TEST(EsnrTrackerTest, SpatialBoundsScansToAnchorNeighborhood) {
+  SpatialIndex idx;
+  idx.build({0.0, 50.0, 1000.0}, 30.0);
+  EsnrTracker t(Time::ms(10));
+  t.set_spatial(&idx, 100.0);
+  t.add(kClient, ApId{2}, Time::ms(1), 40.0);
+  EXPECT_EQ(t.anchor_ap(kClient), 2);
+  EXPECT_EQ(t.best_ap(kClient, Time::ms(2)).value(), ApId{2});
+  // The anchor moves to AP0 (1000 m away): the far AP's 40 dB median is
+  // still in-window, but out of reach of the new anchor, so it can no
+  // longer win the argmax or appear in the fan-out set.
+  t.add(kClient, ApId{0}, Time::ms(2), 20.0);
+  EXPECT_EQ(t.anchor_ap(kClient), 0);
+  EXPECT_EQ(t.best_ap(kClient, Time::ms(3)).value(), ApId{0});
+  const auto fresh = t.fresh_aps(kClient, Time::ms(3), Time::ms(50));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], ApId{0});
+  // Point queries on a named link stay unfiltered.
+  EXPECT_DOUBLE_EQ(t.median(kClient, ApId{2}, Time::ms(3)).value(), 40.0);
+  EXPECT_EQ(t.last_heard(kClient, ApId{2}).value(), Time::ms(1));
+}
+
+TEST(EsnrTrackerTest, SpatialBoundedMatchesUnboundedWithinRadius) {
+  // 8 APs spaced 7.5 m apart: the whole array fits inside the radius the
+  // scenario derives (2 * sense_range + slack), so a bounded tracker must
+  // answer every query exactly like an unbounded one — the equivalence the
+  // default-on spatial index rests on.
+  std::vector<double> xs;
+  for (int i = 0; i < 8; ++i) xs.push_back(7.5 * i);
+  SpatialIndex idx;
+  idx.build(xs, 30.0);
+  EsnrTracker bounded(Time::ms(10));
+  bounded.set_spatial(&idx, 290.0);
+  EsnrTracker plain(Time::ms(10));
+  std::uint64_t state = 99;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  Time now = Time::zero();
+  for (int i = 0; i < 500; ++i) {
+    now += Time::us(static_cast<std::int64_t>(next() % 500));
+    const ApId ap{static_cast<std::uint32_t>(next() % 8)};
+    const double v = static_cast<double>(next() % 400) / 10.0;
+    bounded.add(kClient, ap, now, v);
+    plain.add(kClient, ap, now, v);
+    ASSERT_EQ(bounded.best_ap(kClient, now), plain.best_ap(kClient, now))
+        << "step " << i;
+    ASSERT_EQ(bounded.fresh_aps(kClient, now, Time::ms(200)),
+              plain.fresh_aps(kClient, now, Time::ms(200)))
+        << "step " << i;
+    ASSERT_EQ(bounded.median(kClient, ap, now), plain.median(kClient, ap, now))
+        << "step " << i;
+  }
+}
+
+// --- Uplink de-dup capacity boundary (the PR 7 off-by-one fix) --------------
+
+TEST_F(ControllerTest, DedupCapacityBoundary) {
+  Controller::Config cfg;
+  cfg.dedup_capacity = 4;
+  Controller& c = make(cfg);
+  int delivered = 0;
+  c.on_uplink = [&](const net::Packet&) { ++delivered; };
+  Time t = Time::zero();
+  auto send = [&](std::uint16_t ip_id) {
+    net::Packet p = net::make_packet();
+    p.client = kClient;
+    p.ip_id = ip_id;
+    backhaul_.send(NodeId::ap(ApId{0}), NodeId::controller(),
+                   net::UplinkData{ApId{0}, p});
+    t += Time::ms(5);
+    sched_.run_until(t);  // serialize: eviction order must be send order
+  };
+  // Fill to exactly capacity.
+  for (std::uint16_t i = 0; i < 4; ++i) send(i);
+  EXPECT_EQ(delivered, 4);
+  // At exactly capacity the oldest key must STILL be present: a duplicate
+  // of key 0 is dropped. Pre-fix the `size > capacity` check let the table
+  // grow to capacity + 1 keys; the fix must not overshoot either (evicting
+  // down to capacity - 1 would let this duplicate through).
+  send(0);
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(c.stats().uplink_duplicates_dropped, 1u);
+  // The (capacity + 1)-th DISTINCT key evicts exactly the oldest key...
+  send(4);
+  EXPECT_EQ(delivered, 5);
+  send(0);  // ...so key 0 passes again (and re-enters, evicting key 1),
+  EXPECT_EQ(delivered, 6);
+  send(2);  // while a key still inside the FIFO stays suppressed.
+  EXPECT_EQ(delivered, 6);
+  EXPECT_EQ(c.stats().uplink_duplicates_dropped, 2u);
+}
+
+// --- Empty-fan-out drops: counted, traced, optionally bounded ---------------
+
+TEST_F(ControllerTest, EmptyFanoutDropIsCountedAndAnnounced) {
+  Controller::Config cfg;
+  cfg.liveness_enabled = true;  // defaults: 25 ms probes, 3 misses -> Dead
+  Controller& c = make(cfg);
+  // Nobody answers heartbeats (the fixture's default handlers only log), so
+  // every AP accrues its third miss at tick 100 ms.
+  sched_.run_until(Time::ms(110));
+  ASSERT_EQ(c.ap_health(ApId{0}).state, Controller::ApLiveness::kDead);
+  ASSERT_EQ(c.ap_health(ApId{1}).state, Controller::ApLiveness::kDead);
+  ASSERT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kDead);
+
+  std::vector<net::ClientId> announced;
+  c.on_fanout_empty = [&](net::ClientId client, Time) {
+    announced.push_back(client);
+  };
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  c.send_downlink(p);
+  sched_.run_until(Time::ms(120));
+  // Pre-fix the packet vanished without a trace; now the drop is counted
+  // and the observation hook fires.
+  EXPECT_EQ(c.stats().fanout_empty_drops, 1u);
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], kClient);
+  EXPECT_EQ(c.stats().downlink_packets, 1u);
+  EXPECT_EQ(c.stats().downlink_fanout_copies, 0u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(count_to_ap<net::DownlinkData>(i), 0) << "ap " << i;
+  }
+}
+
+TEST_F(ControllerTest, BoundedFallbackFansOutToSpatialNeighborhood) {
+  Controller::Config cfg;
+  cfg.bounded_fallback = true;
+  Controller& c = make(cfg);
+  SpatialIndex idx;
+  idx.build({0.0, 60.0, 1000.0}, 30.0);
+  c.set_spatial(&idx, 100.0);
+  // One CSI report anchors the client at AP0; then 300 ms of silence ages
+  // it out of the 200 ms fan-out freshness horizon.
+  send_csi(ApId{0}, 20.0);
+  sched_.run_until(Time::ms(300));
+  net::Packet p = net::make_packet();
+  p.client = kClient;
+  c.send_downlink(p);
+  sched_.run_until(Time::ms(305));
+  // The stale fallback used to broadcast to the whole deployment; bounded,
+  // it stays within 100 m of the anchor — APs 0 and 1, never the far AP2.
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(0), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(1), 1);
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(2), 0);
+  EXPECT_EQ(c.stats().fanout_empty_drops, 0u);
+  // A client that has never reported CSI has no anchor: the fallback stays
+  // the full AP set (cold start must reach everyone).
+  const ClientId other{1};
+  c.add_client(other);
+  net::Packet q = net::make_packet();
+  q.client = other;
+  c.send_downlink(q);
+  sched_.run_until(Time::ms(310));
+  EXPECT_EQ(count_to_ap<net::DownlinkData>(2), 1);
+}
+
+// --- Staggered heartbeats (city-scale liveness) -----------------------------
+
+TEST_F(ControllerTest, StaggeredHeartbeatsRoundRobinBySegment) {
+  Controller::Config cfg;
+  cfg.liveness_enabled = true;
+  cfg.heartbeat_stagger = 3;
+  Controller& c = make(cfg);
+  SpatialIndex idx;
+  idx.build({0.0, 40.0, 80.0}, 30.0);  // three APs in three distinct segments
+  c.set_spatial(&idx, 100.0);
+  bool answers[3] = {true, true, false};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    attach_heartbeat_responder(i, &answers[i]);
+  }
+  // Ticks land every 25 ms but each probes one segment group: AP0 at 25 ms,
+  // AP1 at 50 ms, AP2 at 75 ms, AP0 again at 100 ms, ... so every AP is
+  // probed exactly once per 3 ticks instead of on every tick.
+  sched_.run_until(Time::ms(90));
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(0), 1);
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(1), 1);
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(2), 1);
+  sched_.run_until(Time::ms(165));
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(0), 2);
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(1), 2);
+  EXPECT_EQ(count_to_ap<net::Heartbeat>(2), 2);
+  // Detection still converges, just 3x slower: AP2's unanswered probes at
+  // 75/150/225 ms are judged at 150/225/300 ms — Dead at the 300 ms tick.
+  sched_.run_until(Time::ms(290));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kSuspect);
+  sched_.run_until(Time::ms(310));
+  EXPECT_EQ(c.ap_health(ApId{2}).state, Controller::ApLiveness::kDead);
+  EXPECT_EQ(c.ap_health(ApId{0}).state, Controller::ApLiveness::kAlive);
+  EXPECT_EQ(c.ap_health(ApId{1}).state, Controller::ApLiveness::kAlive);
 }
 
 // --- StreamingMedian: must be bit-identical to the sort-based formula -------
