@@ -1,0 +1,121 @@
+// Extension: backhaul saturation (DESIGN.md §10, backhaul cost model).
+//
+// The paper's testbed hangs every AP off an effectively infinite wired
+// backhaul; a transit-scale deployment strings hundreds of picocells along
+// fiber or wireless links with real bandwidth limits, where the controller's
+// fan-out (one copy per in-range AP per packet) is the first thing to
+// saturate. This bench sweeps offered downlink load with the per-link
+// bandwidth/queue model off (the seed engine's infinite pipe) and on at a
+// finite rate with batching, and shows the property the model exists to
+// expose: with an infinite pipe goodput tracks offered load, while a finite
+// link caps goodput near the pipe rate and sheds the excess through the
+// bounded queue (visible as queue drops and utilization pinned at ~1.0) —
+// without ever violating a switching-protocol invariant.
+//
+// --smoke runs one infinite and one saturated point through a 2-worker
+// TrialPool (registered as the bench-smoke-backhaul ctest target; under the
+// asan-net preset this is the sanitizer pass over the refcounted fan-out,
+// the link serializer and the batch machinery end to end).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/report.h"
+
+using namespace wgtt;
+using namespace wgtt::benchx;
+
+namespace {
+
+/// One saturation point: a 4-AP drive at `offered_mbps` downlink CBR with
+/// the link model off (`link_rate_mbps` <= 0) or on at that rate.
+DriveConfig saturation_config(double offered_mbps, double link_rate_mbps) {
+  DriveConfig cfg;
+  cfg.mph = 25.0;
+  cfg.udp_rate_mbps = offered_mbps;
+  cfg.seed = 17;
+  cfg.collect_metrics = true;
+  cfg.metrics_interval = Time::ms(250);
+  scenario::GeometryConfig geo;
+  geo.num_aps = 4;
+  cfg.geometry = geo;
+  if (link_rate_mbps > 0.0) {
+    cfg.backhaul_link_rate_mbps = link_rate_mbps;
+    cfg.backhaul_queue_bytes = std::size_t{64} * 1024;
+    cfg.backhaul_batching = true;
+  }
+  return cfg;
+}
+
+double gauge_or_zero(const DriveResult& r, const char* name) {
+  return r.metrics ? r.metrics->gauge(name).value() : 0.0;
+}
+
+void print_row(double offered, const char* link, const DriveResult& r) {
+  std::printf("%10.1f %10s %10.2f %12.3f %12.0f %12zu\n", offered, link,
+              r.mean_mbps(), gauge_or_zero(r, "backhaul.link_utilization"),
+              gauge_or_zero(r, "backhaul.queue_drops"),
+              r.invariant_violations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(&argc, argv);
+  std::printf("=== Extension: backhaul saturation (4 APs, UDP downlink, "
+              "25 mph) ===\n\n");
+  std::printf("%10s %10s %10s %12s %12s %12s\n", "offered", "link",
+              "goodput", "utilization", "queue_drops", "violations");
+
+  constexpr double kLinkRate = 8.0;  // Mb/s per (controller, AP) link
+
+  std::map<std::string, double> counters;
+  if (opts.smoke) {
+    TrialPool pool({.jobs = opts.jobs});
+    pool.submit(saturation_config(8.0, 0.0));        // infinite pipe
+    pool.submit(saturation_config(16.0, kLinkRate));  // 2x oversubscribed
+    const std::vector<DriveResult> results = pool.run();
+    print_row(8.0, "inf", results[0]);
+    print_row(16.0, "8.0", results[1]);
+    counters["goodput_inf_8"] = results[0].mean_mbps();
+    counters["goodput_8mbps_16"] = results[1].mean_mbps();
+    counters["queue_drops_8mbps_16"] =
+        gauge_or_zero(results[1], "backhaul.queue_drops");
+    counters["violations"] =
+        static_cast<double>(results[0].invariant_violations +
+                            results[1].invariant_violations);
+  } else {
+    const double offered[] = {4.0, 8.0, 16.0, 24.0};
+    std::size_t violations = 0;
+    for (const double load : offered) {
+      const DriveResult inf = run_drive(saturation_config(load, 0.0));
+      print_row(load, "inf", inf);
+      const std::string tag = std::to_string(static_cast<int>(load));
+      counters["goodput_inf_" + tag] = inf.mean_mbps();
+      violations += inf.invariant_violations;
+    }
+    for (const double load : offered) {
+      const DriveResult fin = run_drive(saturation_config(load, kLinkRate));
+      print_row(load, "8.0", fin);
+      const std::string tag = std::to_string(static_cast<int>(load));
+      counters["goodput_8mbps_" + tag] = fin.mean_mbps();
+      counters["utilization_8mbps_" + tag] =
+          gauge_or_zero(fin, "backhaul.link_utilization");
+      counters["queue_drops_8mbps_" + tag] =
+          gauge_or_zero(fin, "backhaul.queue_drops");
+      violations += fin.invariant_violations;
+    }
+    counters["violations"] = static_cast<double>(violations);
+    std::printf(
+        "\nexpectation: the infinite-pipe rows track offered load (the seed\n"
+        "engine's behaviour), while the 8 Mb/s rows cap near the pipe: past\n"
+        "saturation goodput stops growing, utilization pins near 1.0, and\n"
+        "the bounded per-link queue sheds the excess as queue_drops — with\n"
+        "zero switching-protocol invariant violations at every point.\n");
+  }
+
+  report("ext/backhaul_saturation", counters);
+  return finish(argc, argv);
+}

@@ -150,6 +150,17 @@ DriveResult run_drive(const DriveConfig& cfg) {
     scfg.ap.start_from_newest = cfg.start_from_newest;
     if (cfg.use_spatial_index) scfg.spatial.use_index = *cfg.use_spatial_index;
     scfg.controller.bounded_fallback = cfg.bounded_fallback;
+    scfg.use_fanout_pool = cfg.fanout_pool;
+    if (cfg.backhaul_link_rate_mbps) {
+      scfg.backhaul.link_rate_mbps = *cfg.backhaul_link_rate_mbps;
+    }
+    if (cfg.backhaul_queue_bytes) {
+      scfg.backhaul.link_queue_bytes = *cfg.backhaul_queue_bytes;
+    }
+    scfg.backhaul.batching = cfg.backhaul_batching;
+    if (cfg.backhaul_batch_window) {
+      scfg.backhaul.batch_window = *cfg.backhaul_batch_window;
+    }
     if (cfg.control_loss_rate > 0.0) {
       for (const auto kind : {net::MsgKind::kStop, net::MsgKind::kStart,
                               net::MsgKind::kSwitchAck}) {

@@ -61,6 +61,21 @@ struct DriveConfig {
   /// Off by default (byte-identity with the seed); the city bench opts in.
   bool bounded_fallback = false;
 
+  // Backhaul cost model (DESIGN.md §10). All default to the seed engine's
+  // infinite pipe; the saturation bench and the model tests opt in.
+  /// Per-(controller, AP) link rate in Mb/s. Unset/0 = infinite pipe.
+  std::optional<double> backhaul_link_rate_mbps;
+  /// Per-link byte-queue bound (only read when a finite rate is set).
+  std::optional<std::size_t> backhaul_queue_bytes;
+  /// Coalesce downlink fan-out into batched deliveries.
+  bool backhaul_batching = false;
+  /// Batch window override (Backhaul::Config's 500 us default when unset).
+  std::optional<Time> backhaul_batch_window;
+  /// WgttSystemConfig::use_fanout_pool — single-copy refcounted fan-out.
+  /// On by default (byte-identical either way); the equivalence tests force
+  /// it both ways.
+  bool fanout_pool = true;
+
   // Knobs (paper parameters / ablations).
   std::optional<Time> selection_window;  // W (Figure 21)
   std::optional<Time> hysteresis;        // Figure 22

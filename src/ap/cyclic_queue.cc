@@ -19,17 +19,24 @@ CyclicQueue::~CyclicQueue() {
 }
 
 void CyclicQueue::put(std::uint16_t index, net::Packet packet) {
+  put_handle(index, pool_->acquire(std::move(packet)));
+}
+
+void CyclicQueue::put_handle(std::uint16_t index,
+                             net::PacketPool::Handle handle) {
   index &= kIndexSpace - 1;
   if (slots_.empty()) slots_.resize(kIndexSpace);
   Slot& s = slots_[index];
   ++puts_;
   if (!s.occupied) {
     ++occupied_;
-    s.handle = pool_->acquire(std::move(packet));
   } else {
     ++overwrites_;
-    *pool_->get(s.handle) = std::move(packet);  // reuse the displaced slot
+    // The displaced occupant may be shared with other queues: drop this
+    // queue's reference, never mutate the pool slot in place.
+    pool_->drop(s.handle);
   }
+  s.handle = handle;
   s.index = index;
   s.occupied = true;
   newest_ = index;
@@ -52,12 +59,23 @@ std::optional<net::Packet> CyclicQueue::take(std::uint16_t index) {
   return pool_->release(std::exchange(s.handle, net::PacketPool::kNullHandle));
 }
 
+bool CyclicQueue::drop(std::uint16_t index) {
+  if (slots_.empty()) return false;
+  index &= kIndexSpace - 1;
+  Slot& s = slots_[index];
+  if (!s.occupied || s.index != index) return false;
+  s.occupied = false;
+  --occupied_;
+  pool_->drop(std::exchange(s.handle, net::PacketPool::kNullHandle));
+  return true;
+}
+
 bool CyclicQueue::has(std::uint16_t index) const { return peek(index) != nullptr; }
 
 void CyclicQueue::clear() {
   for (auto& s : slots_) {
     if (s.occupied) {
-      pool_->release(std::exchange(s.handle, net::PacketPool::kNullHandle));
+      pool_->drop(std::exchange(s.handle, net::PacketPool::kNullHandle));
       s.occupied = false;
     }
   }

@@ -45,11 +45,23 @@ class CyclicQueue {
   /// Stores `packet` under `index` (overwrites any stale occupant).
   void put(std::uint16_t index, net::Packet packet);
 
+  /// Stores an already-pooled handle under `index`, taking ownership of one
+  /// reference (the fan-out path: the controller acquired once and added a
+  /// reference per AP). The handle must belong to this queue's pool. An
+  /// overwritten occupant's reference is dropped, never copied.
+  void put_handle(std::uint16_t index, net::PacketPool::Handle handle);
+
   /// Packet at `index`, if that exact index is present.
   [[nodiscard]] const net::Packet* peek(std::uint16_t index) const;
 
-  /// Removes and returns the packet at `index`.
+  /// Removes and returns the packet at `index`. Moves out of the pool slot
+  /// when this queue held the last reference; copies while other queues
+  /// still share the handle.
   std::optional<net::Packet> take(std::uint16_t index);
+
+  /// Removes the packet at `index` without materializing it (the stale-drop
+  /// path). Returns whether a slot was dropped.
+  bool drop(std::uint16_t index);
 
   [[nodiscard]] bool has(std::uint16_t index) const;
 
@@ -68,7 +80,9 @@ class CyclicQueue {
   /// is far beyond any realistic backlog" sizing argument has broken down.
   [[nodiscard]] std::uint64_t overwrites() const { return overwrites_; }
 
-  /// Releases every occupied slot back to the pool.
+  /// Drops every occupied slot's reference back to the pool (crash wipe:
+  /// no packets are materialized; handles shared with other queues stay
+  /// live there).
   void clear();
 
  private:

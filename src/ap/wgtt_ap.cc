@@ -94,7 +94,11 @@ void WgttAp::register_client(net::ClientId client, mac::RadioId radio) {
   if (clients_.contains(client)) return;
   ClientState cs;
   cs.radio = radio;
-  cs.queue = CyclicQueue(&packet_pool_);  // share the AP-wide packet pool
+  // Queues share the system-wide payload pool when one is wired (pooled
+  // fan-out handles must land in the pool that owns them), the AP-wide
+  // pool otherwise.
+  cs.queue =
+      CyclicQueue(payload_pool_ != nullptr ? payload_pool_ : &packet_pool_);
   clients_.emplace(client, std::move(cs));
   client_of_radio_[radio] = client;
   mac_.add_peer(radio);
@@ -152,7 +156,15 @@ Time WgttAp::draw_delay(Time mean, Time std) {
 void WgttAp::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
   // Belt and braces: the scenario takes a crashed AP's backhaul link down,
   // so nothing should arrive here — but a dead process handles nothing.
-  if (crashed_) return;
+  // A pooled payload reaching a corpse still owns a pool reference, which
+  // must be dropped or the slot leaks for the rest of the run.
+  if (crashed_) {
+    if (const auto* d = std::get_if<net::DownlinkData>(&msg);
+        d != nullptr && d->pooled() && payload_pool_ != nullptr) {
+      payload_pool_->drop(d->handle);
+    }
+    return;
+  }
   std::visit(
       [this](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -201,11 +213,23 @@ void WgttAp::restart() {
 }
 
 void WgttAp::handle_downlink(net::DownlinkData&& msg) {
-  ClientState* cs = client_state(msg.packet.client);
-  if (cs == nullptr) return;  // not yet associated here
+  const bool pooled = msg.pooled() && payload_pool_ != nullptr;
+  // A pooled message carries no Packet body; the client is read through
+  // the shared pool (one indexed load, the handle stays shared).
+  const net::ClientId client =
+      pooled ? payload_pool_->get(msg.handle)->client : msg.packet.client;
+  ClientState* cs = client_state(client);
+  if (cs == nullptr) {  // not yet associated here
+    if (pooled) payload_pool_->drop(msg.handle);
+    return;
+  }
   ++stats_.downlink_received;
   const std::uint64_t overwrites_before = cs->queue.overwrites();
-  cs->queue.put(msg.index, std::move(msg.packet));
+  if (pooled) {
+    cs->queue.put_handle(msg.index, msg.handle);  // adopts the reference
+  } else {
+    cs->queue.put(msg.index, std::move(msg.packet));
+  }
   if (metrics_) {
     metrics_->downlink_received->inc();
     metrics_->cyclic_overwrites->inc(cs->queue.overwrites() -
@@ -454,15 +478,16 @@ void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
 void WgttAp::pump(ClientState& cs) {
   if (crashed_ || !cs.serving) return;
   while (mac_.queue_depth(cs.radio) < config_.mac.hw_queue_capacity) {
-    if (cs.queue.has(cs.next_index)) {
-      auto pkt = cs.queue.take(cs.next_index);
-      if (sched_.now() - pkt->created > config_.cyclic_staleness) {
+    if (const net::Packet* head = cs.queue.peek(cs.next_index)) {
+      if (sched_.now() - head->created > config_.cyclic_staleness) {
         // A slot written a lap (or a long lull) ago: useless and, worse,
-        // possibly already delivered by another AP. Discard.
+        // possibly already delivered by another AP. Discard — drop() just
+        // decrements the pool reference, no Packet is materialized.
+        cs.queue.drop(cs.next_index);
         ++stats_.stale_dropped;
         if (metrics_) metrics_->stale_dropped->inc();
       } else {
-        mac_.enqueue(cs.radio, std::move(*pkt), cs.next_index);
+        mac_.enqueue(cs.radio, *cs.queue.take(cs.next_index), cs.next_index);
         if (metrics_) metrics_->pump_enqueued->inc();
       }
       cs.next_index = (cs.next_index + 1) & (CyclicQueue::kIndexSpace - 1);

@@ -107,6 +107,13 @@ class WgttAp {
          net::Backhaul& backhaul, Rng rng, Config config,
          mac::Medium::PositionFn position);
 
+  /// Wires the system-wide payload pool (owned by the scenario; must
+  /// outlive the AP). Pooled DownlinkData handles land in cyclic queues
+  /// backed by this shared pool instead of the AP-private one, and every
+  /// path that discards a pooled message (unknown client, crashed AP)
+  /// drops its reference. Call before register_client.
+  void set_payload_pool(net::PacketPool* pool) { payload_pool_ = pool; }
+
   /// Maps a peer radio to the owning AP, for BA forwarding (the overheard
   /// BA's destination address names the serving AP's radio). Wired by the
   /// scenario.
@@ -224,9 +231,13 @@ class WgttAp {
   Config config_;
   mac::WifiMac mac_;
   std::function<std::optional<net::ApId>(mac::RadioId)> ap_of_radio_;
-  /// Backs every per-client cyclic queue on this AP; declared before
-  /// clients_ so the queues release their handles into a live pool.
+  /// Backs every per-client cyclic queue on this AP when no system-wide
+  /// pool is wired; declared before clients_ so the queues release their
+  /// handles into a live pool.
   net::PacketPool packet_pool_;
+  /// The shared fan-out pool (set_payload_pool), or nullptr for the legacy
+  /// per-AP pool above.
+  net::PacketPool* payload_pool_ = nullptr;
   std::unordered_map<net::ClientId, ClientState> clients_;
   std::unordered_map<mac::RadioId, net::ClientId> client_of_radio_;
   /// Clients with cs.serving == true, sorted by client index (see

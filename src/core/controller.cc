@@ -355,10 +355,29 @@ void Controller::send_downlink(net::Packet packet) {
     if (on_fanout_empty) on_fanout_empty(packet.client, sched_.now());
     return;
   }
-  for (net::ApId ap : targets) {
-    ++stats_.downlink_fanout_copies;
-    backhaul_.send(NodeId::controller(), NodeId::ap(ap),
-                   net::DownlinkData{packet, index});
+  if (payload_pool_ != nullptr) {
+    // Single-copy fan-out (DESIGN.md §10): the payload enters the pool
+    // once; every target gets a 4-byte handle plus one reference. The
+    // wire size is cached in the message so backhaul latency accounting
+    // never touches the pool.
+    const auto tunnel_bytes = static_cast<std::uint32_t>(packet.tunnel_bytes());
+    const net::PacketPool::Handle h = payload_pool_->acquire(std::move(packet));
+    for (net::ApId ap : targets) {
+      ++stats_.downlink_fanout_copies;
+      payload_pool_->add_ref(h);
+      net::DownlinkData msg;
+      msg.index = index;
+      msg.handle = h;
+      msg.tunnel_bytes = tunnel_bytes;
+      backhaul_.send(NodeId::controller(), NodeId::ap(ap), std::move(msg));
+    }
+    payload_pool_->drop(h);  // the acquisition reference; targets hold theirs
+  } else {
+    for (net::ApId ap : targets) {
+      ++stats_.downlink_fanout_copies;
+      backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+                     net::DownlinkData{packet, index});
+    }
   }
   if (metrics_) metrics_->fanout_copies->inc(targets.size());
 }

@@ -170,6 +170,13 @@ class Controller {
   /// fan-out set was empty (see Stats::fanout_empty_drops).
   std::function<void(net::ClientId, Time)> on_fanout_empty;
 
+  /// Wires the system-wide payload pool (owned by the scenario; must
+  /// outlive the controller). With a pool, send_downlink acquires each
+  /// packet once and fans out N refcounted 4-byte handles instead of N
+  /// Packet copies (DESIGN.md §10). nullptr (the default) keeps the legacy
+  /// copying fan-out — the pooled-vs-copied equivalence test drives both.
+  void set_payload_pool(net::PacketPool* pool) { payload_pool_ = pool; }
+
   /// Wires the road-segment spatial index (owned by the scenario; must
   /// outlive the controller). Bounds the tracker's per-client ESNR scans to
   /// `neighbor_radius_m` of the client's anchor AP, shards per-client state
@@ -305,6 +312,7 @@ class Controller {
   sim::Scheduler& sched_;
   net::Backhaul& backhaul_;
   Config config_;
+  net::PacketPool* payload_pool_ = nullptr;
   EsnrTracker tracker_;
   std::vector<net::ApId> aps_;
   // Per-client state lives in a dense slab indexed by net::index_of(client)

@@ -1,5 +1,6 @@
 #include "net/backhaul.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +11,9 @@ std::size_t wire_bytes(const BackhaulMessage& msg) {
       [](const auto& m) -> std::size_t {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, DownlinkData>) {
-          return m.packet.tunnel_bytes();
+          // A pooled message cached its wire size at fan-out so latency
+          // accounting never dereferences the pool.
+          return m.pooled() ? m.tunnel_bytes : m.packet.tunnel_bytes();
         } else if constexpr (std::is_same_v<T, UplinkData>) {
           return m.packet.tunnel_bytes();
         } else if constexpr (std::is_same_v<T, CsiReport>) {
@@ -80,8 +83,35 @@ void Backhaul::set_node_up(NodeId node, bool up) {
   }
 }
 
+void Backhaul::drop_payload(const BackhaulMessage& msg) {
+  if (payload_pool_ == nullptr) return;
+  if (const auto* d = std::get_if<DownlinkData>(&msg);
+      d != nullptr && d->pooled()) {
+    payload_pool_->drop(d->handle);
+  }
+}
+
+void Backhaul::ref_payload(const BackhaulMessage& msg) {
+  if (payload_pool_ == nullptr) return;
+  if (const auto* d = std::get_if<DownlinkData>(&msg);
+      d != nullptr && d->pooled()) {
+    payload_pool_->add_ref(d->handle);
+  }
+}
+
+double Backhaul::max_link_utilization(Time now) const {
+  if (now <= Time::zero()) return 0.0;
+  double best = 0.0;
+  for (const auto& [key, link] : links_) {
+    best = std::max(best, static_cast<double>(link.busy_ns) /
+                              static_cast<double>(now.count_ns()));
+  }
+  return best;
+}
+
 void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
   if (!handlers_.contains(to)) {
+    drop_payload(msg);
     throw std::logic_error("Backhaul::send to unattached node");
   }
   ++sent_;
@@ -91,10 +121,12 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
       (down_nodes_.contains(from) || down_nodes_.contains(to))) {
     ++dropped_;
     ++link_dropped_;
+    drop_payload(msg);
     return;
   }
   if (rng_.chance(config_.loss_rate)) {
     ++dropped_;
+    drop_payload(msg);
     return;
   }
   const auto kind = static_cast<std::size_t>(kind_of(msg));
@@ -103,6 +135,7 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
     --drop_first_remaining_[kind];
     ++dropped_;
     ++fault_dropped_;
+    drop_payload(msg);
     return;
   }
   // RNG draws are gated on nonzero knobs so an all-zero plan keeps seeded
@@ -110,11 +143,116 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
   if (plan.loss_rate > 0.0 && rng_.chance(plan.loss_rate)) {
     ++dropped_;
     ++fault_dropped_;
+    drop_payload(msg);
     return;
   }
-  const double ser_us =
-      static_cast<double>(wire_bytes(msg)) * 8.0 / config_.line_rate_mbps;
-  Time latency = config_.switch_overhead + Time::micros(ser_us);
+
+  // --- link admission (DESIGN.md §10; consumes no RNG draws) -----------
+  // With link_rate_mbps == 0 this reduces exactly to the legacy formula:
+  // serialization at line rate, no queueing, no drops.
+  const std::uint64_t key = flow_key(from, to);
+  const auto bytes = static_cast<double>(wire_bytes(msg));
+  Time queue_wait = Time::zero();
+  double ser_us;
+  if (config_.link_rate_mbps > 0.0) {
+    LinkState& link = links_[key];
+    const Time now = sched_.now();
+    const Time backlog =
+        link.busy_until > now ? link.busy_until - now : Time::zero();
+    // The queue bound is enforced analytically: pending bytes are the
+    // backlog interval times the drain rate, so no per-byte bookkeeping
+    // (and no extra events) is needed.
+    const double backlog_bytes = static_cast<double>(backlog.count_ns()) *
+                                 config_.link_rate_mbps / 8000.0;
+    if (backlog_bytes + bytes > static_cast<double>(config_.link_queue_bytes)) {
+      ++dropped_;
+      ++queue_drops_;
+      drop_payload(msg);
+      return;
+    }
+    ser_us = bytes * 8.0 / config_.link_rate_mbps;
+    const Time ser = Time::micros(ser_us);
+    queue_wait = backlog;
+    link.busy_until = now + backlog + ser;
+    link.busy_ns += static_cast<std::uint64_t>(ser.count_ns());
+  } else {
+    ser_us = bytes * 8.0 / config_.line_rate_mbps;
+  }
+
+  if (config_.batching) {
+    if (std::holds_alternative<DownlinkData>(msg)) {
+      // Fault draws still happen per message at send time, so batching
+      // changes scheduling only, never which messages fault. A faulted
+      // message cannot ride a batch (its latency differs from its
+      // batchmates'), so it flushes the open batch — earlier sends deliver
+      // first — and takes the per-message path below.
+      Time extra = Time::zero();
+      bool faulted = false;
+      bool reorder = false;
+      if (plan.delay_rate > 0.0 && plan.delay_max > Time::zero() &&
+          rng_.chance(plan.delay_rate)) {
+        faulted = true;
+        ++delayed_;
+        extra += Time::ns(static_cast<std::int64_t>(
+            rng_.uniform() * static_cast<double>(plan.delay_max.count_ns())));
+      }
+      if (plan.reorder_rate > 0.0 && plan.reorder_max > Time::zero() &&
+          rng_.chance(plan.reorder_rate)) {
+        faulted = true;
+        reorder = true;
+        ++reordered_;
+        extra += Time::ns(static_cast<std::int64_t>(
+            rng_.uniform() * static_cast<double>(plan.reorder_max.count_ns())));
+      }
+      const bool duplicate = plan.dup_rate > 0.0 && rng_.chance(plan.dup_rate);
+      if (!faulted && !duplicate) {
+        const Time ser_done = sched_.now() + queue_wait + Time::micros(ser_us);
+        Batch& b = batches_[key];
+        if (!b.open) {
+          b.open = true;
+          b.from = from;
+          b.to = to;
+          b.msgs.clear();
+          b.ready = ser_done;
+          const std::uint64_t gen = ++b.gen;
+          sched_.schedule_at(
+              sched_.now() + config_.batch_window,
+              [this, key, gen] { flush_batch_if(key, gen); },
+              sim::EventCategory::kBackhaul);
+        }
+        b.msgs.push_back(std::move(msg));
+        if (ser_done > b.ready) b.ready = ser_done;
+        ++batched_msgs_;
+        if (b.msgs.size() >= config_.batch_max_msgs) flush_batch(key);
+        return;
+      }
+      flush_batch(key);
+      Time latency =
+          queue_wait + config_.switch_overhead + Time::micros(ser_us) + extra;
+      if (config_.jitter_max > Time::zero()) {
+        latency += Time::ns(static_cast<std::int64_t>(
+            rng_.uniform() *
+            static_cast<double>(config_.jitter_max.count_ns())));
+      }
+      const Time arrival = sched_.now() + latency;
+      if (duplicate) {
+        ++duplicated_;
+        BackhaulMessage copy = msg;
+        ref_payload(copy);
+        deliver(from, to, std::move(msg), arrival, reorder);
+        deliver(from, to, std::move(copy), arrival + config_.switch_overhead,
+                reorder);
+      } else {
+        deliver(from, to, std::move(msg), arrival, reorder);
+      }
+      return;
+    }
+    // Non-batchable traffic (control, uplink) on this link empties the open
+    // batch first: a stop/start must never overtake data queued before it.
+    flush_batch(key);
+  }
+
+  Time latency = config_.switch_overhead + Time::micros(ser_us) + queue_wait;
   if (config_.jitter_max > Time::zero()) {
     latency += Time::ns(static_cast<std::int64_t>(
         rng_.uniform() * static_cast<double>(config_.jitter_max.count_ns())));
@@ -141,6 +279,7 @@ void Backhaul::send(NodeId from, NodeId to, BackhaulMessage msg) {
   if (duplicate) {
     ++duplicated_;
     BackhaulMessage copy = msg;
+    ref_payload(copy);
     deliver(from, to, std::move(msg), arrival, reorder);
     // The copy trails the original; the FIFO clamp in deliver() keeps it
     // behind both the original and anything sent meanwhile.
@@ -158,10 +297,7 @@ void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
   // reorder-faulted message skips both the clamp and the watermark update,
   // so messages sent after it can overtake it.
   if (!bypass_fifo) {
-    const std::uint64_t flow_key =
-        (static_cast<std::uint64_t>(std::hash<NodeId>{}(from)) << 32) ^
-        std::hash<NodeId>{}(to);
-    auto [it, inserted] = last_delivery_.try_emplace(flow_key, arrival);
+    auto [it, inserted] = last_delivery_.try_emplace(flow_key(from, to), arrival);
     if (!inserted) {
       if (arrival <= it->second) arrival = it->second + Time::ns(1);
       it->second = arrival;
@@ -173,6 +309,48 @@ void Backhaul::deliver(NodeId from, NodeId to, BackhaulMessage msg,
   const std::uint32_t slot = park(from, to, std::move(msg));
   sched_.schedule_at(arrival, [this, slot] { deliver_parked(slot); },
                      sim::EventCategory::kBackhaul);
+}
+
+void Backhaul::flush_batch(std::uint64_t key) {
+  const auto it = batches_.find(key);
+  if (it == batches_.end() || !it->second.open) return;
+  Batch& b = it->second;
+  b.open = false;
+  ++b.gen;  // stales the pending window-flush event
+  ++batches_flushed_;
+  // One serialization tail + one switch crossing + one jitter draw for the
+  // whole batch: the coalesced deliveries share a wire departure.
+  Time arrival = std::max(sched_.now(), b.ready) + config_.switch_overhead;
+  if (config_.jitter_max > Time::zero()) {
+    arrival += Time::ns(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(config_.jitter_max.count_ns())));
+  }
+  // The batch clamps against the same per-flow watermark single deliveries
+  // use, so batched and unbatched traffic of one flow share one FIFO.
+  auto [w, inserted] = last_delivery_.try_emplace(key, arrival);
+  if (!inserted) {
+    if (arrival <= w->second) arrival = w->second + Time::ns(1);
+    w->second = arrival;
+  }
+  std::uint32_t slot;
+  if (free_batch_in_flight_.empty()) {
+    batch_in_flight_.push_back(PendingBatch{b.from, b.to, std::move(b.msgs)});
+    slot = static_cast<std::uint32_t>(batch_in_flight_.size() - 1);
+  } else {
+    slot = free_batch_in_flight_.back();
+    free_batch_in_flight_.pop_back();
+    batch_in_flight_[slot] = PendingBatch{b.from, b.to, std::move(b.msgs)};
+  }
+  b.msgs = {};
+  sched_.schedule_at(arrival, [this, slot] { deliver_batch_parked(slot); },
+                     sim::EventCategory::kBackhaul);
+}
+
+void Backhaul::flush_batch_if(std::uint64_t key, std::uint64_t gen) {
+  const auto it = batches_.find(key);
+  if (it != batches_.end() && it->second.open && it->second.gen == gen) {
+    flush_batch(key);
+  }
 }
 
 std::uint32_t Backhaul::park(NodeId from, NodeId to, BackhaulMessage msg) {
@@ -196,12 +374,39 @@ void Backhaul::deliver_parked(std::uint32_t slot) {
   if (!down_nodes_.empty() && down_nodes_.contains(d.to)) {
     ++dropped_;
     ++link_dropped_;
+    drop_payload(d.msg);
     return;
   }
   // Handler looked up at delivery time: attach order vs send order must
   // not matter, and a handler may be replaced mid-run.
   auto it = handlers_.find(d.to);
-  if (it != handlers_.end()) it->second(d.from, std::move(d.msg));
+  if (it != handlers_.end()) {
+    it->second(d.from, std::move(d.msg));
+  } else {
+    drop_payload(d.msg);
+  }
+}
+
+void Backhaul::deliver_batch_parked(std::uint32_t slot) {
+  PendingBatch b = std::move(batch_in_flight_[slot]);
+  free_batch_in_flight_.push_back(slot);
+  if (!down_nodes_.empty() && down_nodes_.contains(b.to)) {
+    // The cable cut loses the whole batch on the wire.
+    for (const BackhaulMessage& m : b.msgs) {
+      ++dropped_;
+      ++link_dropped_;
+      drop_payload(m);
+    }
+    return;
+  }
+  const auto it = handlers_.find(b.to);
+  if (it == handlers_.end()) {
+    for (const BackhaulMessage& m : b.msgs) drop_payload(m);
+    return;
+  }
+  // One event, many messages: invoked in send order so the receiver sees
+  // exactly the per-message sequence, just on one timestamp.
+  for (BackhaulMessage& m : b.msgs) it->second(b.from, std::move(m));
 }
 
 }  // namespace wgtt::net

@@ -12,14 +12,27 @@
 #include "channel/link_channel.h"
 #include "net/ids.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace wgtt::net {
 
 /// Controller -> AP: a downlink data packet, tunnelled, carrying the
 /// client's 12-bit index number for the cyclic queue (§3.1.2).
+///
+/// Two payload representations (DESIGN.md §10). Legacy: the Packet rides in
+/// `packet` by value, copied once per fan-out target. Pooled: the payload
+/// lives once in the system-wide PacketPool and `handle` carries one
+/// reference to it — the message body is then 4 bytes of handle plus the
+/// cached wire size (`tunnel_bytes`, so backhaul latency accounting never
+/// needs the pool). Whoever destroys a pooled message without delivering it
+/// must drop its reference.
 struct DownlinkData {
   Packet packet;
-  std::uint16_t index;  // m = 12-bit index number
+  std::uint16_t index = 0;  // m = 12-bit index number
+  PacketPool::Handle handle = PacketPool::kNullHandle;
+  std::uint32_t tunnel_bytes = 0;  // wire size when pooled
+
+  [[nodiscard]] bool pooled() const { return handle != PacketPool::kNullHandle; }
 };
 
 /// AP -> controller: an overheard uplink packet, tunnelled with the AP's

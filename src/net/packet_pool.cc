@@ -1,5 +1,7 @@
 #include "net/packet_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace wgtt::net {
@@ -8,6 +10,8 @@ PacketPool::Handle PacketPool::acquire(Packet&& packet) {
   if (free_.empty()) {
     const auto base = static_cast<Handle>(chunks_.size() * kChunkSize);
     chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    refs_.push_back(std::make_unique<std::uint32_t[]>(kChunkSize));
+    for (std::size_t i = 0; i < kChunkSize; ++i) refs_.back()[i] = 0;
     // Pushed in reverse so the LIFO freelist hands out ascending handles
     // within a fresh chunk (deterministic, and sequential first touches).
     free_.reserve(free_.size() + kChunkSize);
@@ -18,16 +22,51 @@ PacketPool::Handle PacketPool::acquire(Packet&& packet) {
   const Handle h = free_.back();
   free_.pop_back();
   *get(h) = std::move(packet);
+  refs_[h / kChunkSize][h % kChunkSize] = 1;
   ++in_use_;
+  ++total_refs_;
   if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
   return h;
 }
 
+void PacketPool::check_live(Handle h, const char* op) const {
+  if (h == kNullHandle || h / kChunkSize >= chunks_.size() ||
+      refs_[h / kChunkSize][h % kChunkSize] == 0) {
+    std::fprintf(stderr, "PacketPool::%s on dead handle %u\n", op, h);
+    std::abort();
+  }
+}
+
+void PacketPool::add_ref(Handle h) {
+  check_live(h, "add_ref");
+  ++refs_[h / kChunkSize][h % kChunkSize];
+  ++total_refs_;
+}
+
 Packet PacketPool::release(Handle h) {
+  check_live(h, "release");
+  std::uint32_t& refs = refs_[h / kChunkSize][h % kChunkSize];
+  --total_refs_;
+  if (--refs > 0) return *get(h);  // other holders remain: copy out
+  // Last reference: move the payload out (no copy) and recycle the slot.
   Packet out = std::move(*get(h));
   free_.push_back(h);
   --in_use_;
   return out;
+}
+
+void PacketPool::drop(Handle h) {
+  check_live(h, "drop");
+  std::uint32_t& refs = refs_[h / kChunkSize][h % kChunkSize];
+  --total_refs_;
+  if (--refs > 0) return;
+  free_.push_back(h);
+  --in_use_;
+}
+
+std::uint32_t PacketPool::ref_count(Handle h) const {
+  if (h == kNullHandle || h / kChunkSize >= chunks_.size()) return 0;
+  return refs_[h / kChunkSize][h % kChunkSize];
 }
 
 const Packet* PacketPool::get(Handle h) const {

@@ -10,6 +10,17 @@
 // few thousand packets), not with the 12-bit index space times the fan-out
 // width.
 //
+// Handles are refcounted (DESIGN.md §10): a fan-out to N APs acquires the
+// payload once and hands each AP a handle plus one reference, so the N-way
+// Packet copy on the controller's hot path collapses to N add_ref calls.
+// release() decrements and only materializes a Packet — moved out of the
+// slot on the last reference, copied while other holders remain — while
+// drop() decrements without materializing anything (the cyclic-queue
+// overwrite, crash-wipe, and backhaul drop paths use it). Releasing or
+// dropping a dead handle is a hard program error and aborts: a silent
+// double-release would hand the same slot to two owners and corrupt
+// payloads far from the bug.
+//
 // Handles are indices, not pointers: chunk storage never moves, a released
 // slot is recycled LIFO, and all operations are O(1). The pool is
 // single-threaded by design (one pool per AP, one AP per scheduler); the
@@ -35,20 +46,38 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
-  /// Stores `packet` and returns its handle. Grows by one chunk when the
-  /// freelist is empty; never moves existing packets.
+  /// Stores `packet` and returns its handle with a reference count of 1.
+  /// Grows by one chunk when the freelist is empty; never moves existing
+  /// packets.
   [[nodiscard]] Handle acquire(Packet&& packet);
 
-  /// Removes and returns the packet; the handle becomes invalid.
+  /// Adds one reference to a live handle (fan-out sharing).
+  void add_ref(Handle h);
+
+  /// Removes one reference and returns the packet: moved out of the slot on
+  /// the last reference (the slot is then recycled and the handle becomes
+  /// invalid), copied while other references remain. Aborts on a dead
+  /// handle.
   Packet release(Handle h);
+
+  /// Removes one reference without materializing a Packet — the path for
+  /// every "this copy is discarded" case (queue overwrite, crash wipe,
+  /// backhaul loss). Aborts on a dead handle.
+  void drop(Handle h);
+
+  /// Current reference count of a handle (0 = free slot).
+  [[nodiscard]] std::uint32_t ref_count(Handle h) const;
 
   /// Packet behind a live handle. No liveness check beyond bounds — callers
   /// (the cyclic queue) track occupancy themselves.
   [[nodiscard]] const Packet* get(Handle h) const;
   [[nodiscard]] Packet* get(Handle h);
 
-  /// Live acquisitions.
+  /// Live acquisitions (distinct slots, regardless of reference counts).
   [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  /// Sum of reference counts over all live handles; the `net.pool_refs`
+  /// gauge. Equals in_use() when nothing is shared.
+  [[nodiscard]] std::size_t total_refs() const { return total_refs_; }
   /// Total slots ever allocated (chunks * chunk size).
   [[nodiscard]] std::size_t capacity() const {
     return chunks_.size() * kChunkSize;
@@ -59,9 +88,17 @@ class PacketPool {
  private:
   static constexpr std::size_t kChunkSize = 256;
 
+  /// Aborts unless `h` names a slot with a nonzero reference count. An
+  /// explicit check rather than assert(): release-mode builds must catch a
+  /// double-release too, and the death test pins the behaviour.
+  void check_live(Handle h, const char* op) const;
+
   std::vector<std::unique_ptr<Packet[]>> chunks_;
+  // Reference counts, parallel to chunks_ (0 = free slot).
+  std::vector<std::unique_ptr<std::uint32_t[]>> refs_;
   std::vector<Handle> free_;  // LIFO: hot slots are reused first
   std::size_t in_use_ = 0;
+  std::size_t total_refs_ = 0;
   std::size_t peak_in_use_ = 0;
 };
 

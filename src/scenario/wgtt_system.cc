@@ -24,11 +24,19 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
   if (!config_.ap_faults.empty()) config_.controller.liveness_enabled = true;
   controller_ = std::make_unique<core::Controller>(sched_, backhaul_,
                                                    config_.controller);
+  if (config_.use_fanout_pool) {
+    // Single-copy fan-out: controller acquires once, each target AP holds a
+    // reference, and the backhaul drops/refs payloads along with the
+    // messages it loses or duplicates.
+    backhaul_.set_payload_pool(&payload_pool_);
+    controller_->set_payload_pool(&payload_pool_);
+  }
   for (int i = 0; i < config_.geometry.num_aps; ++i) {
     const net::ApId ap_id{static_cast<std::uint32_t>(i)};
     auto ap = std::make_unique<ap::WgttAp>(
         ap_id, sched_, medium_, backhaul_, rng_.fork(), config_.ap,
         [this, i] { return geometry_.ap_position(i); });
+    if (config_.use_fanout_pool) ap->set_payload_pool(&payload_pool_);
     ap_idx_of_radio_[ap->mac().radio()] = i;
     ap->mac().set_channel_sampler([this, i](mac::RadioId peer) {
       return sample_for_ap(i, peer);
@@ -152,6 +160,14 @@ void WgttSystem::enable_metrics(obs::MetricsRegistry& registry,
   registry.gauge("system.cyclic_backlog_total");
   registry.gauge("system.hw_queue_depth_total");
   registry.histogram("system.cyclic_backlog_depth", 0.0, 4096.0, 128);
+  // Backhaul-model gauges only exist when the bandwidth model or batching
+  // is enabled — default-config snapshots must stay byte-identical to the
+  // infinite-pipe engine (same gating discipline as the liveness metrics).
+  if (config_.backhaul.link_rate_mbps > 0.0 || config_.backhaul.batching) {
+    registry.gauge("backhaul.link_utilization");
+    registry.gauge("backhaul.queue_drops");
+    registry.gauge("net.pool_refs");
+  }
   if (!metrics_sampler_) {
     metrics_sampler_ = std::make_unique<sim::Timer>(sched_, [this] {
       sample_system_metrics();
@@ -172,6 +188,14 @@ void WgttSystem::sample_system_metrics() {
       .set(static_cast<double>(hw_depth));
   metrics_->histogram("system.cyclic_backlog_depth", 0.0, 4096.0, 128)
       .observe(static_cast<double>(backlog));
+  if (config_.backhaul.link_rate_mbps > 0.0 || config_.backhaul.batching) {
+    metrics_->gauge("backhaul.link_utilization")
+        .set(backhaul_.max_link_utilization(sched_.now()));
+    metrics_->gauge("backhaul.queue_drops")
+        .set(static_cast<double>(backhaul_.queue_drops()));
+    metrics_->gauge("net.pool_refs")
+        .set(static_cast<double>(payload_pool_.total_refs()));
+  }
 }
 
 void WgttSystem::start() {

@@ -16,6 +16,7 @@
 #include "core/wgtt_client.h"
 #include "mac/medium.h"
 #include "net/backhaul.h"
+#include "net/packet_pool.h"
 #include "obs/metrics.h"
 #include "scenario/testbed.h"
 #include "sim/scheduler.h"
@@ -122,6 +123,13 @@ struct WgttSystemConfig {
   /// Per-AP fault scripts. Empty (the default) schedules nothing — zero
   /// extra events, zero extra RNG draws, byte-identical seeded runs.
   std::vector<ApFaultScript> ap_faults;
+  /// Single-copy downlink fan-out: the controller acquires each downlink
+  /// packet once in a system-wide net::PacketPool and fans 4-byte
+  /// refcounted handles out to the in-range APs instead of N payload
+  /// copies. Pure memory/CPU optimisation — every delivered byte, metric
+  /// and RNG draw is identical with it off (tests/backhaul_model_test.cc
+  /// proves this seed-by-seed), so it defaults on.
+  bool use_fanout_pool = true;
 };
 
 class WgttSystem {
@@ -213,6 +221,10 @@ class WgttSystem {
   sim::Scheduler sched_;
   mac::Medium medium_;
   net::Backhaul backhaul_;
+  // Shared downlink payload pool (use_fanout_pool). Declared before the
+  // controller and APs so their queues (which hold pool references) are
+  // destroyed first.
+  net::PacketPool payload_pool_;
   TestbedGeometry geometry_;
   core::SpatialIndex spatial_index_;
   double spatial_radius_m_ = 0.0;

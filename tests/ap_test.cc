@@ -85,6 +85,76 @@ TEST(CyclicQueueTest, FullLapKeepsAllSlots) {
   EXPECT_EQ(q.occupancy(), static_cast<std::size_t>(CyclicQueue::kIndexSpace));
 }
 
+TEST(CyclicQueueTest, DropDiscardsWithoutMaterializing) {
+  CyclicQueue q;
+  q.put(3, net::make_packet());
+  EXPECT_TRUE(q.drop(3));
+  EXPECT_FALSE(q.has(3));
+  EXPECT_EQ(q.occupancy(), 0u);
+  EXPECT_FALSE(q.drop(3));  // already empty
+}
+
+TEST(CyclicQueueTest, SharedHandleSurvivesPeerCrashWipe) {
+  // The fan-out invariant: N queues hold N references to ONE pooled packet.
+  // Wiping one queue (an AP crash) must leave every other queue's view of
+  // the shared slot intact, and taking from the survivors must not disturb
+  // the rest either.
+  net::PacketPool pool;
+  CyclicQueue a(&pool);
+  CyclicQueue b(&pool);
+  CyclicQueue c(&pool);
+  net::Packet p = net::make_packet();
+  p.payload_bytes = 777;
+  const auto h = pool.acquire(std::move(p));  // controller's acquisition ref
+  pool.add_ref(h);
+  a.put_handle(40, h);
+  pool.add_ref(h);
+  b.put_handle(40, h);
+  pool.add_ref(h);
+  c.put_handle(40, h);
+  pool.drop(h);  // controller lets go; the queues hold theirs
+  EXPECT_EQ(pool.ref_count(h), 3u);
+  EXPECT_EQ(pool.in_use(), 1u);  // three queues, ONE packet
+
+  a.clear();  // AP a crashes: its ref drops, nothing is copied or moved
+  EXPECT_EQ(pool.ref_count(h), 2u);
+  ASSERT_NE(b.peek(40), nullptr);
+  EXPECT_EQ(b.peek(40)->payload_bytes, 777u);
+
+  const auto from_b = b.take(40);  // shared: must copy, leaving c's view
+  ASSERT_TRUE(from_b.has_value());
+  EXPECT_EQ(from_b->payload_bytes, 777u);
+  ASSERT_NE(c.peek(40), nullptr);
+  EXPECT_EQ(c.peek(40)->payload_bytes, 777u);
+
+  const auto from_c = c.take(40);  // last ref: moves out and frees the slot
+  ASSERT_TRUE(from_c.has_value());
+  EXPECT_EQ(from_c->payload_bytes, 777u);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_refs(), 0u);
+}
+
+TEST(CyclicQueueTest, OverwriteDropsDisplacedSharedRef) {
+  // A new packet landing on an occupied slot drops the displaced occupant's
+  // reference; a peer still holding that occupant keeps reading it.
+  net::PacketPool pool;
+  CyclicQueue a(&pool);
+  CyclicQueue b(&pool);
+  net::Packet old = net::make_packet();
+  old.payload_bytes = 1;
+  const auto h = pool.acquire(std::move(old));
+  pool.add_ref(h);
+  a.put_handle(9, h);
+  b.put_handle(9, h);
+  net::Packet fresh = net::make_packet();
+  fresh.payload_bytes = 2;
+  a.put(9, fresh);  // a's ref on the old packet drops; b's stays
+  EXPECT_EQ(a.overwrites(), 1u);
+  EXPECT_EQ(a.peek(9)->payload_bytes, 2u);
+  EXPECT_EQ(b.peek(9)->payload_bytes, 1u);
+  EXPECT_EQ(pool.ref_count(h), 1u);
+}
+
 // --- WgttAp fixture ---------------------------------------------------------
 
 channel::CsiMeasurement flat_csi(double snr_db, Time when) {

@@ -422,6 +422,293 @@ TEST_F(BackhaulTest, MessageInFlightTowardDownNodeIsLost) {
   EXPECT_EQ(bh.link_dropped(), 1u);
 }
 
+TEST_F(BackhaulTest, FiniteLinkRateSerializesBackToBack) {
+  // With the link model on, consecutive messages on one link queue behind
+  // each other at the configured rate: message i's arrival is one
+  // serialization time after message i-1's.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.link_rate_mbps = 10.0;  // 1000 B => 800 us each
+  Backhaul bh(sched_, cfg, Rng{9});
+  std::vector<Time> arrivals;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage) {
+    arrivals.push_back(sched_.now());
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 1000 - kIpUdpHeaderBytes - kTunnelHeaderBytes;
+  const Time ser = Time::micros(1000.0 * 8.0 / cfg.link_rate_mbps);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], ser + cfg.switch_overhead);
+  EXPECT_EQ(arrivals[1] - arrivals[0], ser);
+  EXPECT_EQ(arrivals[2] - arrivals[1], ser);
+}
+
+TEST_F(BackhaulTest, LinkQueueBoundDropsExcessBytes) {
+  // A burst past the byte bound is tail-dropped at send time; the drops are
+  // visible in queue_drops() and everything admitted still delivers in
+  // order.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.link_rate_mbps = 10.0;
+  cfg.link_queue_bytes = 4000;  // ~4 x 1000 B messages deep
+  Backhaul bh(sched_, cfg, Rng{9});
+  std::vector<std::uint16_t> received;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) received.push_back(d->index);
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 1000 - kIpUdpHeaderBytes - kTunnelHeaderBytes;
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  EXPECT_GT(bh.queue_drops(), 0u);
+  EXPECT_EQ(bh.queue_drops(), bh.messages_dropped());
+  EXPECT_EQ(received.size() + bh.queue_drops(), 50u);
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    ASSERT_LT(received[i - 1], received[i]);
+  }
+  EXPECT_GT(bh.max_link_utilization(sched_.now()), 0.0);
+}
+
+TEST_F(BackhaulTest, BatchingCoalescesDeliveriesInOrder) {
+  // A quiet window's worth of fan-out traffic arrives as ONE delivery event
+  // carrying every message in send order, on one shared timestamp.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.batching = true;
+  Backhaul bh(sched_, cfg, Rng{9});
+  std::vector<std::uint16_t> received;
+  std::vector<Time> arrivals;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) {
+      received.push_back(d->index);
+      arrivals.push_back(sched_.now());
+    }
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 500;
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  ASSERT_EQ(received.size(), 10u);
+  EXPECT_EQ(bh.batches_flushed(), 1u);
+  EXPECT_EQ(bh.messages_batched(), 10u);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(received[i], i);
+    EXPECT_EQ(arrivals[static_cast<std::size_t>(i)], arrivals[0])
+        << "batch members must share one arrival timestamp";
+  }
+}
+
+TEST_F(BackhaulTest, BatchMaxMsgsBoundsCoalescing) {
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.batching = true;
+  cfg.batch_max_msgs = 4;
+  Backhaul bh(sched_, cfg, Rng{9});
+  int got = 0;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage) { ++got; });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 500;
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  EXPECT_EQ(got, 10);
+  // 10 sends at max 4 per batch: two full flushes plus the window flush.
+  EXPECT_EQ(bh.batches_flushed(), 3u);
+}
+
+TEST_F(BackhaulTest, ControlFlushesOpenBatchAndStaysBehindIt) {
+  // Non-batchable traffic on a link must empty the open batch first — a
+  // stop/start can never overtake data queued before it.
+  Backhaul::Config cfg;
+  cfg.jitter_max = Time::zero();
+  cfg.batching = true;
+  Backhaul bh(sched_, cfg, Rng{9});
+  std::vector<int> order;  // data indices as-is, stop as -1
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) {
+      order.push_back(d->index);
+    } else if (std::holds_alternative<StopMsg>(msg)) {
+      order.push_back(-1);
+    }
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  Packet p = make_packet();
+  p.payload_bytes = 500;
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), StopMsg{});
+  sched_.run_all();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], -1);
+}
+
+TEST_F(BackhaulTest, BatchingPreservesFifoUnderLossDupDelay) {
+  // The FIFO-equivalence contract: under loss, duplication and injected
+  // delay, a batched flow never overtakes itself — per-flow indices stay
+  // non-decreasing, exactly like the per-message path (reorder excepted,
+  // tested separately).
+  Backhaul::Config cfg;
+  cfg.batching = true;
+  cfg.batch_max_msgs = 8;
+  cfg.fault(MsgKind::kDownlinkData).loss_rate = 0.1;
+  cfg.fault(MsgKind::kDownlinkData).dup_rate = 0.1;
+  cfg.fault(MsgKind::kDownlinkData).delay_rate = 0.2;
+  cfg.fault(MsgKind::kDownlinkData).delay_max = Time::ms(3);
+  Backhaul bh(sched_, cfg, Rng{23});
+  std::vector<std::uint16_t> received;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) received.push_back(d->index);
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 600; ++i) {
+    Packet p = make_packet();
+    p.payload_bytes = 200;
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  EXPECT_GT(bh.messages_batched(), 0u);
+  EXPECT_GT(bh.messages_dropped(), 0u);
+  EXPECT_GT(bh.messages_duplicated(), 0u);
+  ASSERT_GT(received.size(), 0u);
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    ASSERT_GE(received[i], received[i - 1])
+        << "batching let the flow overtake itself at delivery " << i;
+  }
+}
+
+TEST_F(BackhaulTest, ReorderStillEscapesFifoWithBatching) {
+  Backhaul::Config cfg;
+  cfg.batching = true;
+  cfg.fault(MsgKind::kDownlinkData).reorder_rate = 0.2;
+  cfg.fault(MsgKind::kDownlinkData).reorder_max = Time::ms(2);
+  Backhaul bh(sched_, cfg, Rng{29});
+  std::vector<std::uint16_t> received;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) received.push_back(d->index);
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 400; ++i) {
+    Packet p = make_packet();
+    p.payload_bytes = 200;
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), DownlinkData{p, i});
+  }
+  sched_.run_all();
+  ASSERT_EQ(received.size(), 400u);  // reorder never drops
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (received[i] < received[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  std::vector<std::uint16_t> sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint16_t i = 0; i < 400; ++i) ASSERT_EQ(sorted[i], i);
+}
+
+// --- pooled payloads across the backhaul ----------------------------------
+
+/// Builds a pooled DownlinkData whose single reference the message owns
+/// (the controller's fan-out pattern after its acquisition ref is dropped).
+DownlinkData pooled_msg(PacketPool& pool, std::uint16_t index) {
+  Packet p = make_packet();
+  p.payload_bytes = 700;
+  DownlinkData d;
+  d.index = index;
+  d.tunnel_bytes = static_cast<std::uint32_t>(p.tunnel_bytes());
+  d.handle = pool.acquire(std::move(p));
+  return d;
+}
+
+TEST_F(BackhaulTest, PooledPayloadRefsDropOnEveryLossPath) {
+  // Whatever kills a pooled message — uniform loss, plan loss, a downed
+  // link, the queue bound — must drop its pool reference, or the payload
+  // leaks forever. Drive each path and end at zero live refs.
+  Backhaul::Config cfg;
+  cfg.loss_rate = 0.5;
+  cfg.link_rate_mbps = 10.0;
+  cfg.link_queue_bytes = 2000;  // tight: forces queue drops too
+  PacketPool pool;
+  Backhaul bh(sched_, cfg, Rng{31});
+  bh.set_payload_pool(&pool);
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) {
+      ASSERT_TRUE(d->pooled());
+      pool.drop(d->handle);  // the receiver adopts, then consumes
+    }
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), pooled_msg(pool, i));
+  }
+  // And the in-flight-toward-a-downed-node path:
+  bh.send(NodeId::controller(), NodeId::ap(ApId{0}), pooled_msg(pool, 100));
+  bh.set_node_up(NodeId::ap(ApId{0}), false);
+  sched_.run_all();
+  EXPECT_GT(bh.messages_dropped(), 0u);
+  EXPECT_GT(bh.queue_drops(), 0u);
+  EXPECT_EQ(pool.total_refs(), 0u) << "a drop path leaked a payload ref";
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST_F(BackhaulTest, PooledDuplicateCarriesItsOwnRef) {
+  Backhaul::Config cfg;
+  cfg.fault(MsgKind::kDownlinkData).dup_rate = 1.0;
+  PacketPool pool;
+  Backhaul bh(sched_, cfg, Rng{31});
+  bh.set_payload_pool(&pool);
+  int got = 0;
+  bh.attach(NodeId::ap(ApId{0}), [&](NodeId, BackhaulMessage msg) {
+    if (auto* d = std::get_if<DownlinkData>(&msg)) {
+      ++got;
+      pool.drop(d->handle);
+    }
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), pooled_msg(pool, i));
+  }
+  sched_.run_all();
+  EXPECT_EQ(got, 10);  // each original + its copy, each with a live ref
+  EXPECT_EQ(pool.total_refs(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST_F(BackhaulTest, PooledBatchDropsRefsWithTheCable) {
+  // A whole batch lost to a cable cut drops one ref per member.
+  Backhaul::Config cfg;
+  cfg.batching = true;
+  PacketPool pool;
+  Backhaul bh(sched_, cfg, Rng{31});
+  bh.set_payload_pool(&pool);
+  bh.attach(NodeId::ap(ApId{0}), [](NodeId, BackhaulMessage) {
+    FAIL() << "nothing may arrive through a cut cable";
+  });
+  bh.attach(NodeId::controller(), [](NodeId, BackhaulMessage) {});
+  for (std::uint16_t i = 0; i < 6; ++i) {
+    bh.send(NodeId::controller(), NodeId::ap(ApId{0}), pooled_msg(pool, i));
+  }
+  bh.set_node_up(NodeId::ap(ApId{0}), false);  // cut while the batch is open
+  sched_.run_all();
+  EXPECT_EQ(pool.total_refs(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
 TEST(PacketPoolTest, RoundTripsPackets) {
   PacketPool pool;
   Packet p = make_packet();
@@ -463,8 +750,64 @@ TEST(PacketPoolTest, RecyclesHandlesAndGrowsByChunks) {
 
   // Refilling reuses the freed slots: capacity must not grow.
   const std::size_t cap = pool.capacity();
-  for (int i = 0; i < 1000; ++i) pool.acquire(make_packet());
+  for (int i = 0; i < 1000; ++i) {
+    handles[static_cast<std::size_t>(i)] = pool.acquire(make_packet());
+  }
   EXPECT_EQ(pool.capacity(), cap);
+}
+
+TEST(PacketPoolTest, SharedHandleCopiesUntilLastRef) {
+  // The fan-out pattern: one acquire, one add_ref per extra holder. Interior
+  // releases copy (other holders still read the slot); the last release
+  // moves the packet out and recycles the slot.
+  PacketPool pool;
+  Packet p = make_packet();
+  p.payload_bytes = 900;
+  p.ip_id = 41;
+  const auto h = pool.acquire(std::move(p));
+  pool.add_ref(h);
+  pool.add_ref(h);
+  EXPECT_EQ(pool.ref_count(h), 3u);
+  EXPECT_EQ(pool.total_refs(), 3u);
+  EXPECT_EQ(pool.in_use(), 1u);  // three refs, ONE packet
+
+  const Packet first = pool.release(h);
+  EXPECT_EQ(first.ip_id, 41);
+  EXPECT_EQ(pool.ref_count(h), 2u);
+  ASSERT_NE(pool.get(h), nullptr);
+  EXPECT_EQ(pool.get(h)->ip_id, 41) << "interior release must copy, not move";
+
+  const Packet second = pool.release(h);
+  EXPECT_EQ(second.ip_id, 41);
+  const Packet last = pool.release(h);
+  EXPECT_EQ(last.ip_id, 41);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_refs(), 0u);
+}
+
+TEST(PacketPoolTest, DropReleasesWithoutMaterializing) {
+  PacketPool pool;
+  const auto h = pool.acquire(make_packet());
+  pool.add_ref(h);
+  pool.drop(h);
+  EXPECT_EQ(pool.ref_count(h), 1u);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.drop(h);  // last reference frees the slot
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_refs(), 0u);
+}
+
+TEST(PacketPoolDeathTest, DoubleReleaseAborts) {
+  // A second release of a dead handle would corrupt whoever reused the
+  // slot — the pool aborts instead of limping (the check survives release
+  // builds; assert() would not).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PacketPool pool;
+  const auto h = pool.acquire(make_packet());
+  pool.drop(h);
+  EXPECT_DEATH(pool.drop(h), "dead handle");
+  EXPECT_DEATH(pool.release(h), "dead handle");
+  EXPECT_DEATH(pool.add_ref(h), "dead handle");
 }
 
 }  // namespace

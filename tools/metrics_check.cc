@@ -232,8 +232,13 @@ int main(int argc, char** argv) {
   const std::string out_path = out_dir + "metrics_check_out.json";
   std::remove(out_path.c_str());
 
+  // The backhaul model runs with ample headroom (200 Mb/s links, batching
+  // on) so the gated backhaul.*/net.pool_refs gauges appear in the snapshot
+  // and the manifest can pin them, without perturbing the drive's switching
+  // behaviour.
   const std::string cmd = std::string("\"") + argv[1] +
-                          "\" --mph 25 --aps 4 --rate 10 --seed 3 --metrics " +
+                          "\" --mph 25 --aps 4 --rate 10 --seed 3 "
+                          "--backhaul-rate 200 --backhaul-batching --metrics " +
                           out_path + " > " + out_dir +
                           "metrics_check_stdout.txt";
   const int rc = std::system(cmd.c_str());

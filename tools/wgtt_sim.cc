@@ -10,6 +10,12 @@
 //            [--seed 1] [--window-ms 10] [--hysteresis-ms 40]
 //            [--channel-reuse 1] [--csv out.csv]
 //            [--metrics out.json] [--metrics-interval-ms 100]
+//            [--backhaul-rate MBPS] [--backhaul-batching]
+//
+// --backhaul-rate enables the per-link bandwidth/queue model (DESIGN.md
+// §10) at the given Mb/s per (controller, AP) link; --backhaul-batching
+// coalesces downlink fan-out into batched deliveries. Both off by default
+// (the infinite-pipe engine).
 //
 // --metrics writes a JSON snapshot of the whole metrics registry after the
 // run (schema wgtt.metrics.v1, see DESIGN.md §Observability): controller
@@ -58,7 +64,8 @@ void usage() {
                "                [--seed N] [--window-ms N] "
                "[--hysteresis-ms N]\n"
                "                [--channel-reuse N] [--csv FILE]\n"
-               "                [--metrics FILE] [--metrics-interval-ms N]\n");
+               "                [--metrics FILE] [--metrics-interval-ms N]\n"
+               "                [--backhaul-rate MBPS] [--backhaul-batching]\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -131,6 +138,21 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--metrics") {
       const char* v = need_value("--metrics");
       if (v) o.drive.metrics_path = v;
+    } else if (arg == "--backhaul-rate") {
+      const char* v = need_value("--backhaul-rate");
+      if (v) {
+        const double rate = std::atof(v);
+        if (rate <= 0.0) {
+          std::fprintf(stderr, "--backhaul-rate must be positive, got '%s'\n",
+                       v);
+          usage();
+          o.ok = false;
+        } else {
+          o.drive.backhaul_link_rate_mbps = rate;
+        }
+      }
+    } else if (arg == "--backhaul-batching") {
+      o.drive.backhaul_batching = true;
     } else if (arg == "--metrics-interval-ms") {
       const char* v = need_value("--metrics-interval-ms");
       if (v) {
@@ -170,6 +192,10 @@ int run_with_trace(const Options& o, int channel_reuse) {
   cfg.geometry = o.drive.geometry.value_or(scenario::GeometryConfig{});
   cfg.geometry.seed = o.drive.seed;
   cfg.channel_reuse = channel_reuse;
+  if (o.drive.backhaul_link_rate_mbps) {
+    cfg.backhaul.link_rate_mbps = *o.drive.backhaul_link_rate_mbps;
+  }
+  cfg.backhaul.batching = o.drive.backhaul_batching;
   scenario::WgttSystem sys(cfg);
   mobility::LineDrive drive(-o.drive.lead_in_m, 0.0, mph_to_mps(o.drive.mph));
   const int c = sys.add_client(&drive);
