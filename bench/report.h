@@ -14,6 +14,9 @@
 namespace wgtt::benchx {
 
 /// Registers `name` as a benchmark whose only payload is `counters`.
+/// An `ndebug` counter is added automatically (1.0 when compiled with
+/// NDEBUG) so every emitted JSON records whether its numbers came from an
+/// optimized build (docs/BENCHMARKS.md reads committed files against it).
 inline void report(const std::string& name,
                    const std::map<std::string, double>& counters) {
   benchmark::RegisterBenchmark(name.c_str(), [counters](benchmark::State& st) {
@@ -23,6 +26,11 @@ inline void report(const std::string& name,
     for (const auto& [key, value] : counters) {
       st.counters[key] = value;
     }
+#ifdef NDEBUG
+    st.counters["ndebug"] = 1.0;
+#else
+    st.counters["ndebug"] = 0.0;
+#endif
   })->Iterations(1);
 }
 

@@ -25,20 +25,21 @@ double subcarrier_offset_hz(int i) {
 
 SpatialTap::SpatialTap(int num_sinusoids, double env_doppler_hz, Rng& rng) {
   if (num_sinusoids <= 0) throw std::invalid_argument("need at least one sinusoid");
-  comps_.reserve(static_cast<std::size_t>(num_sinusoids));
+  const auto count = static_cast<std::size_t>(num_sinusoids);
+  kx_.reserve(count);
+  ky_.reserve(count);
+  omega_.reserve(count);
+  phase_.reserve(count);
   const double k_mag = kTwoPi / kWavelength;
-  const double amp = 1.0 / std::sqrt(static_cast<double>(num_sinusoids));
+  amplitude_ = 1.0 / std::sqrt(static_cast<double>(num_sinusoids));
   for (int m = 0; m < num_sinusoids; ++m) {
     const double alpha = rng.uniform(0.0, kTwoPi);  // arrival direction
-    Component c{};
-    c.kx = k_mag * std::cos(alpha);
-    c.ky = k_mag * std::sin(alpha);
+    kx_.push_back(k_mag * std::cos(alpha));
+    ky_.push_back(k_mag * std::sin(alpha));
     // Environmental Doppler: each scatterer drifts at a random rate within
     // +/- env_doppler_hz, so a static client still sees slow variation.
-    c.omega = kTwoPi * rng.uniform(-env_doppler_hz, env_doppler_hz);
-    c.phase = rng.uniform(0.0, kTwoPi);
-    c.amplitude = amp;
-    comps_.push_back(c);
+    omega_.push_back(kTwoPi * rng.uniform(-env_doppler_hz, env_doppler_hz));
+    phase_.push_back(rng.uniform(0.0, kTwoPi));
   }
 }
 
@@ -46,10 +47,15 @@ std::complex<double> SpatialTap::gain(Vec2 pos, Time t) const {
   const double ts = t.to_seconds();
   double re = 0.0;
   double im = 0.0;
-  for (const auto& c : comps_) {
-    const double ph = c.kx * pos.x + c.ky * pos.y + c.omega * ts + c.phase;
-    re += c.amplitude * std::cos(ph);
-    im += c.amplitude * std::sin(ph);
+  // Component order is the draw order; the reduction must stay in that
+  // order (not reassociated) to keep gain() bit-identical to the seed
+  // formula. The cos/sin pair dominates anyway, so the win from the SoA
+  // layout is locality, not lane-parallel math.
+  const std::size_t n = kx_.size();
+  for (std::size_t m = 0; m < n; ++m) {
+    const double ph = kx_[m] * pos.x + ky_[m] * pos.y + omega_[m] * ts + phase_[m];
+    re += amplitude_ * std::cos(ph);
+    im += amplitude_ * std::sin(ph);
   }
   return {re, im};
 }
@@ -77,8 +83,11 @@ TappedDelayChannel::TappedDelayChannel(const Config& config, Rng& rng) {
   los_amplitude_ = std::sqrt(los_power_);
 
   taps_.reserve(static_cast<std::size_t>(config.num_taps));
-  subcarrier_rotation_.resize(static_cast<std::size_t>(config.num_taps) *
-                              static_cast<std::size_t>(kNumSubcarriers));
+  const std::size_t table =
+      static_cast<std::size_t>(config.num_taps) *
+      static_cast<std::size_t>(kNumSubcarriers);
+  rot_re_.resize(table);
+  rot_im_.resize(table);
   for (int l = 0; l < config.num_taps; ++l) {
     const double power = scatter_power * raw[static_cast<std::size_t>(l)] / total;
     Tap tap{
@@ -87,44 +96,65 @@ TappedDelayChannel::TappedDelayChannel(const Config& config, Rng& rng) {
         .delay_ns = l * tap_spacing_ns,
         .field = SpatialTap(config.sinusoids_per_tap, config.env_doppler_hz, rng),
     };
-    std::complex<double>* rot =
-        &subcarrier_rotation_[static_cast<std::size_t>(l) *
-                              static_cast<std::size_t>(kNumSubcarriers)];
+    const std::size_t row = static_cast<std::size_t>(l) *
+                            static_cast<std::size_t>(kNumSubcarriers);
     for (int i = 0; i < kNumSubcarriers; ++i) {
       const double phase = -kTwoPi * subcarrier_offset_hz(i) * tap.delay_ns * 1e-9;
-      rot[i] = {std::cos(phase), std::sin(phase)};
+      rot_re_[row + static_cast<std::size_t>(i)] = std::cos(phase);
+      rot_im_[row + static_cast<std::size_t>(i)] = std::sin(phase);
     }
     taps_.push_back(std::move(tap));
   }
 }
 
-// Hot path: every restructuring here (precomputed sqrt amplitudes, the
-// flattened rotation table, fixed-size gains) keeps the original operand
-// values and accumulation order, so the output is bit-identical to the seed
-// formula — channel_test's BitIdenticalToReferenceFormula locks that in.
-CsiSnapshot TappedDelayChannel::csi(Vec2 pos, Time t) const {
-  CsiSnapshot snap;
-  snap.when = t;
+// Hot path: every restructuring here (precomputed sqrt amplitudes, the SoA
+// rotation tables, fixed-size gains, real/imaginary accumulator lanes)
+// keeps the original operand values and accumulation order, so the output
+// is bit-identical to the seed formula — channel_test's
+// BitIdenticalToReferenceFormula and BatchMatchesScalarBitwise lock that in.
+void TappedDelayChannel::csi_into(Vec2 pos, Time t, CsiSnapshot& out) const {
+  out.when = t;
 
   // LoS term: flat across frequency (delay 0), phase tracks position.
-  const std::complex<double> los =
-      los_amplitude_ *
-      std::complex<double>{std::cos(los_phase_rate_ * pos.x),
-                           std::sin(los_phase_rate_ * pos.x)};
+  const double los_re = los_amplitude_ * std::cos(los_phase_rate_ * pos.x);
+  const double los_im = los_amplitude_ * std::sin(los_phase_rate_ * pos.x);
 
   // Per-tap spatial gain is evaluated once (hoisted out of the subcarrier
-  // loop); the inner loop is a pure complex multiply-accumulate over the
-  // precomputed rotation row.
+  // loop); the inner loop is the batch kernel proper: 56 independent
+  // complex multiply-accumulates, written as four real-lane streams over
+  // the SoA rotation rows. Each lane's accumulator is independent across
+  // subcarriers, so the compiler may vectorize the loop without changing
+  // any rounding — (a+bi)(c+di) = (ac-bd) + (ad+bc)i is exactly what
+  // std::complex multiplication computes for finite operands.
+  double acc_re[kNumSubcarriers] = {};
+  double acc_im[kNumSubcarriers] = {};
   for (std::size_t l = 0; l < taps_.size(); ++l) {
     const std::complex<double> g = taps_[l].amplitude * taps_[l].field.gain(pos, t);
-    const std::complex<double>* rot =
-        &subcarrier_rotation_[l * static_cast<std::size_t>(kNumSubcarriers)];
+    const double g_re = g.real();
+    const double g_im = g.imag();
+    const std::size_t row = l * static_cast<std::size_t>(kNumSubcarriers);
+    const double* rr = &rot_re_[row];
+    const double* ri = &rot_im_[row];
     for (int i = 0; i < kNumSubcarriers; ++i) {
-      snap.gains[static_cast<std::size_t>(i)] += g * rot[i];
+      acc_re[i] += g_re * rr[i] - g_im * ri[i];
+      acc_im[i] += g_re * ri[i] + g_im * rr[i];
     }
   }
-  for (auto& g : snap.gains) g += los;
+  for (int i = 0; i < kNumSubcarriers; ++i) {
+    out.gains[static_cast<std::size_t>(i)] = {acc_re[i] + los_re,
+                                              acc_im[i] + los_im};
+  }
+}
+
+CsiSnapshot TappedDelayChannel::csi(Vec2 pos, Time t) const {
+  CsiSnapshot snap;
+  csi_into(pos, t, snap);
   return snap;
+}
+
+void TappedDelayChannel::csi_batch(const Vec2* pos, const Time* t,
+                                   std::size_t n, CsiSnapshot* out) const {
+  for (std::size_t i = 0; i < n; ++i) csi_into(pos[i], t[i], out[i]);
 }
 
 std::complex<double> TappedDelayChannel::flat_gain(Vec2 pos, Time t) const {

@@ -40,6 +40,14 @@ struct CsiSnapshot {
 };
 
 /// One multipath tap: unit-power complex Gaussian spatial field.
+///
+/// Component parameters are stored as structure-of-arrays (one contiguous
+/// vector per parameter) so the phase evaluation in gain() streams four
+/// sequential arrays instead of strided struct fields. The sinusoid
+/// reduction itself stays in component order — reassociating the sum would
+/// change the rounded result, and gain() is locked bit-identical to the
+/// seed formula (channel_test::SpatialTapSingleSinusoidAnalytic and
+/// BitIdenticalToReferenceFormula).
 class SpatialTap {
  public:
   /// num_sinusoids ~12-24 suffices for Rayleigh statistics.
@@ -49,14 +57,13 @@ class SpatialTap {
   /// Complex gain at client position `pos`, time `t`.
   [[nodiscard]] std::complex<double> gain(Vec2 pos, Time t) const;
 
+  [[nodiscard]] int num_sinusoids() const { return static_cast<int>(kx_.size()); }
+
  private:
-  struct Component {
-    double kx, ky;      // spatial wavevector (rad/m)
-    double omega;       // temporal angular rate (rad/s)
-    double phase;       // random phase offset
-    double amplitude;
-  };
-  std::vector<Component> comps_;
+  std::vector<double> kx_, ky_;  // spatial wavevector (rad/m)
+  std::vector<double> omega_;    // temporal angular rate (rad/s)
+  std::vector<double> phase_;    // random phase offset
+  double amplitude_ = 0.0;       // uniform 1/sqrt(M) per component
 };
 
 /// Power-delay profile + per-tap spatial fields -> frequency-selective CSI.
@@ -79,6 +86,22 @@ class TappedDelayChannel {
   /// unit average power (large-scale effects are applied by LinkChannel).
   [[nodiscard]] CsiSnapshot csi(Vec2 pos, Time t) const;
 
+  /// Same evaluation written into a caller-provided snapshot: the batched
+  /// SIMD-friendly kernel (DESIGN.md §11.6). All taps × 56 subcarriers are
+  /// accumulated in separate real/imaginary lanes over the SoA rotation
+  /// tables, so the complex multiply-accumulates auto-vectorize across
+  /// subcarriers without -ffast-math; the per-tap operand values and the
+  /// tap-order accumulation are unchanged, so the result is bit-identical
+  /// to csi() before the restructure (channel_test locks this).
+  void csi_into(Vec2 pos, Time t, CsiSnapshot& out) const;
+
+  /// Evaluates `n` (position, time) samples in one call — the lazy-link
+  /// sampling shape: one (AP, client) channel drawn at many points along a
+  /// drive. The rotation/component tables stay hot across iterations;
+  /// out[i] is bit-identical to csi(pos[i], t[i]).
+  void csi_batch(const Vec2* pos, const Time* t, std::size_t n,
+                 CsiSnapshot* out) const;
+
   /// Scalar (flat-fading) gain: tap sum without frequency selectivity.
   [[nodiscard]] std::complex<double> flat_gain(Vec2 pos, Time t) const;
 
@@ -96,8 +119,12 @@ class TappedDelayChannel {
   double los_amplitude_ = 0.0;     // sqrt(los_power_), precomputed
   double los_phase_rate_ = 0.0;    // rad per metre of client motion (x axis)
   // Precomputed subcarrier phase factors exp(-j 2 pi f_k tau_l), flattened
-  // to one contiguous block: tap l's rotations at [l * kNumSubcarriers, ...).
-  std::vector<std::complex<double>> subcarrier_rotation_;
+  // to structure-of-arrays blocks: tap l's rotations occupy
+  // [l * kNumSubcarriers, (l+1) * kNumSubcarriers) of each table. Separate
+  // re/im arrays let csi_into()'s inner loop run as four independent
+  // real-lane multiply-accumulate streams.
+  std::vector<double> rot_re_;
+  std::vector<double> rot_im_;
 };
 
 /// Centre frequency offset of subcarrier index i (0..55), Hz.

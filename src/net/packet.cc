@@ -7,15 +7,37 @@ namespace {
 // own deterministic uid stream: every trial calls reset_packet_uids() on
 // whichever worker thread runs it, and uids only need to be unique within
 // one run (one scheduler, one thread).
-thread_local std::uint64_t g_next_uid = 1;
+//
+// The parallel engine (DESIGN.md §11) adds a second sharing shape: several
+// domains of ONE run, each with its own scheduler, executed by a worker
+// pool whose size must not affect results. There the uid stream is
+// per-domain state, not per-thread state — each domain redirects the
+// stream pointer to its own counter around its execution windows
+// (set_packet_uid_stream), so the uids a domain draws are independent of
+// which worker ran it and of how many workers exist.
+thread_local std::uint64_t g_default_uid = 1;
+thread_local std::uint64_t* g_uid_stream = &g_default_uid;
 }  // namespace
 
 Packet make_packet() {
   Packet p;
-  p.uid = g_next_uid++;
+  p.uid = (*g_uid_stream)++;
   return p;
 }
 
-void reset_packet_uids() { g_next_uid = 1; }
+void reset_packet_uids() {
+  g_default_uid = 1;
+  g_uid_stream = &g_default_uid;
+}
+
+std::uint64_t* set_packet_uid_stream(std::uint64_t* stream) {
+  std::uint64_t* prev = g_uid_stream;
+  g_uid_stream = stream != nullptr ? stream : &g_default_uid;
+  return prev;
+}
+
+std::uint64_t packet_uid_domain_base(std::uint64_t domain) {
+  return (domain << 48) | 1;
+}
 
 }  // namespace wgtt::net

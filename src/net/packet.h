@@ -77,6 +77,19 @@ struct Packet {
 [[nodiscard]] Packet make_packet();
 
 /// Resets the uid counter (between independent experiments in one binary).
+/// Also restores the default (thread-local) uid stream.
 void reset_packet_uids();
+
+/// Redirects make_packet()'s uid draws on this thread to `stream` (nullptr
+/// restores the thread-local default). Returns the previously active
+/// stream so callers can nest save/restore. The parallel engine's domains
+/// each own one counter, swapped in around their execution windows, so uid
+/// allocation is per-domain deterministic regardless of worker count
+/// (DESIGN.md §11.5).
+std::uint64_t* set_packet_uid_stream(std::uint64_t* stream);
+
+/// First uid of domain d's namespace: (d << 48) | 1. 48 counter bits per
+/// domain keep streams collision-free without coordination.
+[[nodiscard]] std::uint64_t packet_uid_domain_base(std::uint64_t domain);
 
 }  // namespace wgtt::net

@@ -52,6 +52,14 @@ std::uint64_t EventProfiler::total_ns() const {
   return n;
 }
 
+void EventProfiler::merge_from(const EventProfiler& other) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].events += other.cells_[i].events;
+    cells_[i].ns += other.cells_[i].ns;
+    hist_[i].merge_from(other.hist_[i]);
+  }
+}
+
 void EventProfiler::flush_to(obs::MetricsRegistry& registry) const {
   for (int i = 0; i < kNumEventCategories; ++i) {
     const auto cat = static_cast<EventCategory>(i);

@@ -74,6 +74,14 @@ class EventProfiler {
     return hist_[static_cast<std::size_t>(cat)];
   }
 
+  /// Folds another profiler's cells and histograms into this one. The
+  /// parallel engine attaches one profiler per domain scheduler (each
+  /// scheduler is stepped by exactly one worker at a time, so recording
+  /// stays single-writer) and merges them in ascending domain order after
+  /// the run — the merged totals keep bench_perf_engine's coverage and
+  /// overhead gates meaningful when the run used several threads.
+  void merge_from(const EventProfiler& other);
+
   /// Exports the profile into `registry`:
   ///   sim.profile.<cat>_us   histogram  per-event wall microseconds
   ///   sim.profile.<cat>_ns   counter    total wall nanoseconds

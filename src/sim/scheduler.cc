@@ -105,6 +105,26 @@ void Scheduler::run_until(Time limit) {
   if (now_ < limit) now_ = limit;
 }
 
+void Scheduler::run_before(Time limit) {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (!slots_[top.slot].armed) {  // cancelled: drop the stale key
+      pop_top();
+      continue;
+    }
+    if (top.when >= limit) break;
+    step();
+  }
+  // The clock deliberately stays at the last executed event: a later window
+  // may inject mailbox events anywhere in [now, its window end), and
+  // schedule_at must not clamp them forward.
+}
+
+Time Scheduler::next_event_time() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].armed) pop_top();
+  return heap_.empty() ? Time::max() : heap_.front().when;
+}
+
 void Scheduler::run_all() {
   while (step()) {
   }

@@ -64,6 +64,15 @@ class Scheduler {
   /// at `limit` fire.
   void run_until(Time limit);
 
+  /// Runs events with `when` strictly below `limit`; events exactly at
+  /// `limit` stay pending and the clock is NOT advanced past the last
+  /// executed event. This is the parallel engine's window primitive
+  /// (DESIGN.md §11): a domain executes [window start, window end) and an
+  /// event at the window edge must wait — the next window's mailbox drain
+  /// may still inject messages at that exact time ahead of it in (when,
+  /// seq) order.
+  void run_before(Time limit);
+
   /// Runs until no events remain.
   void run_all();
 
@@ -73,6 +82,12 @@ class Scheduler {
   /// Live (scheduled, not yet fired or cancelled) events.
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Earliest pending event time, or Time::max() when the queue is empty.
+  /// Non-const: stale keys of cancelled events surfacing at the top are
+  /// dropped on the way (they carry no information). The parallel engine's
+  /// window-skip reduction reads this after each round.
+  [[nodiscard]] Time next_event_time();
 
   /// Attaches (or, with nullptr, detaches) a wall-time profiler. While one
   /// is attached, step() takes ONE steady_clock read per event and charges

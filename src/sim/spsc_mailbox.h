@@ -1,0 +1,115 @@
+// Single-producer single-consumer mailbox for cross-domain events
+// (DESIGN.md §11.3).
+//
+// The parallel engine gives every directed domain edge its own mailbox:
+// the producer is whichever worker is executing the source domain's events
+// this round (domains never migrate mid-round, so pushes are serial), and
+// the consumer is the worker draining the destination domain at its next
+// window start. That pairing makes the queue strictly SPSC, so the fast
+// path is two relaxed-plus-release/acquire index updates and zero locks.
+//
+// Capacity is unbounded without breaking the lock-free contract: entries
+// live in fixed-size chunks chained through an atomic `next` pointer. When
+// the producer fills a chunk it allocates a larger one, links it with a
+// release store, and never touches the old chunk again; the consumer
+// follows `next` only after draining a chunk completely, then frees it.
+// Per-round traffic is a handful of wire messages per edge, so chunk
+// growth is a cold path — but correctness (and the determinism sweep)
+// never depends on a tuning constant.
+//
+// FIFO contract: entries pop in push order. The producer stamps each entry
+// with a per-edge sequence number before pushing; the consumer's injection
+// sort uses (when, src domain, seq), so same-arrival messages on one edge
+// keep their send order — the mailbox analogue of the scheduler's
+// (when, seq) tie-break.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "sim/inline_callback.h"
+#include "sim/profiler.h"
+#include "util/units.h"
+
+namespace wgtt::sim {
+
+/// One cross-domain message: run `fn` in the destination domain at virtual
+/// time `when`. `src` and `seq` are the deterministic injection tie-break.
+struct CrossEvent {
+  Time when;
+  std::uint64_t seq = 0;
+  int src = 0;  // source domain id (injection sort rank across in-edges)
+  EventCategory cat = EventCategory::kBackhaul;
+  InlineCallback fn;
+};
+
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(std::size_t initial_capacity = 64)
+      : head_chunk_(new Chunk(initial_capacity)), tail_chunk_(head_chunk_) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  ~SpscMailbox() {
+    // Destruction happens after both sides quiesced (the engine joins its
+    // workers first), so a plain walk is safe.
+    Chunk* c = head_chunk_;
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Producer side only. Entries become visible to pop() in push order.
+  void push(CrossEvent ev) {
+    Chunk* c = tail_chunk_;
+    const std::size_t t = c->tail.load(std::memory_order_relaxed);
+    if (t - c->head.load(std::memory_order_acquire) == c->entries.size()) {
+      // Chunk full: move to a bigger one. The old chunk is now immutable
+      // from the producer's side; the consumer frees it once drained.
+      Chunk* grown = new Chunk(c->entries.size() * 2);
+      grown->entries[0] = std::move(ev);
+      grown->tail.store(1, std::memory_order_relaxed);
+      c->next.store(grown, std::memory_order_release);
+      tail_chunk_ = grown;
+      return;
+    }
+    c->entries[t % c->entries.size()] = std::move(ev);
+    c->tail.store(t + 1, std::memory_order_release);
+  }
+
+  /// Consumer side only. Returns false when no entry is currently visible.
+  bool pop(CrossEvent& out) {
+    Chunk* c = head_chunk_;
+    const std::size_t h = c->head.load(std::memory_order_relaxed);
+    if (h == c->tail.load(std::memory_order_acquire)) {
+      // Chunk drained. If the producer moved on, this chunk is dead and the
+      // successor holds any remaining entries; otherwise the box is empty.
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;
+      head_chunk_ = next;
+      delete c;
+      return pop(out);
+    }
+    out = std::move(c->entries[h % c->entries.size()]);
+    c->head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Chunk {
+    explicit Chunk(std::size_t capacity) : entries(capacity) {}
+    std::vector<CrossEvent> entries;
+    std::atomic<std::size_t> head{0};  // consumer cursor
+    std::atomic<std::size_t> tail{0};  // producer cursor
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  Chunk* head_chunk_;  // consumer's current chunk
+  Chunk* tail_chunk_;  // producer's current chunk
+};
+
+}  // namespace wgtt::sim

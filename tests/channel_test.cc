@@ -149,6 +149,57 @@ TEST(SubcarrierTest, OffsetsSpanTwentyMhz) {
   EXPECT_DOUBLE_EQ(subcarrier_offset_hz(55), 28 * 312.5e3);
 }
 
+// The tone map the batch kernel's rotation tables are built from: indices
+// 0..55 cover exactly tones -28..-1, +1..+28 — strictly increasing, DC
+// never emitted, and mirror-symmetric (index i and 55-i are opposite
+// tones). An off-by-one here would silently shear every rotation row.
+TEST(SubcarrierTest, ToneMapExhaustive) {
+  for (int i = 0; i < kNumSubcarriers; ++i) {
+    const double f = subcarrier_offset_hz(i);
+    const double tone = f / 312.5e3;
+    EXPECT_DOUBLE_EQ(tone, std::round(tone)) << "index " << i;
+    EXPECT_NE(tone, 0.0) << "index " << i;  // DC is skipped
+    EXPECT_GE(tone, -28.0);
+    EXPECT_LE(tone, 28.0);
+    if (i > 0) EXPECT_LT(subcarrier_offset_hz(i - 1), f) << "index " << i;
+    EXPECT_DOUBLE_EQ(subcarrier_offset_hz(kNumSubcarriers - 1 - i), -f)
+        << "index " << i;
+  }
+  // The boundary pairs around DC and at the band edges, by name.
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(27), -subcarrier_offset_hz(28));
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(0), -subcarrier_offset_hz(55));
+}
+
+// One sinusoid has a closed form: gain = A * exp(j(kx*x + ky*y + w*t + p))
+// with A = 1/sqrt(1) = 1. Replays the constructor's four RNG draws to
+// recover the component parameters, then checks gain() against the
+// analytic value at several (pos, t) — the ground truth the SoA component
+// tables must reproduce.
+TEST(SpatialTapTest, SingleSinusoidAnalyticValue) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  constexpr double env_doppler_hz = 1.5;
+  Rng rng_tap(91);
+  SpatialTap tap(1, env_doppler_hz, rng_tap);
+  ASSERT_EQ(tap.num_sinusoids(), 1);
+
+  Rng rng_ref(91);
+  const double alpha = rng_ref.uniform(0.0, two_pi);
+  const double kx = two_pi / kWavelength * std::cos(alpha);
+  const double ky = two_pi / kWavelength * std::sin(alpha);
+  const double omega = two_pi * rng_ref.uniform(-env_doppler_hz, env_doppler_hz);
+  const double phase = rng_ref.uniform(0.0, two_pi);
+
+  for (int s = 0; s < 32; ++s) {
+    const Vec2 pos{s * 0.83, (s % 3) * 1.7};
+    const Time t = Time::ms(s * 41);
+    const double ph = kx * pos.x + ky * pos.y + omega * t.to_seconds() + phase;
+    const auto g = tap.gain(pos, t);
+    EXPECT_DOUBLE_EQ(g.real(), std::cos(ph)) << "sample " << s;
+    EXPECT_DOUBLE_EQ(g.imag(), std::sin(ph)) << "sample " << s;
+    EXPECT_NEAR(std::abs(g), 1.0, 1e-12) << "sample " << s;
+  }
+}
+
 TEST(SpatialTapTest, UnitAveragePower) {
   Rng rng(5);
   SpatialTap tap(16, 1.0, rng);
@@ -333,6 +384,48 @@ TEST(TappedDelayTest, BitIdenticalToReferenceFormula) {
     const std::complex<double> flat = ch.flat_gain(pos, t);
     ASSERT_EQ(flat.real(), flat_ref.real()) << "sample " << s;
     ASSERT_EQ(flat.imag(), flat_ref.imag()) << "sample " << s;
+  }
+}
+
+// The batched kernel contract (DESIGN.md §11.6): csi_into/csi_batch are
+// the same evaluation as csi(), lane-restructured but never reassociated —
+// every sample is bit-identical, so there is no accuracy knob to document.
+TEST(TappedDelayTest, BatchMatchesScalarBitwise) {
+  const TappedDelayChannel::Config cfg;
+  Rng rng(123);
+  TappedDelayChannel ch(cfg, rng);
+
+  constexpr std::size_t kSamples = 300;
+  std::vector<Vec2> pos;
+  std::vector<Time> when;
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    // A drive-like sweep: monotone x (the lazy-link sampling shape) with
+    // lane wobble, millisecond-scale time steps.
+    pos.push_back({static_cast<double>(s) * 0.067,
+                   (s % 2 == 0 ? 0.0 : -3.5)});
+    when.push_back(Time::us(s * 913));
+  }
+  std::vector<CsiSnapshot> batch(kSamples);
+  ch.csi_batch(pos.data(), when.data(), kSamples, batch.data());
+
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    const CsiSnapshot one = ch.csi(pos[s], when[s]);
+    ASSERT_EQ(batch[s].when, one.when) << "sample " << s;
+    for (std::size_t i = 0; i < one.gains.size(); ++i) {
+      ASSERT_EQ(batch[s].gains[i].real(), one.gains[i].real())
+          << "sample " << s << " sc " << i;
+      ASSERT_EQ(batch[s].gains[i].imag(), one.gains[i].imag())
+          << "sample " << s << " sc " << i;
+    }
+  }
+
+  // csi_into over a caller-held snapshot: same path, no fresh object.
+  CsiSnapshot reused;
+  for (std::size_t s = 0; s < kSamples; s += 17) {
+    ch.csi_into(pos[s], when[s], reused);
+    for (std::size_t i = 0; i < reused.gains.size(); ++i) {
+      ASSERT_EQ(reused.gains[i], batch[s].gains[i]) << "sample " << s;
+    }
   }
 }
 

@@ -1,0 +1,336 @@
+// Parallel engine tests (DESIGN.md §11): SPSC mailbox FIFO/growth/threading,
+// the scheduler's window primitives, conservative lockstep determinism on
+// synthetic domain graphs, and the headline contract — run_parallel_city is
+// byte-identical (whole wgtt.metrics.v1 snapshots, exact per-client Mbps)
+// across worker counts, 20 seeds deep. `--parallel-domains N` is a wall-clock
+// knob, never a results knob.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/parallel_city.h"
+#include "sim/parallel.h"
+#include "sim/profiler.h"
+#include "sim/scheduler.h"
+#include "sim/spsc_mailbox.h"
+#include "util/units.h"
+
+namespace wgtt {
+namespace {
+
+// --- SPSC mailbox ----------------------------------------------------------
+
+sim::CrossEvent make_event(std::uint64_t seq) {
+  sim::CrossEvent ev;
+  ev.when = Time::ns(static_cast<double>(seq));
+  ev.seq = seq;
+  return ev;
+}
+
+TEST(SpscMailboxTest, FifoSingleThread) {
+  sim::SpscMailbox box(8);
+  for (std::uint64_t i = 1; i <= 100; ++i) box.push(make_event(i));
+  sim::CrossEvent ev;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(box.pop(ev));
+    EXPECT_EQ(ev.seq, i);
+  }
+  EXPECT_FALSE(box.pop(ev));
+}
+
+TEST(SpscMailboxTest, GrowthAcrossChunksPreservesOrder) {
+  // Tiny initial chunk: the push stream crosses several growth boundaries,
+  // with pops interleaved so drained chunks get freed mid-stream.
+  sim::SpscMailbox box(2);
+  sim::CrossEvent ev;
+  std::uint64_t next_push = 1;
+  std::uint64_t next_pop = 1;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 7; ++i) box.push(make_event(next_push++));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(box.pop(ev));
+      EXPECT_EQ(ev.seq, next_pop++);
+    }
+  }
+  while (box.pop(ev)) EXPECT_EQ(ev.seq, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscMailboxTest, TwoThreadStressKeepsFifo) {
+  sim::SpscMailbox box(4);
+  constexpr std::uint64_t kCount = 50000;
+  std::thread producer([&box] {
+    for (std::uint64_t i = 1; i <= kCount; ++i) box.push(make_event(i));
+  });
+  std::uint64_t expected = 1;
+  std::uint64_t out_of_order = 0;
+  sim::CrossEvent ev;
+  while (expected <= kCount) {
+    if (!box.pop(ev)) continue;
+    if (ev.seq != expected) ++out_of_order;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(out_of_order, 0u);
+  EXPECT_FALSE(box.pop(ev));
+}
+
+// --- scheduler window primitives -------------------------------------------
+
+TEST(SchedulerWindowTest, RunBeforeIsExclusiveAndKeepsClockUsable) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::ms(1), [&order] { order.push_back(1); });
+  sched.schedule_at(Time::ms(2), [&order] { order.push_back(2); });
+  sched.run_before(Time::ms(2));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.next_event_time(), Time::ms(2));
+  // The clock stopped at the last executed event, so a later window may
+  // still inject work anywhere past it — including before the 2 ms event.
+  sched.schedule_at(Time::ms(1) + Time::micros(500),
+                    [&order] { order.push_back(3); });
+  sched.run_until(Time::ms(5));
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SchedulerWindowTest, NextEventTimeOnEmptyHeap) {
+  sim::Scheduler sched;
+  EXPECT_EQ(sched.next_event_time(), Time::max());
+  sched.schedule_at(Time::ms(3), [] {});
+  EXPECT_EQ(sched.next_event_time(), Time::ms(3));
+  sched.run_until(Time::ms(4));
+  EXPECT_EQ(sched.next_event_time(), Time::max());
+}
+
+// --- profiler merge --------------------------------------------------------
+
+TEST(ProfilerMergeTest, MergeFromAddsCellsAndHistograms) {
+  sim::EventProfiler a;
+  sim::EventProfiler b;
+  a.record(sim::EventCategory::kMacTx, 1500);
+  a.record(sim::EventCategory::kChannel, 500);
+  b.record(sim::EventCategory::kMacTx, 2500);
+  b.record(sim::EventCategory::kTimer, 1000);
+  a.merge_from(b);
+  EXPECT_EQ(a.events(sim::EventCategory::kMacTx), 2u);
+  EXPECT_EQ(a.total_ns(sim::EventCategory::kMacTx), 4000u);
+  EXPECT_EQ(a.total_events(), 4u);
+  EXPECT_EQ(a.total_ns(), 5500u);
+  EXPECT_EQ(a.histogram(sim::EventCategory::kMacTx).count(), 2u);
+  EXPECT_EQ(a.histogram(sim::EventCategory::kTimer).count(), 1u);
+}
+
+// --- synthetic domain graph ------------------------------------------------
+
+struct PingPongRun {
+  // One log per domain: each is appended only by the worker executing that
+  // domain, so the runs are data-race free at any worker count.
+  std::vector<std::string> log_a;
+  std::vector<std::string> log_b;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+};
+
+PingPongRun run_ping_pong(int workers) {
+  PingPongRun r;
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::ParallelEngine::Config cfg;
+  cfg.lookahead = Time::ms(1);
+  cfg.workers = workers;
+  sim::ParallelEngine eng(cfg);
+  const int da = eng.add_domain(&a);
+  const int db = eng.add_domain(&b);
+  const int ab = eng.connect(da, db);
+  const int ba = eng.connect(db, da);
+
+  std::function<void()> ping;
+  std::function<void()> pong;
+  ping = [&] {
+    r.log_a.push_back("a@" + std::to_string(a.now().to_seconds()));
+    if (a.now() < Time::ms(8)) {
+      // Two messages per hop: one due next window, one staged 2.5 windows
+      // out — exercises the partition between ready and future entries.
+      eng.post(ab, a.now() + Time::ms(1), [&] { pong(); });
+      eng.post(ab, a.now() + Time::ms(2) + Time::micros(500), [&] { pong(); });
+    }
+  };
+  pong = [&] {
+    r.log_b.push_back("b@" + std::to_string(b.now().to_seconds()));
+    if (b.now() < Time::ms(8)) {
+      eng.post(ba, b.now() + Time::ms(1), [&] { ping(); });
+    }
+  };
+  a.schedule_at(Time::micros(500), [&] { ping(); });
+  eng.run_until(Time::ms(12));
+  r.rounds = eng.rounds();
+  r.messages = eng.messages_delivered();
+  r.events = eng.domain_events(0) + eng.domain_events(1);
+  return r;
+}
+
+TEST(ParallelEngineTest, PingPongIdenticalAcrossWorkerCounts) {
+  const PingPongRun one = run_ping_pong(1);
+  ASSERT_FALSE(one.log_a.empty());
+  ASSERT_FALSE(one.log_b.empty());
+  EXPECT_GT(one.messages, 10u);
+  const PingPongRun two = run_ping_pong(2);
+  EXPECT_EQ(one.log_a, two.log_a);
+  EXPECT_EQ(one.log_b, two.log_b);
+  EXPECT_EQ(one.rounds, two.rounds);
+  EXPECT_EQ(one.messages, two.messages);
+  EXPECT_EQ(one.events, two.events);
+}
+
+TEST(ParallelEngineTest, LookaheadViolationClampsDeterministically) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::ParallelEngine eng(
+      sim::ParallelEngine::Config{.lookahead = Time::ms(1), .workers = 1});
+  const int da = eng.add_domain(&a);
+  const int db = eng.add_domain(&b);
+  const int ab = eng.connect(da, db);
+  Time delivered = Time::zero();
+  a.schedule_at(Time::ms(2), [&] {
+    // `when` equal to the sender's clock: one full lookahead short.
+    eng.post(ab, Time::ms(2), [&] { delivered = b.now(); });
+  });
+  eng.run_until(Time::ms(5));
+  EXPECT_EQ(eng.lookahead_violations(), 1u);
+  EXPECT_EQ(delivered, Time::ms(3));
+}
+
+TEST(ParallelEngineTest, WorkerCountClampsToDomains) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::ParallelEngine eng(
+      sim::ParallelEngine::Config{.lookahead = Time::ms(1), .workers = 16});
+  eng.add_domain(&a);
+  eng.add_domain(&b);
+  eng.run_until(Time::ms(2));
+  EXPECT_EQ(eng.workers_used(), 2);
+}
+
+// --- parallel city ----------------------------------------------------------
+
+scenario::ParallelCityConfig small_city(std::uint64_t seed) {
+  scenario::ParallelCityConfig cfg;
+  cfg.corridors = 2;
+  cfg.aps_per_corridor = 4;
+  cfg.clients_per_corridor = 1;
+  cfg.udp_rate_mbps = 2.0;
+  cfg.drive_span_m = 10.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ParallelCityTest, DownlinkSmoke) {
+  scenario::ParallelCityConfig cfg = small_city(7);
+  cfg.collect_metrics = true;
+  const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+  EXPECT_EQ(r.domains, 3);
+  EXPECT_EQ(r.workers_used, 1);
+  ASSERT_EQ(r.client_mbps.size(), 2u);
+  // CBR 2 Mbps over a well-covered corridor: the clients should see most
+  // of the offered load once bootstrap settles.
+  EXPECT_GT(r.mean_mbps, 1.0);
+  EXPECT_EQ(r.invariant_violations, 0u);
+  EXPECT_EQ(r.lookahead_violations, 0u);
+  EXPECT_GT(r.messages, 100u);  // every data packet crosses the wire
+  EXPECT_GT(r.rounds, 100u);
+  EXPECT_GT(r.events_executed, 1000u);
+  ASSERT_NE(r.metrics, nullptr);
+  const auto* rounds = r.metrics->find_counter("parallel.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->value(), r.rounds);
+  EXPECT_NE(r.metrics->find_counter("parallel.domain0.events"), nullptr);
+  EXPECT_NE(r.metrics->find_counter("parallel.domain2.events"), nullptr);
+  // No wall-clock gauges in a default snapshot (the record_perf rule) —
+  // that is exactly what lets the sweep below compare bytes across N.
+  EXPECT_EQ(r.metrics->find_gauge("sim.events_per_sec"), nullptr);
+  EXPECT_EQ(r.metrics->find_gauge("sim.profile.threads_used"), nullptr);
+}
+
+TEST(ParallelCityTest, ByteIdenticalAcrossWorkersTwentySeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    scenario::ParallelCityConfig cfg = small_city(seed);
+    cfg.collect_metrics = true;
+    const scenario::ParallelCityResult ref = scenario::run_parallel_city(cfg);
+    ASSERT_NE(ref.metrics, nullptr);
+    const std::string ref_json = ref.metrics->to_json();
+    ASSERT_EQ(ref.lookahead_violations, 0u) << "seed " << seed;
+    ASSERT_EQ(ref.invariant_violations, 0u) << "seed " << seed;
+    for (const int workers : {2, 4}) {
+      cfg.workers = workers;
+      const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+      ASSERT_NE(r.metrics, nullptr);
+      // Whole-snapshot byte identity: every counter, gauge and histogram
+      // bucket in wgtt.metrics.v1, not a curated subset.
+      EXPECT_EQ(r.metrics->to_json(), ref_json)
+          << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(r.client_mbps, ref.client_mbps)
+          << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(r.switches, ref.switches);
+      EXPECT_EQ(r.events_executed, ref.events_executed);
+      EXPECT_EQ(r.rounds, ref.rounds);
+      EXPECT_EQ(r.messages, ref.messages);
+      EXPECT_EQ(r.lookahead_violations, 0u);
+      EXPECT_EQ(r.invariant_violations, 0u);
+    }
+  }
+}
+
+TEST(ParallelCityTest, UplinkByteIdenticalAcrossWorkers) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    scenario::ParallelCityConfig cfg = small_city(seed * 31);
+    cfg.uplink = true;
+    cfg.collect_metrics = true;
+    const scenario::ParallelCityResult ref = scenario::run_parallel_city(cfg);
+    ASSERT_NE(ref.metrics, nullptr);
+    EXPECT_GT(ref.mean_mbps, 0.5);  // uplink data really crossed the wire
+    cfg.workers = 2;
+    const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+    EXPECT_EQ(r.metrics->to_json(), ref.metrics->to_json()) << "seed " << seed;
+    EXPECT_EQ(r.client_mbps, ref.client_mbps) << "seed " << seed;
+    EXPECT_EQ(r.lookahead_violations, 0u);
+  }
+}
+
+TEST(ParallelCityTest, RecordPerfExposesThreadAttribution) {
+  scenario::ParallelCityConfig cfg = small_city(3);
+  cfg.workers = 2;
+  cfg.record_perf = true;
+  const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+  EXPECT_EQ(r.workers_used, 2);
+  ASSERT_NE(r.metrics, nullptr);
+  const auto* threads = r.metrics->find_gauge("sim.profile.threads_used");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->value(), 2.0);
+  ASSERT_NE(r.metrics->find_gauge("sim.events_per_sec"), nullptr);
+}
+
+TEST(ParallelCityTest, ProfileMergesPerDomainProfilers) {
+  scenario::ParallelCityConfig cfg = small_city(4);
+  cfg.workers = 3;
+  cfg.profile = true;
+  const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+  ASSERT_NE(r.metrics, nullptr);
+  const auto* events = r.metrics->find_counter("sim.profile.events");
+  ASSERT_NE(events, nullptr);
+  // The merged profile covers every domain's events, not just one worker's.
+  EXPECT_EQ(events->value(), r.events_executed);
+}
+
+TEST(ParallelCityTest, RejectsNonIsolatedCorridors) {
+  scenario::ParallelCityConfig cfg = small_city(1);
+  cfg.corridor_gap_m = 100.0;  // within carrier-sense reach: not isolable
+  EXPECT_THROW(scenario::run_parallel_city(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wgtt

@@ -28,6 +28,15 @@
 //   wgtt_sim --system baseline --workload tcp --mph 15
 //   wgtt_sim --channel-reuse 3 --csv trace.csv
 //   wgtt_sim --mph 25 --metrics m.json
+//   wgtt_sim --parallel-domains 4 --corridors 8 --rate 4
+//
+// --parallel-domains N runs the multi-corridor city scenario on the
+// conservative parallel engine (DESIGN.md §11) with N worker threads: the
+// city splits into RF-isolated road-segment domains (one per corridor, plus
+// a server-side traffic hub), synchronized in lockstep windows of one wire
+// latency. N is a wall-clock knob only — results are byte-identical for
+// every N, which `ctest -R ParallelCity` proves 20 seeds deep. --corridors,
+// --aps and --clients size the city (APs and clients are per corridor).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +45,7 @@
 #include "bench/harness.h"
 #include "mobility/trajectory.h"
 #include "obs/metrics.h"
+#include "scenario/parallel_city.h"
 #include "scenario/wgtt_system.h"
 #include "trace/tracer.h"
 #include "transport/tcp.h"
@@ -51,6 +61,8 @@ struct Options {
   std::string csv_path;
   int num_aps = 8;
   double spacing = 7.5;
+  int parallel_workers = 0;  // 0 = sequential run_drive path
+  int corridors = 4;
   bool ok = true;
   bool help = false;
 };
@@ -65,7 +77,8 @@ void usage() {
                "[--hysteresis-ms N]\n"
                "                [--channel-reuse N] [--csv FILE]\n"
                "                [--metrics FILE] [--metrics-interval-ms N]\n"
-               "                [--backhaul-rate MBPS] [--backhaul-batching]\n");
+               "                [--backhaul-rate MBPS] [--backhaul-batching]\n"
+               "                [--parallel-domains N] [--corridors N]\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -149,6 +162,26 @@ Options parse(int argc, char** argv) {
           o.ok = false;
         } else {
           o.drive.backhaul_link_rate_mbps = rate;
+        }
+      }
+    } else if (arg == "--parallel-domains") {
+      const char* v = need_value("--parallel-domains");
+      if (v) {
+        o.parallel_workers = std::atoi(v);
+        if (o.parallel_workers < 1) {
+          std::fprintf(stderr, "--parallel-domains must be >= 1, got '%s'\n", v);
+          usage();
+          o.ok = false;
+        }
+      }
+    } else if (arg == "--corridors") {
+      const char* v = need_value("--corridors");
+      if (v) {
+        o.corridors = std::atoi(v);
+        if (o.corridors < 1) {
+          std::fprintf(stderr, "--corridors must be >= 1, got '%s'\n", v);
+          usage();
+          o.ok = false;
         }
       }
     } else if (arg == "--backhaul-batching") {
@@ -249,6 +282,50 @@ int run_with_trace(const Options& o, int channel_reuse) {
   return 0;
 }
 
+/// Runs the multi-corridor city on the parallel engine (--parallel-domains).
+int run_parallel(const Options& o) {
+  scenario::ParallelCityConfig cfg;
+  cfg.corridors = o.corridors;
+  cfg.aps_per_corridor = o.num_aps;
+  cfg.clients_per_corridor = o.drive.num_clients;
+  cfg.mph = o.drive.mph;
+  cfg.udp_rate_mbps = o.drive.udp_rate_mbps;
+  cfg.seed = o.drive.seed;
+  cfg.uplink = o.drive.workload == Workload::kUdpUp;
+  cfg.workers = o.parallel_workers;
+  cfg.collect_metrics = !o.drive.metrics_path.empty();
+
+  const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+
+  std::printf("system      : wgtt (parallel engine, %d domains)\n", r.domains);
+  std::printf("workload    : %s at %.1f Mbit/s per client\n",
+              cfg.uplink ? "uplink udp" : "udp", cfg.udp_rate_mbps);
+  std::printf("city        : %d corridors x %d APs, %d clients\n", cfg.corridors,
+              cfg.aps_per_corridor, cfg.corridors * cfg.clients_per_corridor);
+  std::printf("workers     : %d used (of %d requested)\n", r.workers_used,
+              o.parallel_workers);
+  std::printf("throughput  : %.2f Mbit/s mean per client\n", r.mean_mbps);
+  std::printf("switches    : %llu\n", static_cast<unsigned long long>(r.switches));
+  std::printf("engine      : %llu events, %llu rounds, %llu wire msgs, "
+              "%.0f k events/s\n",
+              static_cast<unsigned long long>(r.events_executed),
+              static_cast<unsigned long long>(r.rounds),
+              static_cast<unsigned long long>(r.messages),
+              r.events_per_sec / 1e3);
+  if (r.invariant_violations != 0 || r.lookahead_violations != 0) {
+    std::printf("VIOLATIONS  : %zu invariant, %llu lookahead\n",
+                r.invariant_violations,
+                static_cast<unsigned long long>(r.lookahead_violations));
+    return 1;
+  }
+  if (!o.drive.metrics_path.empty() && r.metrics) {
+    std::ofstream out(o.drive.metrics_path);
+    r.metrics->write_json(out);
+    std::printf("metrics written to %s\n", o.drive.metrics_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +353,18 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+  }
+
+  if (o.parallel_workers > 0) {
+    if (o.drive.system != System::kWgtt ||
+        o.drive.workload == Workload::kTcpDown || !o.csv_path.empty() ||
+        channel_reuse > 1) {
+      std::fprintf(stderr,
+                   "--parallel-domains supports the wgtt system with udp or "
+                   "uplink workloads (no --csv/--channel-reuse)\n");
+      return 1;
+    }
+    return run_parallel(o);
   }
 
   // CSV tracing needs the hook-based path (WGTT, UDP downlink).
