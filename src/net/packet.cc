@@ -37,7 +37,10 @@ std::uint64_t* set_packet_uid_stream(std::uint64_t* stream) {
 }
 
 std::uint64_t packet_uid_domain_base(std::uint64_t domain) {
-  return (domain << 48) | 1;
+  // domain + 1, not domain: base(0) must not equal 1, where the default
+  // thread-local stream starts — a make_packet() outside any domain
+  // enter/exit window would otherwise silently collide with domain 0's uids.
+  return ((domain + 1) << 48) | 1;
 }
 
 }  // namespace wgtt::net

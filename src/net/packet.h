@@ -88,8 +88,10 @@ void reset_packet_uids();
 /// (DESIGN.md §11.5).
 std::uint64_t* set_packet_uid_stream(std::uint64_t* stream);
 
-/// First uid of domain d's namespace: (d << 48) | 1. 48 counter bits per
-/// domain keep streams collision-free without coordination.
+/// First uid of domain d's namespace: ((d + 1) << 48) | 1. 48 counter bits
+/// per domain keep streams collision-free without coordination; the d + 1
+/// offset keeps every domain namespace disjoint from the default
+/// thread-local stream, which starts at 1 (i.e. in the d-less low range).
 [[nodiscard]] std::uint64_t packet_uid_domain_base(std::uint64_t domain);
 
 }  // namespace wgtt::net

@@ -1,8 +1,11 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <barrier>
 #include <cassert>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -127,14 +130,19 @@ void ParallelEngine::run_until(Time horizon) {
   if (workers == 1) {
     // Inline path: identical virtual-time structure (same windows, same
     // drain points, same injection order), no threads.
-    while (window_start_ < horizon) {
-      const Time window_end = std::min(window_start_ + lookahead, horizon);
-      for (Domain& dom : domains_) process_domain(dom, window_end);
-      window_start_ = window_end;
+    try {
+      while (window_start_ < horizon) {
+        const Time window_end = std::min(window_start_ + lookahead, horizon);
+        for (Domain& dom : domains_) process_domain(dom, window_end);
+        window_start_ = window_end;
+        ++rounds_;
+      }
+      for (Domain& dom : domains_) finish_domain(dom, horizon);
       ++rounds_;
+    } catch (...) {
+      running_ = false;
+      throw;
     }
-    for (Domain& dom : domains_) finish_domain(dom, horizon);
-    ++rounds_;
     running_ = false;
     return;
   }
@@ -147,20 +155,43 @@ void ParallelEngine::run_until(Time horizon) {
     window_start_ = std::min(window_start_ + config_.lookahead, horizon);
     ++rounds_;
   });
+  // A domain event that throws must not leave pool threads parked at the
+  // barrier with joinable std::thread destructors calling std::terminate.
+  // The throwing worker records the (first) exception, flags failure, and
+  // drops out of the barrier; survivors notice the flag at their next round
+  // boundary and exit cleanly. The error is rethrown after the join.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   auto work = [&](int w) {
-    for (;;) {
-      const Time window_start = window_start_;  // stable between barriers
-      if (window_start >= horizon) break;
-      const Time window_end = std::min(window_start + lookahead, horizon);
+    try {
+      for (;;) {
+        if (failed.load(std::memory_order_acquire)) {
+          // Must still count as an arrival for the in-flight phase, or a
+          // sibling already parked at this round's barrier waits forever.
+          sync.arrive_and_drop();
+          return;
+        }
+        const Time window_start = window_start_;  // stable between barriers
+        if (window_start >= horizon) break;
+        const Time window_end = std::min(window_start + lookahead, horizon);
+        for (int d = w; d < nd; d += workers) {
+          process_domain(domains_[static_cast<std::size_t>(d)], window_end);
+        }
+        sync.arrive_and_wait();
+      }
       for (int d = w; d < nd; d += workers) {
-        process_domain(domains_[static_cast<std::size_t>(d)], window_end);
+        finish_domain(domains_[static_cast<std::size_t>(d)], horizon);
       }
       sync.arrive_and_wait();
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      failed.store(true, std::memory_order_release);
+      sync.arrive_and_drop();
     }
-    for (int d = w; d < nd; d += workers) {
-      finish_domain(domains_[static_cast<std::size_t>(d)], horizon);
-    }
-    sync.arrive_and_wait();
   };
 
   std::vector<std::thread> pool;
@@ -169,6 +200,7 @@ void ParallelEngine::run_until(Time horizon) {
   work(0);
   for (std::thread& t : pool) t.join();
   running_ = false;
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::uint64_t ParallelEngine::messages_delivered() const {

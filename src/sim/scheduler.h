@@ -85,8 +85,9 @@ class Scheduler {
 
   /// Earliest pending event time, or Time::max() when the queue is empty.
   /// Non-const: stale keys of cancelled events surfacing at the top are
-  /// dropped on the way (they carry no information). The parallel engine's
-  /// window-skip reduction reads this after each round.
+  /// dropped on the way (they carry no information). Intended for callers
+  /// that want to skip idle virtual time (e.g. a window-skip reduction in a
+  /// conservative parallel engine); today only tests exercise it.
   [[nodiscard]] Time next_event_time();
 
   /// Attaches (or, with nullptr, detaches) a wall-time profiler. While one

@@ -84,19 +84,26 @@ class SpscMailbox {
   /// Consumer side only. Returns false when no entry is currently visible.
   bool pop(CrossEvent& out) {
     Chunk* c = head_chunk_;
-    const std::size_t h = c->head.load(std::memory_order_relaxed);
-    if (h == c->tail.load(std::memory_order_acquire)) {
-      // Chunk drained. If the producer moved on, this chunk is dead and the
-      // successor holds any remaining entries; otherwise the box is empty.
+    for (;;) {
+      const std::size_t h = c->head.load(std::memory_order_relaxed);
+      if (h != c->tail.load(std::memory_order_acquire)) {
+        out = std::move(c->entries[h % c->entries.size()]);
+        c->head.store(h + 1, std::memory_order_release);
+        return true;
+      }
+      // Chunk looks drained — but the tail read above may be stale: the
+      // producer could have filled the remaining capacity AND linked a
+      // successor since. Observing `next` alone is therefore not licence to
+      // retire the chunk. Once `next` is non-null the producer never touches
+      // this chunk again, so a tail re-read *after* the next-load is final:
+      // only if head still matches it is the chunk truly empty.
       Chunk* next = c->next.load(std::memory_order_acquire);
       if (next == nullptr) return false;
+      if (h != c->tail.load(std::memory_order_acquire)) continue;  // drain first
       head_chunk_ = next;
       delete c;
-      return pop(out);
+      c = next;
     }
-    out = std::move(c->entries[h % c->entries.size()]);
-    c->head.store(h + 1, std::memory_order_release);
-    return true;
   }
 
  private:

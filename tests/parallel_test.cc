@@ -2,10 +2,11 @@
 // the scheduler's window primitives, conservative lockstep determinism on
 // synthetic domain graphs, and the headline contract — run_parallel_city is
 // byte-identical (whole wgtt.metrics.v1 snapshots, exact per-client Mbps)
-// across worker counts, 20 seeds deep. `--parallel-domains N` is a wall-clock
+// across worker counts, 20 seeds deep. `--parallel-workers N` is a wall-clock
 // knob, never a results knob.
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,6 +77,32 @@ TEST(SpscMailboxTest, TwoThreadStressKeepsFifo) {
   }
   producer.join();
   EXPECT_EQ(out_of_order, 0u);
+  EXPECT_FALSE(box.pop(ev));
+}
+
+TEST(SpscMailboxTest, RacyGrowthAtEmptyBoundaryLosesNothing) {
+  // Regression for a TOCTOU in pop(): the consumer observed tail == head,
+  // the producer then filled the chunk's remaining capacity and linked a
+  // successor, and the consumer — seeing next != nullptr — retired the
+  // chunk with live entries still inside. Keep the box hovering at empty
+  // with a tiny chunk so nearly every pop takes the retirement path while
+  // pushes race chunk growth; a dropped entry shows up as a seq gap (or,
+  // if the tail of the stream is lost, as a test timeout).
+  sim::SpscMailbox box(2);
+  constexpr std::uint64_t kCount = 20000;
+  std::thread producer([&box] {
+    for (std::uint64_t i = 1; i <= kCount; ++i) {
+      box.push(make_event(i));
+      if (i % 3 == 0) std::this_thread::yield();
+    }
+  });
+  sim::CrossEvent ev;
+  for (std::uint64_t expected = 1; expected <= kCount; ++expected) {
+    while (!box.pop(ev)) {
+    }
+    ASSERT_EQ(ev.seq, expected);
+  }
+  producer.join();
   EXPECT_FALSE(box.pop(ev));
 }
 
@@ -214,6 +241,34 @@ TEST(ParallelEngineTest, WorkerCountClampsToDomains) {
   eng.add_domain(&b);
   eng.run_until(Time::ms(2));
   EXPECT_EQ(eng.workers_used(), 2);
+}
+
+TEST(ParallelEngineTest, DomainExceptionPropagatesWithoutTerminate) {
+  // A throwing domain event must surface from run_until as the original
+  // exception after the pool joins — not leave workers parked at the
+  // barrier so that joinable thread destructors call std::terminate.
+  for (const int workers : {1, 2, 3}) {
+    sim::Scheduler a;
+    sim::Scheduler b;
+    sim::Scheduler c;
+    sim::ParallelEngine eng(sim::ParallelEngine::Config{
+        .lookahead = Time::ms(1), .workers = workers});
+    eng.add_domain(&a);
+    eng.add_domain(&b);
+    eng.add_domain(&c);
+    // Keep every domain busy so non-throwing workers are mid-round (or
+    // parked at the barrier) when the failure hits.
+    std::function<void(sim::Scheduler&)> tick = [&](sim::Scheduler& s) {
+      if (s.now() < Time::ms(20)) {
+        s.schedule_at(s.now() + Time::micros(100), [&tick, &s] { tick(s); });
+      }
+    };
+    a.schedule_at(Time::micros(100), [&tick, &a] { tick(a); });
+    b.schedule_at(Time::micros(100), [&tick, &b] { tick(b); });
+    c.schedule_at(Time::ms(5), [] { throw std::runtime_error("domain boom"); });
+    EXPECT_THROW(eng.run_until(Time::ms(20)), std::runtime_error)
+        << "workers=" << workers;
+  }
 }
 
 // --- parallel city ----------------------------------------------------------

@@ -28,15 +28,18 @@
 //   wgtt_sim --system baseline --workload tcp --mph 15
 //   wgtt_sim --channel-reuse 3 --csv trace.csv
 //   wgtt_sim --mph 25 --metrics m.json
-//   wgtt_sim --parallel-domains 4 --corridors 8 --rate 4
+//   wgtt_sim --parallel-workers 4 --corridors 8 --rate 4
 //
-// --parallel-domains N runs the multi-corridor city scenario on the
+// --parallel-workers N runs the multi-corridor city scenario on the
 // conservative parallel engine (DESIGN.md §11) with N worker threads: the
 // city splits into RF-isolated road-segment domains (one per corridor, plus
 // a server-side traffic hub), synchronized in lockstep windows of one wire
 // latency. N is a wall-clock knob only — results are byte-identical for
 // every N, which `ctest -R ParallelCity` proves 20 seeds deep. --corridors,
-// --aps and --clients size the city (APs and clients are per corridor).
+// --aps and --clients size the city (APs and clients are per corridor;
+// --corridors is what changes the domain partition and hence results).
+// --parallel-domains is accepted as a deprecated alias for
+// --parallel-workers.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,7 +81,7 @@ void usage() {
                "                [--channel-reuse N] [--csv FILE]\n"
                "                [--metrics FILE] [--metrics-interval-ms N]\n"
                "                [--backhaul-rate MBPS] [--backhaul-batching]\n"
-               "                [--parallel-domains N] [--corridors N]\n");
+               "                [--parallel-workers N] [--corridors N]\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -164,12 +167,19 @@ Options parse(int argc, char** argv) {
           o.drive.backhaul_link_rate_mbps = rate;
         }
       }
-    } else if (arg == "--parallel-domains") {
-      const char* v = need_value("--parallel-domains");
+    } else if (arg == "--parallel-workers" || arg == "--parallel-domains") {
+      // --parallel-domains is a deprecated alias: the value sets the worker
+      // *thread* count (wall-clock only); the domain count is --corridors.
+      if (arg == "--parallel-domains") {
+        std::fprintf(stderr,
+                     "warning: --parallel-domains is deprecated; it sets the "
+                     "worker-thread count, use --parallel-workers\n");
+      }
+      const char* v = need_value("--parallel-workers");
       if (v) {
         o.parallel_workers = std::atoi(v);
         if (o.parallel_workers < 1) {
-          std::fprintf(stderr, "--parallel-domains must be >= 1, got '%s'\n", v);
+          std::fprintf(stderr, "--parallel-workers must be >= 1, got '%s'\n", v);
           usage();
           o.ok = false;
         }
@@ -282,7 +292,7 @@ int run_with_trace(const Options& o, int channel_reuse) {
   return 0;
 }
 
-/// Runs the multi-corridor city on the parallel engine (--parallel-domains).
+/// Runs the multi-corridor city on the parallel engine (--parallel-workers).
 int run_parallel(const Options& o) {
   scenario::ParallelCityConfig cfg;
   cfg.corridors = o.corridors;
@@ -360,7 +370,7 @@ int main(int argc, char** argv) {
         o.drive.workload == Workload::kTcpDown || !o.csv_path.empty() ||
         channel_reuse > 1) {
       std::fprintf(stderr,
-                   "--parallel-domains supports the wgtt system with udp or "
+                   "--parallel-workers supports the wgtt system with udp or "
                    "uplink workloads (no --csv/--channel-reuse)\n");
       return 1;
     }
