@@ -167,6 +167,19 @@ DriveResult run_drive(const DriveConfig& cfg) {
         scfg.backhaul.fault(kind).loss_rate = cfg.control_loss_rate;
       }
     }
+    scfg.num_domains = cfg.num_domains;
+    if (cfg.num_domains > 1) {
+      scfg.controller_faults = cfg.controller_faults;
+      if (cfg.inter_controller_loss_rate > 0.0) {
+        for (const auto kind :
+             {net::MsgKind::kCsiForward, net::MsgKind::kUplinkForward,
+              net::MsgKind::kDownlinkForward, net::MsgKind::kHandoverRequest,
+              net::MsgKind::kHandoverAck, net::MsgKind::kDomainHeartbeat,
+              net::MsgKind::kDomainHeartbeatAck, net::MsgKind::kDomainSync}) {
+          scfg.backhaul.fault(kind).loss_rate = cfg.inter_controller_loss_rate;
+        }
+      }
+    }
     wgtt = std::make_unique<scenario::WgttSystem>(scfg);
     sched = &wgtt->sched();
   } else {
@@ -212,13 +225,16 @@ DriveResult run_drive(const DriveConfig& cfg) {
   // --- instrumentation ---------------------------------------------------------
   result.clients.resize(static_cast<std::size_t>(n));
 
-  // Association timelines.
+  // Association timelines (every controller: with domains, whichever owns
+  // the client at the time reports its switches).
   if (wgtt) {
-    wgtt->controller().on_serving_changed = [&](net::ClientId c, net::ApId ap,
-                                                Time t) {
-      result.clients[net::index_of(c)].assoc_timeline.emplace_back(
-          t.to_seconds(), static_cast<int>(net::index_of(ap)));
-    };
+    for (int d = 0; d < wgtt->num_domains(); ++d) {
+      wgtt->controller(d).on_serving_changed =
+          [&](net::ClientId c, net::ApId ap, Time t) {
+            result.clients[net::index_of(c)].assoc_timeline.emplace_back(
+                t.to_seconds(), static_cast<int>(net::index_of(ap)));
+          };
+    }
   } else {
     base->router().on_association = [&](net::ClientId c, net::ApId ap, Time t) {
       result.clients[net::index_of(c)].assoc_timeline.emplace_back(
@@ -460,19 +476,29 @@ DriveResult run_drive(const DriveConfig& cfg) {
   }
 
   if (wgtt) {
-    const auto& st = wgtt->controller().stats();
-    result.switches = st.switches_completed;
-    for (const auto& sw : wgtt->controller().switch_log()) {
-      result.switch_protocol_ms.push_back((sw.completed - sw.initiated).to_millis());
+    for (int d = 0; d < wgtt->num_domains(); ++d) {
+      const auto& st = wgtt->controller(d).stats();
+      result.switches += st.switches_completed;
+      for (const auto& sw : wgtt->controller(d).switch_log()) {
+        result.switch_protocol_ms.push_back(
+            (sw.completed - sw.initiated).to_millis());
+      }
+      result.uplink_dups_dropped += st.uplink_duplicates_dropped;
+      result.uplink_packets += st.uplink_packets;
+      result.stop_retransmissions += st.stop_retransmissions;
+      result.stale_acks_ignored += st.stale_acks_ignored;
+      result.aps_marked_dead += st.aps_marked_dead;
+      result.aps_readmitted += st.aps_readmitted;
+      result.forced_failovers += st.forced_failovers;
+      result.failovers_unserved += st.failovers_unserved;
+      result.handovers_completed += st.handovers_out;
+      result.handover_retries += st.handover_retries;
+      result.handover_aborts += st.handover_aborts;
+      result.penalty_blocked += st.penalty_blocked;
+      result.controllers_marked_dead += st.peers_marked_dead;
+      result.clients_adopted += st.clients_adopted;
+      result.ownership_yields += st.ownership_yields;
     }
-    result.uplink_dups_dropped = st.uplink_duplicates_dropped;
-    result.uplink_packets = st.uplink_packets;
-    result.stop_retransmissions = st.stop_retransmissions;
-    result.stale_acks_ignored = st.stale_acks_ignored;
-    result.aps_marked_dead = st.aps_marked_dead;
-    result.aps_readmitted = st.aps_readmitted;
-    result.forced_failovers = st.forced_failovers;
-    result.failovers_unserved = st.failovers_unserved;
     for (int i = 0; i < n; ++i) {
       result.downlink_dups_dropped +=
           wgtt->client(i).downlink_duplicates_dropped();

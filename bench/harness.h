@@ -101,6 +101,19 @@ struct DriveConfig {
   /// ap_faults is non-empty or liveness was enabled explicitly).
   std::optional<Time> heartbeat_interval;
   std::optional<int> heartbeat_miss_threshold;
+
+  // Multi-controller domains (DESIGN.md §12). All default to the seed
+  // engine's single controller (byte-identical snapshots).
+  /// Number of ControllerDomains the AP array is split into. 1 = the
+  /// single-controller engine; >1 enables inter-domain handover, the
+  /// controller-to-controller heartbeat, and crash failover.
+  int num_domains = 1;
+  /// Scripted controller crash/restart faults (only read when
+  /// num_domains > 1). WGTT system only.
+  std::vector<scenario::ControllerFaultScript> controller_faults;
+  /// Loss applied to every inter-controller message kind (handover
+  /// handshake, heartbeats, ownership gossip, cross-domain forwarding).
+  double inter_controller_loss_rate = 0.0;
   std::optional<scenario::GeometryConfig> geometry;  // density sweeps
   std::optional<Time> baseline_persistence;          // stock vs enhanced
   /// Sampling period of the serving-vs-optimal accuracy probe.
@@ -189,6 +202,15 @@ struct DriveResult {
   /// Downlink packets the clients' uid filters dropped (failover replay
   /// overlap that escaped the MAC scoreboard window).
   std::uint64_t downlink_dups_dropped = 0;
+  // Multi-controller domains (zero unless num_domains > 1), summed over
+  // every controller.
+  std::uint64_t handovers_completed = 0;  ///< inter-domain transfers landed
+  std::uint64_t handover_retries = 0;
+  std::uint64_t handover_aborts = 0;
+  std::uint64_t penalty_blocked = 0;
+  std::uint64_t controllers_marked_dead = 0;
+  std::uint64_t clients_adopted = 0;
+  std::uint64_t ownership_yields = 0;
   /// Populated when DriveConfig::collect_metrics (or metrics_path) is set.
   std::shared_ptr<obs::MetricsRegistry> metrics;
 

@@ -30,7 +30,7 @@ WgttAp::WgttAp(net::ApId id, sim::Scheduler& sched, mac::Medium& medium,
     if (it == client_of_radio_.end()) return;
     ++stats_.uplink_forwarded;
     if (metrics_) metrics_->uplink_forwarded->inc();
-    backhaul_.send(NodeId::ap(id_), NodeId::controller(),
+    backhaul_.send(NodeId::ap(id_), controller_node_,
                    net::UplinkData{id_, pkt});
   };
   mac_.on_heard = [this](const mac::Frame& f, bool decoded,
@@ -180,8 +180,16 @@ void WgttAp::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
           // Answered inline, no Click crossing: the liveness probe runs in
           // the kernel path and the RTT sample measures the backhaul alone.
           ++stats_.heartbeats_answered;
-          backhaul_.send(NodeId::ap(id_), NodeId::controller(),
+          backhaul_.send(NodeId::ap(id_), controller_node_,
                          net::HeartbeatAck{id_, m.seq});
+        } else if constexpr (std::is_same_v<T, net::AdoptAp>) {
+          // A (new) controller domain took ownership of this AP. Re-point
+          // the report path; idempotent on duplicates.
+          const NodeId node = NodeId::controller(m.new_domain);
+          if (!(node == controller_node_)) {
+            controller_node_ = node;
+            ++stats_.adoptions;
+          }
         }
         // AssocSync is handled by the scenario wiring (register_client);
         // UplinkData / CsiReport / SwitchAck never address an AP.
@@ -251,12 +259,16 @@ void WgttAp::handle_stop(const net::StopMsg& msg) {
     if (metrics_) metrics_->stale_control_ignored->inc();
     return;
   }
-  if (ctl.have_epoch && msg.epoch == ctl.epoch) {
+  if (ctl.have_epoch && msg.epoch == ctl.epoch && ctl.op == CtlOp::kStop) {
     // Retransmit of a stop already seen (the start or the ack got lost
     // downstream). Replay the RECORDED first-unsent index rather than
     // re-querying: the live next_index belongs to whichever AP is draining
     // now, and a fresh query would hand the new AP a rewound (or advanced)
     // pointer. No span re-begin either — the switch started once.
+    // An equal-epoch stop over a START record falls through instead: a
+    // single controller never stops its serving AP within the same epoch,
+    // but an inter-domain quench (the source stopping its drain under the
+    // target's minted epoch, or an ownership yield) legitimately does.
     ++stats_.stop_duplicates;
     if (metrics_) metrics_->stop_duplicates->inc();
     if (ctl.op == CtlOp::kStop && ctl.stop_first_unsent) {
@@ -347,7 +359,7 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
                                    config_.control_processing_std);
       sched_.schedule_in(proc, [this, client = msg.client, epoch = msg.epoch] {
         if (client_state(client) == nullptr) return;
-        backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+        backhaul_.send(net::NodeId::ap(id_), controller_node_,
                        net::SwitchAck{client, id_, epoch});
       }, sim::EventCategory::kControl);
     }
@@ -406,7 +418,7 @@ void WgttAp::handle_start(const net::StartMsg& msg) {
     if (metrics_) {
       metrics_->start_to_ack.end(net::index_of(client), sched_.now());
     }
-    backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+    backhaul_.send(net::NodeId::ap(id_), controller_node_,
                    net::SwitchAck{client, id_, epoch});
     pump(*s);
   }, sim::EventCategory::kControl);
@@ -449,7 +461,7 @@ void WgttAp::on_heard(const mac::Frame& frame, bool decoded,
   if (csi_reporting_) {
     ++stats_.csi_reports_sent;
     if (metrics_) metrics_->csi_reports_sent->inc();
-    backhaul_.send(net::NodeId::ap(id_), net::NodeId::controller(),
+    backhaul_.send(net::NodeId::ap(id_), controller_node_,
                    net::CsiReport{id_, client, csi});
   }
 

@@ -94,6 +94,9 @@ class WgttAp {
     std::uint64_t ba_forward_duplicate = 0;
     std::uint64_t stale_dropped = 0;
     std::uint64_t heartbeats_answered = 0;
+    /// AdoptAp messages that re-homed this AP to a different controller
+    /// domain (controller failover or recovery).
+    std::uint64_t adoptions = 0;
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
     /// Times a new-epoch start pointed behind an already-serving drain
@@ -172,6 +175,13 @@ class WgttAp {
     return packet_pool_;
   }
 
+  /// The controller address this AP reports to (uplink, CSI, switch acks,
+  /// heartbeat echoes). Defaults to the legacy single-controller address;
+  /// re-pointed by the scenario at domain build time and by an AdoptAp
+  /// message when a neighbor controller adopts this AP after a crash.
+  void set_controller_node(net::NodeId node) { controller_node_ = node; }
+  [[nodiscard]] net::NodeId controller_node() const { return controller_node_; }
+
   /// Registers and starts recording `ap.*` metrics (cyclic-queue depth and
   /// overwrites, BA-forward traffic, the per-AP legs of the switch
   /// protocol). Instruments are shared by name, so every AP aggregates into
@@ -227,6 +237,7 @@ class WgttAp {
   net::ApId id_;
   sim::Scheduler& sched_;
   net::Backhaul& backhaul_;
+  net::NodeId controller_node_ = net::NodeId::controller();
   Rng rng_;
   Config config_;
   mac::WifiMac mac_;

@@ -15,7 +15,7 @@ Controller::Controller(sim::Scheduler& sched, net::Backhaul& backhaul,
       backhaul_(backhaul),
       config_(config),
       tracker_(config.selection_window) {
-  backhaul_.attach(NodeId::controller(),
+  backhaul_.attach(self_node(),
                    [this](NodeId from, BackhaulMessage msg) {
                      handle_backhaul(from, std::move(msg));
                    });
@@ -23,6 +23,17 @@ Controller::Controller(sim::Scheduler& sched, net::Backhaul& backhaul,
     heartbeat_timer_ = std::make_unique<sim::Timer>(
         sched_, [this] { heartbeat_tick(); }, sim::EventCategory::kControl);
     heartbeat_timer_->start(config_.heartbeat_interval);
+  }
+  if (multi_domain()) {
+    peers_.resize(config_.domains.num_domains);
+    adopted_by_me_.assign(config_.domains.num_domains, false);
+    domain_hb_timer_ = std::make_unique<sim::Timer>(
+        sched_, [this] { domain_heartbeat_tick(); },
+        sim::EventCategory::kControl);
+    domain_hb_timer_->start(config_.domains.heartbeat_interval);
+    domain_sync_timer_ = std::make_unique<sim::Timer>(
+        sched_, [this] { domain_sync_tick(); }, sim::EventCategory::kControl);
+    domain_sync_timer_->start(config_.domains.sync_interval);
   }
 }
 
@@ -60,6 +71,28 @@ void Controller::set_metrics(obs::MetricsRegistry* registry) {
     m.heartbeat_rtt_ms =
         &registry->histogram("controller.heartbeat_rtt_ms", 0.0, 5.0, 100);
   }
+  // Domain instruments exist only in multi-domain mode, for the same
+  // key-set reason. Shared by name, so every domain controller aggregates
+  // into one series.
+  if (multi_domain()) {
+    m.handover_requests = &registry->counter("controller.handover_requests");
+    m.handovers_out = &registry->counter("domain.handovers_out");
+    m.handovers_in = &registry->counter("domain.handovers_in");
+    m.handover_retries = &registry->counter("domain.handover_retries");
+    m.handover_aborts = &registry->counter("domain.handover_aborts");
+    m.penalty_blocked = &registry->counter("domain.penalty_blocked");
+    m.csi_forwarded = &registry->counter("domain.csi_forwarded");
+    m.uplink_fwd = &registry->counter("domain.uplink_forwarded");
+    m.downlink_fwd = &registry->counter("domain.downlink_forwarded");
+    m.switch_acks_fwd = &registry->counter("domain.switch_acks_forwarded");
+    m.misrouted_dropped = &registry->counter("domain.misrouted_dropped");
+    m.peers_marked_dead = &registry->counter("domain.peers_marked_dead");
+    m.aps_adopted = &registry->counter("domain.aps_adopted");
+    m.clients_adopted = &registry->counter("domain.clients_adopted");
+    m.ownership_yields = &registry->counter("domain.ownership_yields");
+    m.handover_ms =
+        &registry->histogram("controller.handover_ms", 0.0, 120.0, 240);
+  }
   metrics_ = m;
 }
 
@@ -87,22 +120,61 @@ void Controller::add_client(net::ClientId client) {
     if (s->pending_forced) {
       // Forced failover: the old AP is dead, so there is no stop to
       // retransmit — resend the bootstrap start to the new AP.
-      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_target),
+      backhaul_.send(self_node(), NodeId::ap(s->pending_target),
                      net::StartMsg{client, s->pending_target,
                                    s->pending_first_index, s->epoch});
     } else if (s->serving) {
-      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_from),
+      backhaul_.send(self_node(), NodeId::ap(s->pending_from),
                      net::StopMsg{client, s->pending_target, s->epoch});
     } else {
       // Bootstrap start was lost; resend it directly, with the fan-out
       // index captured at initiation (next_index has kept advancing and
       // would skip everything fanned out since).
-      backhaul_.send(NodeId::controller(), NodeId::ap(s->pending_target),
+      backhaul_.send(self_node(), NodeId::ap(s->pending_target),
                      net::StartMsg{client, s->pending_target,
                                    s->pending_first_index, s->epoch});
     }
     s->ack_timer->start(config_.ack_timeout);
   }, sim::EventCategory::kControl);
+  if (multi_domain()) {
+    cs.owner_domain = config_.domains.id;
+    cs.ho_timer = std::make_unique<sim::Timer>(sched_, [this, client] {
+      ClientState* s = state(client);
+      if (s == nullptr || !s->ho_pending) return;
+      if (s->ho_attempts >= config_.domains.handover_max_retries) {
+        // Retry budget spent: the target domain is unreachable. Abort to
+        // source — we keep ownership — and bar the target so the argmax
+        // does not immediately re-propose it.
+        abort_handover(client, *s);
+        return;
+      }
+      ++stats_.handover_retries;
+      if (metrics_ && metrics_->handover_retries) {
+        metrics_->handover_retries->inc();
+      }
+      s->ho_timeout = s->ho_timeout * 2;  // exponential backoff
+      send_handover_request(client, *s);
+    }, sim::EventCategory::kControl);
+  }
+}
+
+void Controller::set_domain_map(const DomainMap* map) {
+  domain_map_ = map;
+  if (!multi_domain() || map == nullptr) return;
+  // Forwarded CSI and adopted APs feed foreign AP indices into this
+  // controller; every per-AP-index array must span the whole deployment.
+  const auto total = static_cast<std::size_t>(map->num_aps());
+  if (liveness_.size() < total) {
+    liveness_.resize(total);
+    ap_evicted_.resize(total, false);
+  }
+}
+
+void Controller::set_client_owner(net::ClientId client, std::uint32_t owner) {
+  ClientState* cs = state(client);
+  if (cs == nullptr) return;
+  cs->owned = owner == config_.domains.id;
+  cs->owner_domain = owner;
 }
 
 Controller::ClientState* Controller::state(net::ClientId client) {
@@ -164,6 +236,10 @@ void Controller::update_shard(std::uint32_t client_idx, ClientState& cs) {
 }
 
 void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
+  // Fail-stop: a crashed controller handles nothing. The scenario also
+  // takes the backhaul node down, so this is belt and braces for messages
+  // already in flight at crash time.
+  if (crashed_) return;
   std::visit(
       [this](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -175,6 +251,59 @@ void Controller::handle_backhaul(NodeId /*from*/, BackhaulMessage msg) {
           handle_switch_ack(m);
         } else if constexpr (std::is_same_v<T, net::HeartbeatAck>) {
           handle_heartbeat_ack(m);
+        } else if constexpr (std::is_same_v<T, net::CsiForward>) {
+          // Forwarded exactly once: a non-owner receiving one drops it
+          // rather than re-forwarding, so routing loops cannot form.
+          ClientState* cs = state(m.report.client);
+          if (cs != nullptr && cs->owned) {
+            process_csi(m.report, *cs);
+          } else {
+            ++stats_.misrouted_dropped;
+            if (metrics_ && metrics_->misrouted_dropped) {
+              metrics_->misrouted_dropped->inc();
+            }
+          }
+        } else if constexpr (std::is_same_v<T, net::UplinkForward>) {
+          ClientState* cs = state(m.data.packet.client);
+          if (cs != nullptr && cs->owned) {
+            handle_uplink(std::move(m.data));
+          } else {
+            ++stats_.misrouted_dropped;
+            if (metrics_ && metrics_->misrouted_dropped) {
+              metrics_->misrouted_dropped->inc();
+            }
+          }
+        } else if constexpr (std::is_same_v<T, net::DownlinkForward>) {
+          ClientState* cs = state(m.packet.client);
+          if (cs != nullptr && cs->owned) {
+            send_downlink(std::move(m.packet));
+          } else {
+            ++stats_.misrouted_dropped;
+            if (metrics_ && metrics_->misrouted_dropped) {
+              metrics_->misrouted_dropped->inc();
+            }
+          }
+        } else if constexpr (std::is_same_v<T, net::HandoverRequest>) {
+          handle_handover_request(std::move(m));
+        } else if constexpr (std::is_same_v<T, net::HandoverAck>) {
+          handle_handover_ack(m);
+        } else if constexpr (std::is_same_v<T, net::DomainHeartbeat>) {
+          // Echoed inline (no processing delay), like the AP heartbeat. A
+          // probe from a peer is also liveness evidence in itself.
+          if (m.src_domain < peers_.size() && !peers_[m.src_domain].alive) {
+            peer_recovered(m.src_domain);
+          }
+          backhaul_.send(self_node(), NodeId::controller(m.src_domain),
+                         net::DomainHeartbeatAck{config_.domains.id, m.seq});
+        } else if constexpr (std::is_same_v<T, net::DomainHeartbeatAck>) {
+          if (m.src_domain < peers_.size()) {
+            PeerState& ps = peers_[m.src_domain];
+            ps.ack_since_tick = true;
+            ps.misses = 0;
+            if (!ps.alive) peer_recovered(m.src_domain);
+          }
+        } else if constexpr (std::is_same_v<T, net::DomainSync>) {
+          handle_domain_sync(m);
         }
       },
       std::move(msg));
@@ -185,6 +314,17 @@ void Controller::handle_csi(const net::CsiReport& report) {
   if (metrics_) metrics_->csi_reports->inc();
   ClientState* cs = state(report.client);
   if (cs == nullptr) return;
+  if (multi_domain() && !cs->owned) {
+    // Measurement for a client another domain owns (our AP overheard it
+    // near the boundary): relay to the believed owner, whose argmax seeing
+    // our AP win is exactly what triggers the inter-domain handover.
+    forward_csi(report, *cs);
+    return;
+  }
+  process_csi(report, *cs);
+}
+
+void Controller::process_csi(const net::CsiReport& report, ClientState& cs) {
   // The controller, not the AP, computes ESNR from raw CSI (§3.1.1). The
   // RSSI variant exists for the selection-metric ablation.
   const double value =
@@ -192,8 +332,8 @@ void Controller::handle_csi(const net::CsiReport& report) {
           ? phy::esnr_metric_db(report.measurement.subcarrier_snr_db)
           : report.measurement.rssi_dbm;
   tracker_.add(report.client, report.from_ap, sched_.now(), value);
-  cs->anchor_ap = static_cast<int>(net::index_of(report.from_ap));
-  update_shard(net::index_of(report.client), *cs);
+  cs.anchor_ap = static_cast<int>(net::index_of(report.from_ap));
+  update_shard(net::index_of(report.client), cs);
   maybe_switch(report.client);
 }
 
@@ -202,10 +342,22 @@ void Controller::maybe_switch(net::ClientId client) {
   if (csp == nullptr) return;
   ClientState& cs = *csp;
   if (cs.switch_pending) return;  // at most one outstanding switch
+  if (cs.ho_pending) return;      // ... or one outstanding handover
   if (metrics_) metrics_->selection_evaluations->inc();
 
   const auto best = tracker_.best_ap(client, sched_.now(), eviction_mask());
   if (!best) return;
+
+  if (multi_domain() && domain_map_ != nullptr) {
+    const std::uint32_t target_domain = domain_map_->domain_of_ap(*best);
+    if (target_domain != config_.domains.id && !adopted_by_me_[target_domain]) {
+      // The winning AP is operated by another controller: an intra-domain
+      // start toward it can never complete (its ack goes to its home
+      // controller), so this is an inter-domain handover decision.
+      consider_handover(client, cs, *best, target_domain);
+      return;
+    }
+  }
 
   if (!cs.serving) {
     bootstrap(client, *best);
@@ -256,7 +408,7 @@ void Controller::bootstrap(net::ClientId client, net::ApId first_ap) {
   if (on_switch_initiated) {
     on_switch_initiated(client, std::nullopt, first_ap, sched_.now());
   }
-  backhaul_.send(NodeId::controller(), NodeId::ap(first_ap),
+  backhaul_.send(self_node(), NodeId::ap(first_ap),
                  net::StartMsg{client, first_ap, cs.pending_first_index,
                                cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
@@ -275,7 +427,7 @@ void Controller::initiate_switch(net::ClientId client, net::ApId target) {
   if (on_switch_initiated) {
     on_switch_initiated(client, cs.serving, target, sched_.now());
   }
-  backhaul_.send(NodeId::controller(), NodeId::ap(*cs.serving),
+  backhaul_.send(self_node(), NodeId::ap(*cs.serving),
                  net::StopMsg{client, target, cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
 }
@@ -284,6 +436,30 @@ void Controller::handle_switch_ack(const net::SwitchAck& msg) {
   ClientState* csp = state(msg.client);
   if (csp == nullptr) return;
   ClientState& cs = *csp;
+  if (multi_domain() && !cs.owned) {
+    // An AP homed here acked a switch another domain is driving — its
+    // stretch was returned (or adopted) while the client's ownership still
+    // sits across the boundary. Relay to the believed owner exactly once;
+    // without this the owner's switch retransmits forever against an ack
+    // that keeps landing on the wrong controller.
+    const std::uint32_t owner = cs.owner_domain;
+    if (!msg.relayed && owner < peers_.size() &&
+        owner != config_.domains.id && peers_[owner].alive) {
+      net::SwitchAck fwd = msg;
+      fwd.relayed = true;
+      ++stats_.switch_acks_forwarded;
+      if (metrics_ && metrics_->switch_acks_fwd) {
+        metrics_->switch_acks_fwd->inc();
+      }
+      backhaul_.send(self_node(), NodeId::controller(owner), fwd);
+    } else {
+      ++stats_.misrouted_dropped;
+      if (metrics_ && metrics_->misrouted_dropped) {
+        metrics_->misrouted_dropped->inc();
+      }
+    }
+    return;
+  }
   // Only the ack for the outstanding switch counts: matching on
   // (epoch, target) rather than the sender alone rejects duplicates from a
   // retransmit chain and leftovers of a previous switch to the same AP,
@@ -316,6 +492,12 @@ void Controller::send_downlink(net::Packet packet) {
   ClientState* csp = state(packet.client);
   if (csp == nullptr) return;
   ClientState& cs = *csp;
+  if (multi_domain() && !cs.owned) {
+    // The server handed us a packet for a client another domain owns
+    // (routing lags ownership during a handover): relay it once.
+    forward_downlink(std::move(packet), cs);
+    return;
+  }
   ++stats_.downlink_packets;
   if (metrics_) metrics_->downlink_packets->inc();
 
@@ -369,13 +551,13 @@ void Controller::send_downlink(net::Packet packet) {
       msg.index = index;
       msg.handle = h;
       msg.tunnel_bytes = tunnel_bytes;
-      backhaul_.send(NodeId::controller(), NodeId::ap(ap), std::move(msg));
+      backhaul_.send(self_node(), NodeId::ap(ap), std::move(msg));
     }
     payload_pool_->drop(h);  // the acquisition reference; targets hold theirs
   } else {
     for (net::ApId ap : targets) {
       ++stats_.downlink_fanout_copies;
-      backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+      backhaul_.send(self_node(), NodeId::ap(ap),
                      net::DownlinkData{packet, index});
     }
   }
@@ -410,11 +592,700 @@ bool Controller::dedup_accept(const net::Packet& p) {
 void Controller::handle_uplink(net::UplinkData&& msg) {
   ++stats_.uplink_packets;
   if (metrics_) metrics_->uplink_packets->inc();
+  if (multi_domain()) {
+    ClientState* cs = state(msg.packet.client);
+    if (cs != nullptr && !cs->owned) {
+      // Only the owner de-duplicates (its ring is the authoritative one);
+      // relay to it.
+      forward_uplink(std::move(msg), *cs);
+      return;
+    }
+  }
   if (!dedup_accept(msg.packet)) {
     ++stats_.uplink_duplicates_dropped;
     return;
   }
   if (on_uplink) on_uplink(msg.packet);
+}
+
+// --- Multi-controller domains (DESIGN.md §12) ----------------------------
+
+void Controller::forward_csi(const net::CsiReport& report, ClientState& cs) {
+  const std::uint32_t owner = cs.owner_domain;
+  if (owner < peers_.size() && owner != config_.domains.id &&
+      peers_[owner].alive) {
+    ++stats_.csi_forwarded;
+    if (metrics_ && metrics_->csi_forwarded) metrics_->csi_forwarded->inc();
+    backhaul_.send(self_node(), NodeId::controller(owner),
+                   net::CsiForward{config_.domains.id, report});
+  } else {
+    ++stats_.misrouted_dropped;
+    if (metrics_ && metrics_->misrouted_dropped) {
+      metrics_->misrouted_dropped->inc();
+    }
+  }
+}
+
+void Controller::forward_uplink(net::UplinkData&& msg, ClientState& cs) {
+  const std::uint32_t owner = cs.owner_domain;
+  if (owner < peers_.size() && owner != config_.domains.id &&
+      peers_[owner].alive) {
+    ++stats_.uplink_forwarded;
+    if (metrics_ && metrics_->uplink_fwd) metrics_->uplink_fwd->inc();
+    backhaul_.send(self_node(), NodeId::controller(owner),
+                   net::UplinkForward{config_.domains.id, std::move(msg)});
+  } else {
+    ++stats_.misrouted_dropped;
+    if (metrics_ && metrics_->misrouted_dropped) {
+      metrics_->misrouted_dropped->inc();
+    }
+  }
+}
+
+void Controller::forward_downlink(net::Packet&& packet, ClientState& cs) {
+  const std::uint32_t owner = cs.owner_domain;
+  if (owner < peers_.size() && owner != config_.domains.id &&
+      peers_[owner].alive) {
+    ++stats_.downlink_forwarded;
+    if (metrics_ && metrics_->downlink_fwd) metrics_->downlink_fwd->inc();
+    backhaul_.send(self_node(), NodeId::controller(owner),
+                   net::DownlinkForward{config_.domains.id, std::move(packet)});
+  } else {
+    ++stats_.misrouted_dropped;
+    if (metrics_ && metrics_->misrouted_dropped) {
+      metrics_->misrouted_dropped->inc();
+    }
+  }
+}
+
+void Controller::consider_handover(net::ClientId client, ClientState& cs,
+                                   net::ApId target,
+                                   std::uint32_t target_domain) {
+  if (penalty_.barred(client, target_domain, sched_.now())) {
+    // Boundary flap damping: a recent handover involving this target (in
+    // either direction) bars another attempt until the window expires.
+    ++stats_.penalty_blocked;
+    if (metrics_ && metrics_->penalty_blocked) {
+      metrics_->penalty_blocked->inc();
+    }
+    return;
+  }
+  if (target_domain >= peers_.size() || !peers_[target_domain].alive) return;
+  if (cs.serving) {
+    if (sched_.now() - cs.last_switch_completed < config_.switch_hysteresis) {
+      return;
+    }
+    // Same challenger-vs-incumbent discipline as the intra-domain decision:
+    // a cross-domain handover is strictly more expensive than a switch, so
+    // it clears at least the same bar.
+    const auto incumbent = tracker_.median(client, *cs.serving, sched_.now());
+    if (!incumbent) {
+      const auto heard = tracker_.last_heard(client, *cs.serving);
+      if (heard && sched_.now() - *heard < config_.serving_stale_timeout) {
+        const auto last_known = tracker_.last_value(client, *cs.serving);
+        const auto challenger = tracker_.median(client, target, sched_.now());
+        if (!challenger || !last_known ||
+            *challenger <= *last_known + config_.switch_margin_db) {
+          return;
+        }
+      }
+    } else if (config_.switch_margin_db > 0.0) {
+      const auto challenger = tracker_.median(client, target, sched_.now());
+      if (challenger && *challenger < *incumbent + config_.switch_margin_db) {
+        return;
+      }
+    }
+  }
+  initiate_handover(client, cs, target, target_domain);
+}
+
+void Controller::initiate_handover(net::ClientId client, ClientState& cs,
+                                   net::ApId target,
+                                   std::uint32_t target_domain) {
+  cs.ho_pending = true;
+  cs.ho_target_domain = target_domain;
+  cs.ho_target_ap = target;
+  cs.ho_seq = ++ho_seq_counter_;
+  cs.ho_attempts = 0;
+  cs.ho_started = sched_.now();
+  cs.ho_timeout = config_.domains.handover_timeout;
+  ++stats_.handover_requests;
+  if (metrics_ && metrics_->handover_requests) {
+    metrics_->handover_requests->inc();
+  }
+  send_handover_request(client, cs);
+}
+
+void Controller::send_handover_request(net::ClientId client, ClientState& cs) {
+  net::HandoverRequest req;
+  req.client = client;
+  req.src_domain = config_.domains.id;
+  req.target_ap = cs.ho_target_ap;
+  req.epoch = cs.epoch;
+  // Pre-rewind the transferred watermark so the target replays the tail the
+  // boundary APs may hold but have not delivered (the client's duplicate
+  // suppression absorbs the overlap, as on forced failover).
+  const auto replay = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      config_.domains.handover_replay, cs.downlink_sent));
+  req.next_index = static_cast<std::uint16_t>((cs.next_index - replay) & 0x0fff);
+  req.downlink_sent = cs.downlink_sent;
+  req.dedup_seed = collect_dedup_seed(client);
+  req.seq = cs.ho_seq;
+  ++cs.ho_attempts;
+  backhaul_.send(self_node(), NodeId::controller(cs.ho_target_domain),
+                 std::move(req));
+  cs.ho_timer->start(cs.ho_timeout);
+}
+
+void Controller::abort_handover(net::ClientId client, ClientState& cs) {
+  cs.ho_pending = false;
+  cs.ho_timer->cancel();
+  penalty_.arm(client, cs.ho_target_domain,
+               sched_.now() + config_.domains.penalty_window);
+  ++stats_.handover_aborts;
+  if (metrics_ && metrics_->handover_aborts) {
+    metrics_->handover_aborts->inc();
+  }
+}
+
+std::vector<std::uint32_t> Controller::collect_dedup_seed(
+    net::ClientId client) const {
+  // Newest-first reverse scan of the dedup FIFO for this client's keys; the
+  // target re-inserts them so in-flight uplink duplicates do not leak
+  // through right after the transfer.
+  std::vector<std::uint32_t> out;
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(net::index_of(client)) << 16;
+  for (auto it = dedup_fifo_.rbegin();
+       it != dedup_fifo_.rend() && out.size() < config_.domains.dedup_seed_max;
+       ++it) {
+    if ((*it & ~std::uint64_t{0xffff}) == want) {
+      out.push_back(static_cast<std::uint32_t>(*it & 0xffff));
+    }
+  }
+  return out;
+}
+
+void Controller::seed_dedup(net::ClientId client, std::uint32_t ip_id) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(net::index_of(client)) << 16) |
+      (ip_id & 0xffff);
+  if (dedup_set_.contains(key)) return;
+  if (dedup_fifo_.size() >= config_.dedup_capacity) {
+    dedup_set_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+  dedup_set_.insert(key);
+  dedup_fifo_.push_back(key);
+}
+
+void Controller::handle_handover_request(net::HandoverRequest&& msg) {
+  ClientState* csp = state(msg.client);
+  const NodeId src = NodeId::controller(msg.src_domain);
+  if (csp == nullptr) {
+    backhaul_.send(self_node(), src,
+                   net::HandoverAck{msg.client, config_.domains.id, false,
+                                    msg.seq, 0});
+    return;
+  }
+  ClientState& cs = *csp;
+  if (cs.ho_acc_valid && cs.ho_acc_src == msg.src_domain &&
+      cs.ho_acc_seq == msg.seq) {
+    // Retransmit of a transfer we already accepted (our ack was lost):
+    // replay the ack only — re-applying the state would rewind the epoch
+    // and watermark we have since advanced.
+    backhaul_.send(self_node(), src,
+                   net::HandoverAck{msg.client, config_.domains.id, true,
+                                    msg.seq, cs.epoch});
+    return;
+  }
+  if (cs.owned) {
+    // Already ours (gossip or a prior transfer raced the retransmit chain).
+    // Accept idempotently without touching the live state.
+    cs.ho_acc_valid = true;
+    cs.ho_acc_seq = msg.seq;
+    cs.ho_acc_src = msg.src_domain;
+    backhaul_.send(self_node(), src,
+                   net::HandoverAck{msg.client, config_.domains.id, true,
+                                    msg.seq, cs.epoch});
+    return;
+  }
+  // Take ownership: adopt the transferred epoch (advancing past our own
+  // stale view), watermark, and dedup seed, then bootstrap the proposed AP
+  // from the transferred (pre-rewound) index under a freshly minted epoch.
+  cs.owned = true;
+  cs.owner_domain = config_.domains.id;
+  cs.epoch = std::max(cs.epoch, msg.epoch) + 1;
+  cs.next_index = msg.next_index;
+  cs.downlink_sent = msg.downlink_sent;
+  for (std::uint32_t ip_id : msg.dedup_seed) seed_dedup(msg.client, ip_id);
+  cs.ack_timer->cancel();
+  cs.switch_pending = false;
+  cs.pending_forced = false;
+  cs.serving.reset();
+  cs.ho_acc_valid = true;
+  cs.ho_acc_seq = msg.seq;
+  cs.ho_acc_src = msg.src_domain;
+  ++stats_.handovers_in;
+  if (metrics_ && metrics_->handovers_in) metrics_->handovers_in->inc();
+  // Bar an immediate hand-back to the source: the client just crossed the
+  // boundary toward us, and flapping straight back is the ping-pong the
+  // penalty timer exists to damp.
+  penalty_.arm(msg.client, msg.src_domain,
+               sched_.now() + config_.domains.penalty_window);
+  if (on_ownership_changed) {
+    on_ownership_changed(msg.client, config_.domains.id);
+  }
+  net::ApId target = msg.target_ap;
+  if (!ap_usable(target)) {
+    const auto best = tracker_.best_ap(msg.client, sched_.now(),
+                                       eviction_mask());
+    if (best) {
+      target = *best;
+    } else {
+      // Degraded: accept the transfer (the source's link is worse) but stay
+      // unserved until fresh CSI re-bootstraps.
+      ++stats_.failovers_unserved;
+      backhaul_.send(self_node(), src,
+                     net::HandoverAck{msg.client, config_.domains.id, true,
+                                      msg.seq, cs.epoch});
+      return;
+    }
+  }
+  bootstrap_forced(msg.client, cs, target);
+  backhaul_.send(self_node(), src,
+                 net::HandoverAck{msg.client, config_.domains.id, true,
+                                  msg.seq, cs.epoch});
+}
+
+void Controller::bootstrap_forced(net::ClientId client, ClientState& cs,
+                                  net::ApId target) {
+  // force_failover's bootstrap tail under the ALREADY-minted epoch: the
+  // old AP (another domain's, or a corpse's) can never answer a stop, so
+  // the start goes straight from our watermark.
+  cs.switch_pending = true;
+  cs.pending_forced = true;
+  cs.pending_target = target;
+  cs.pending_from = target;
+  cs.pending_since = sched_.now();
+  cs.pending_first_index = cs.next_index;
+  ++stats_.switches_initiated;
+  if (metrics_) metrics_->switches_initiated->inc();
+  if (on_switch_initiated) {
+    on_switch_initiated(client, std::nullopt, target, sched_.now());
+  }
+  backhaul_.send(self_node(), NodeId::ap(target),
+                 net::StartMsg{client, target, cs.pending_first_index,
+                               cs.epoch});
+  cs.ack_timer->start(config_.ack_timeout);
+}
+
+void Controller::handle_handover_ack(const net::HandoverAck& msg) {
+  ClientState* csp = state(msg.client);
+  if (csp == nullptr) return;
+  ClientState& cs = *csp;
+  if (!cs.ho_pending || msg.seq != cs.ho_seq) return;  // stale chain leftover
+  cs.ho_timer->cancel();
+  cs.ho_pending = false;
+  if (!msg.accepted) {
+    penalty_.arm(msg.client, cs.ho_target_domain,
+                 sched_.now() + config_.domains.penalty_window);
+    ++stats_.handover_aborts;
+    if (metrics_ && metrics_->handover_aborts) {
+      metrics_->handover_aborts->inc();
+    }
+    return;
+  }
+  // Ownership released. Stop the old serving AP under the target's minted
+  // epoch (strictly newer than the start record it is serving under, so the
+  // stop supersedes it); the forwarded start it triggers arrives at the
+  // target's AP as a same-epoch duplicate and is answered as an ack replay.
+  // When the handover target IS the old serving AP (same radio, new owner —
+  // common right after a returned stretch), there is nothing to quench:
+  // stopping it would kill the drain the target just bootstrapped.
+  const auto old_serving = cs.serving;
+  cs.ack_timer->cancel();
+  cs.switch_pending = false;
+  cs.pending_forced = false;
+  cs.serving.reset();
+  cs.owned = false;
+  cs.owner_domain = msg.from_domain;
+  ++stats_.handovers_out;
+  if (metrics_) {
+    if (metrics_->handovers_out) metrics_->handovers_out->inc();
+    if (metrics_->handover_ms) {
+      metrics_->handover_ms->observe((sched_.now() - cs.ho_started).to_millis());
+    }
+  }
+  if (old_serving && *old_serving != cs.ho_target_ap) {
+    backhaul_.send(self_node(), NodeId::ap(*old_serving),
+                   net::StopMsg{msg.client, cs.ho_target_ap, msg.epoch});
+  }
+  // Seed the gossip record with the target's minted epoch so an immediate
+  // target crash still adopts from a base at least that fresh.
+  if (msg.epoch > cs.gossip_epoch || !cs.gossip_valid) {
+    cs.gossip_valid = true;
+    cs.gossip_epoch = msg.epoch;
+    cs.gossip_next_index = cs.next_index;
+    cs.gossip_downlink_sent = cs.downlink_sent;
+    cs.gossip_has_serving = true;
+    cs.gossip_serving = cs.ho_target_ap;
+  }
+  if (on_ownership_changed) {
+    on_ownership_changed(msg.client, msg.from_domain);
+  }
+}
+
+void Controller::domain_heartbeat_tick() {
+  const std::uint32_t me = config_.domains.id;
+  for (std::uint32_t d = 0; d < peers_.size(); ++d) {
+    if (d == me) continue;
+    PeerState& ps = peers_[d];
+    // Judge the probe sent last tick before sending the next one (the
+    // PR-5 AP-heartbeat discipline, peer-to-peer).
+    if (!ps.ack_since_tick) {
+      ++ps.misses;
+      if (ps.misses >= config_.domains.miss_threshold && ps.alive) {
+        peer_dead(d);
+      }
+    }
+    ps.ack_since_tick = false;
+    ++ps.hb_seq;
+    backhaul_.send(self_node(), NodeId::controller(d),
+                   net::DomainHeartbeat{me, ps.hb_seq});
+  }
+  domain_hb_timer_->start(config_.domains.heartbeat_interval);
+}
+
+void Controller::peer_dead(std::uint32_t domain) {
+  PeerState& ps = peers_[domain];
+  ps.alive = false;
+  ps.state_since = sched_.now();
+  last_peer_transition_ = sched_.now();
+  ++stats_.peers_marked_dead;
+  if (metrics_ && metrics_->peers_marked_dead) {
+    metrics_->peers_marked_dead->inc();
+  }
+  // Handovers in flight toward the corpse can never complete: abort them
+  // now instead of burning the whole retry budget.
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    ClientState& cs = clients_[ci];
+    if (cs.registered && cs.ho_pending && cs.ho_target_domain == domain) {
+      abort_handover(static_cast<net::ClientId>(ci), cs);
+    }
+  }
+  reevaluate_adoptions();
+}
+
+void Controller::peer_recovered(std::uint32_t domain) {
+  PeerState& ps = peers_[domain];
+  ps.alive = true;
+  ps.misses = 0;
+  ps.ack_since_tick = true;
+  ps.state_since = sched_.now();
+  last_peer_transition_ = sched_.now();
+  ++stats_.peers_recovered;
+  if (adopted_by_me_[domain]) return_domain(domain);
+  // Responsibilities may shift with the alive set; pick up any dead domain
+  // still left without an adopter.
+  reevaluate_adoptions();
+  // Push our ownership claims at the recovered peer right away rather than
+  // waiting out the sync interval: if the "death" was a false positive
+  // (lossy heartbeats) we may have adopted clients the peer still believes
+  // are its own, and the jumped-epoch claims in this sync are what make it
+  // yield. Shortens the dual-ownership window to one backhaul transit.
+  backhaul_.send(self_node(), NodeId::controller(domain),
+                 build_domain_sync());
+}
+
+void Controller::reevaluate_adoptions() {
+  if (domain_map_ == nullptr || crashed_) return;
+  const std::uint32_t me = config_.domains.id;
+  std::vector<bool> alive(peers_.size());
+  for (std::uint32_t d = 0; d < peers_.size(); ++d) {
+    alive[d] = d == me ? true : peers_[d].alive;
+  }
+  for (std::uint32_t d = 0; d < peers_.size(); ++d) {
+    if (d == me || alive[d] || adopted_by_me_[d]) continue;
+    if (domain_map_->nearest_alive(d, alive) == me) adopt_domain(d);
+  }
+  // Client sweep, separate from the AP re-homing: a relayed gossip entry
+  // can teach us about a dead domain's client long after we adopted its
+  // APs, so adoption keys off the believed owner, not the adopt instant.
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    ClientState& cs = clients_[ci];
+    if (!cs.registered || cs.owned) continue;
+    const std::uint32_t d = cs.owner_domain;
+    if (d == me || d >= alive.size() || alive[d]) continue;
+    if (domain_map_->nearest_alive(d, alive) == me) {
+      adopt_client(static_cast<net::ClientId>(ci), cs);
+    }
+  }
+}
+
+void Controller::adopt_domain(std::uint32_t dead) {
+  adopted_by_me_[dead] = true;
+  // Re-home the dead domain's APs: they re-point their uplink/CSI/ack path
+  // here and join our fan-out fallback set.
+  for (std::uint32_t a = domain_map_->first_ap(dead);
+       a < domain_map_->last_ap(dead); ++a) {
+    const auto ap = static_cast<net::ApId>(a);
+    backhaul_.send(self_node(), NodeId::ap(ap),
+                   net::AdoptAp{config_.domains.id});
+    add_ap(ap);
+    ++stats_.aps_adopted;
+    if (metrics_ && metrics_->aps_adopted) metrics_->aps_adopted->inc();
+  }
+  // The corpse's clients are picked up by the client sweep in
+  // reevaluate_adoptions (the caller), keyed off the believed owner.
+}
+
+void Controller::adopt_client(net::ClientId client, ClientState& cs) {
+  // Bootstrap from the dead owner's last-gossiped epoch/watermark. The
+  // epoch jump leaps over anything it minted after that gossip, so our
+  // starts are never stale at the APs.
+  cs.owned = true;
+  cs.owner_domain = config_.domains.id;
+  const std::uint32_t base =
+      std::max(cs.epoch, cs.gossip_valid ? cs.gossip_epoch : 0);
+  cs.epoch = base + config_.domains.epoch_jump;
+  if (cs.gossip_valid) {
+    cs.next_index = cs.gossip_next_index;
+    cs.downlink_sent = cs.gossip_downlink_sent;
+  }
+  cs.ack_timer->cancel();
+  cs.switch_pending = false;
+  cs.pending_forced = false;
+  if (cs.ho_timer) cs.ho_timer->cancel();
+  cs.ho_pending = false;
+  ++stats_.clients_adopted;
+  if (metrics_ && metrics_->clients_adopted) {
+    metrics_->clients_adopted->inc();
+  }
+  if (on_ownership_changed) {
+    on_ownership_changed(client, config_.domains.id);
+  }
+  if (cs.gossip_valid && cs.gossip_has_serving) {
+    // The data plane outlived its controller: the gossiped serving AP is
+    // still draining under the dead domain's epoch. Keep it — we only
+    // take over routing and ownership; our next measurement-driven
+    // switch re-stamps the jumped epoch at the AP layer.
+    cs.serving = cs.gossip_serving;
+  } else {
+    cs.serving.reset();
+    const auto target = tracker_.best_ap(client, sched_.now(),
+                                         eviction_mask());
+    if (target) {
+      bootstrap_forced(client, cs, *target);
+    } else {
+      // Degraded: no usable CSI anywhere yet. The adopted APs' first
+      // reports (they now flow here) re-bootstrap through the normal path.
+      ++stats_.adopted_unserved;
+    }
+  }
+}
+
+void Controller::return_domain(std::uint32_t recovered) {
+  adopted_by_me_[recovered] = false;
+  for (std::uint32_t a = domain_map_->first_ap(recovered);
+       a < domain_map_->last_ap(recovered); ++a) {
+    const auto ap = static_cast<net::ApId>(a);
+    backhaul_.send(self_node(), NodeId::ap(ap), net::AdoptAp{recovered});
+    std::erase(aps_, ap);
+    ++stats_.aps_returned;
+  }
+  // Clients stay owned here; the measurement-driven handover path migrates
+  // them back as soon as the returned APs' CSI (relayed by the recovered
+  // controller) wins the argmax.
+}
+
+void Controller::domain_sync_tick() {
+  const net::DomainSync sync = build_domain_sync();
+  for (std::uint32_t d = 0; d < peers_.size(); ++d) {
+    if (d == config_.domains.id || !peers_[d].alive) continue;
+    backhaul_.send(self_node(), NodeId::controller(d), sync);
+  }
+  domain_sync_timer_->start(config_.domains.sync_interval);
+}
+
+net::DomainSync Controller::build_domain_sync() const {
+  net::DomainSync sync;
+  sync.src_domain = config_.domains.id;
+  const std::uint32_t me = config_.domains.id;
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    const ClientState& cs = clients_[ci];
+    if (!cs.registered) continue;
+    if (cs.owned) {
+      sync.entries.push_back({static_cast<net::ClientId>(ci), me, cs.epoch,
+                              cs.next_index, cs.downlink_sent,
+                              cs.serving.has_value(),
+                              cs.serving.value_or(net::ApId{})});
+    } else if (cs.gossip_valid && cs.owner_domain != me &&
+               cs.owner_domain < peers_.size() &&
+               !peers_[cs.owner_domain].alive) {
+      // Relay our last record of a dead owner: the adopter may never have
+      // seen the ownership transfer (the owner crashed before gossiping
+      // it), and a client nobody speaks for stays orphaned forever.
+      sync.entries.push_back({static_cast<net::ClientId>(ci),
+                              cs.owner_domain, cs.gossip_epoch,
+                              cs.gossip_next_index, cs.gossip_downlink_sent,
+                              cs.gossip_has_serving, cs.gossip_serving});
+    }
+  }
+  return sync;
+}
+
+void Controller::handle_domain_sync(const net::DomainSync& msg) {
+  const std::uint32_t me = config_.domains.id;
+  bool saw_dead_owner = false;
+  for (const net::DomainSync::Entry& e : msg.entries) {
+    ClientState* csp = state(e.client);
+    if (csp == nullptr) continue;
+    ClientState& cs = *csp;
+    if (e.owner == me && !cs.owned) {
+      // A relayed claim naming us as owner of a client we do not own can
+      // only be stale (e.g. we crashed and restarted since); ignore it.
+      continue;
+    }
+    if (cs.owned) {
+      // Relays republish a third party's old record; only a direct claim
+      // from the sender itself can contest our ownership.
+      if (e.owner != msg.src_domain) continue;
+      // Split-brain: both sides believe they own the client (an aborted
+      // handover whose transfer actually landed, or a crash/adopt race).
+      // Yield to the higher epoch; equal epochs break toward the lower
+      // domain id so both sides pick the same winner.
+      if (e.epoch > cs.epoch ||
+          (e.epoch == cs.epoch && msg.src_domain < me)) {
+        ++stats_.ownership_yields;
+        if (metrics_ && metrics_->ownership_yields) {
+          metrics_->ownership_yields->inc();
+        }
+        cs.ack_timer->cancel();
+        cs.switch_pending = false;
+        cs.pending_forced = false;
+        if (cs.ho_timer) cs.ho_timer->cancel();
+        cs.ho_pending = false;
+        if (cs.serving && !(e.has_serving && e.serving == *cs.serving)) {
+          // Quench our AP's drain: an equal-epoch stop supersedes the start
+          // record it serves under. new_ap = itself routes the forwarded
+          // start back where the record is now a stop — a clean no-op.
+          // Skipped when the winner serves through the SAME AP (both sides
+          // bootstrapped one radio): its record carries the winner's epoch
+          // and the drain is now the winner's to manage, not ours to kill.
+          backhaul_.send(self_node(), NodeId::ap(*cs.serving),
+                         net::StopMsg{e.client, *cs.serving, cs.epoch});
+        }
+        cs.serving.reset();
+        cs.owned = false;
+        cs.owner_domain = msg.src_domain;
+        // Seed the gossip record from the winner's entry: if it crashes
+        // before its next sync reaches us, adoption still has a fresh base.
+        cs.gossip_valid = true;
+        cs.gossip_epoch = e.epoch;
+        cs.gossip_next_index = e.next_index;
+        cs.gossip_downlink_sent = e.downlink_sent;
+        cs.gossip_has_serving = e.has_serving;
+        cs.gossip_serving = e.serving;
+        if (on_ownership_changed) {
+          on_ownership_changed(e.client, msg.src_domain);
+        }
+      }
+    } else {
+      // Track the freshest gossip: it names the believed owner for
+      // forwarding and seeds the crash-adoption bootstrap.
+      if (!cs.gossip_valid || e.epoch >= cs.gossip_epoch) {
+        cs.gossip_valid = true;
+        cs.gossip_epoch = e.epoch;
+        cs.gossip_next_index = e.next_index;
+        cs.gossip_downlink_sent = e.downlink_sent;
+        cs.gossip_has_serving = e.has_serving;
+        cs.gossip_serving = e.serving;
+        cs.owner_domain = e.owner;
+      }
+      if (e.owner < peers_.size() && e.owner != me &&
+          !peers_[e.owner].alive) {
+        saw_dead_owner = true;
+      }
+    }
+  }
+  // A relay just taught us about clients whose owner is already dead; if
+  // we are that domain's adopter, pick them up now rather than leaking
+  // them until some unrelated liveness event re-runs the sweep.
+  if (saw_dead_owner) reevaluate_adoptions();
+}
+
+void Controller::set_crashed(bool crashed) {
+  if (crashed == crashed_) return;
+  crashed_ = crashed;
+  if (crashed) {
+    // Fail-stop: volatile state dies with the process.
+    if (heartbeat_timer_) heartbeat_timer_->cancel();
+    if (domain_hb_timer_) domain_hb_timer_->cancel();
+    if (domain_sync_timer_) domain_sync_timer_->cancel();
+    for (ClientState& cs : clients_) {
+      if (!cs.registered) continue;
+      cs.ack_timer->cancel();
+      if (cs.ho_timer) cs.ho_timer->cancel();
+      cs.switch_pending = false;
+      cs.pending_forced = false;
+      cs.ho_pending = false;
+      cs.owned = false;
+      cs.serving.reset();
+      cs.gossip_valid = false;
+      cs.ho_acc_valid = false;
+    }
+    // Any adopted APs are no longer operated by anyone until the liveness
+    // machinery re-homes them; our AP list reverts to the home stretch.
+    if (domain_map_ != nullptr && multi_domain()) {
+      aps_.clear();
+      for (std::uint32_t a = domain_map_->first_ap(config_.domains.id);
+           a < domain_map_->last_ap(config_.domains.id); ++a) {
+        aps_.push_back(static_cast<net::ApId>(a));
+      }
+    }
+    for (std::size_t d = 0; d < adopted_by_me_.size(); ++d) {
+      adopted_by_me_[d] = false;
+    }
+    for (PeerState& ps : peers_) ps = PeerState{};
+  } else {
+    // Cold restart: peers presumed alive until probed; ownership beliefs
+    // repopulate from their gossip (until then cross-domain traffic for
+    // unknown owners is counted as misrouted and dropped).
+    for (PeerState& ps : peers_) {
+      ps = PeerState{};
+      ps.state_since = sched_.now();
+    }
+    if (config_.liveness_enabled && heartbeat_timer_) {
+      heartbeat_timer_->start(config_.heartbeat_interval);
+    }
+    if (domain_hb_timer_) {
+      domain_hb_timer_->start(config_.domains.heartbeat_interval);
+    }
+    if (domain_sync_timer_) {
+      domain_sync_timer_->start(config_.domains.sync_interval);
+    }
+  }
+}
+
+bool Controller::owns_client(net::ClientId client) const {
+  const ClientState* cs = state(client);
+  return cs != nullptr && cs->owned && !crashed_;
+}
+
+bool Controller::handover_pending(net::ClientId client) const {
+  const ClientState* cs = state(client);
+  return cs != nullptr && cs->ho_pending;
+}
+
+std::uint32_t Controller::believed_owner(net::ClientId client) const {
+  const ClientState* cs = state(client);
+  return cs == nullptr ? config_.domains.id : cs->owner_domain;
+}
+
+bool Controller::peer_alive(std::uint32_t domain) const {
+  if (domain == config_.domains.id) return !crashed_;
+  return domain < peers_.size() && peers_[domain].alive;
 }
 
 // --- AP liveness & forced failover --------------------------------------
@@ -473,7 +1344,7 @@ void Controller::heartbeat_tick() {
     ++ls.hb_seq;
     ls.hb_sent_at = sched_.now();
     ++stats_.heartbeats_sent;
-    backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+    backhaul_.send(self_node(), NodeId::ap(ap),
                    net::Heartbeat{ls.hb_seq});
   }
   if (stagger > 0) hb_phase_ = (hb_phase_ + 1) % stagger;
@@ -595,7 +1466,7 @@ void Controller::force_failover(net::ClientId client) {
   if (on_switch_initiated) {
     on_switch_initiated(client, cs.serving, *target, sched_.now());
   }
-  backhaul_.send(NodeId::controller(), NodeId::ap(*target),
+  backhaul_.send(self_node(), NodeId::ap(*target),
                  net::StartMsg{client, *target, cs.pending_first_index,
                                cs.epoch});
   cs.ack_timer->start(config_.ack_timeout);
@@ -632,7 +1503,7 @@ void Controller::quench_orphan(net::ApId ap, net::ClientId client) {
   // zombie recorded, so it stops serving and forwards a start that the
   // actual serving AP answers as a duplicate (a stale ack we ignore).
   ++stats_.quench_stops;
-  backhaul_.send(NodeId::controller(), NodeId::ap(ap),
+  backhaul_.send(self_node(), NodeId::ap(ap),
                  net::StopMsg{client, *cs.serving, cs.epoch});
 }
 

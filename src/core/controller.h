@@ -26,7 +26,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/domain_map.h"
 #include "core/esnr_tracker.h"
+#include "core/penalty_timers.h"
 #include "core/spatial_index.h"
 #include "net/backhaul.h"
 #include "net/ids.h"
@@ -98,6 +100,45 @@ class Controller {
     /// dead AP accepted but never delivered are replayed. The client's
     /// duplicate suppression absorbs the overlap.
     std::uint16_t failover_replay = 32;
+
+    // --- Multi-controller domains (DESIGN.md §12) ---
+    struct DomainConfig {
+      /// Master switch, off by default: inter-controller traffic consumes
+      /// RNG draws, so single-controller seeded runs stay byte-identical
+      /// unless a scenario opts in. With num_domains == 1 everything below
+      /// stays inert even when enabled.
+      bool enabled = false;
+      /// This controller's domain id (== its NodeId::controller index).
+      std::uint32_t id = 0;
+      std::uint32_t num_domains = 1;
+      /// Per-message timeout of the handover state-transfer handshake; each
+      /// retry doubles it (bounded retry budget, arXiv 2008.09438).
+      Time handover_timeout = Time::ms(30);
+      /// Attempts (first send + retries) before abort-to-source.
+      int handover_max_retries = 4;
+      /// Penalty bar on (client, target-domain) after a handover lands or
+      /// aborts: no further attempt toward that domain until it expires
+      /// (osmo-bsc penalty_timers).
+      Time penalty_window = Time::ms(500);
+      /// The transferred watermark is pre-rewound by this many indices so
+      /// the target replays the tail in flight at transfer time.
+      std::uint16_t handover_replay = 32;
+      /// Epoch leap applied when adopting a crashed neighbor's client from
+      /// gossiped state: must exceed any epochs the dead controller can have
+      /// minted since its last gossip, or the adopter's bootstrap start is
+      /// stale at the AP.
+      std::uint32_t epoch_jump = 64;
+      /// Most recent uplink dedup keys carried in the state transfer.
+      std::size_t dedup_seed_max = 32;
+      /// Controller-to-controller heartbeat probing (the PR-5 machinery
+      /// reused peer-to-peer).
+      Time heartbeat_interval = Time::ms(25);
+      int miss_threshold = 3;
+      /// Ownership gossip period (crash-adoption bootstrap + split-brain
+      /// reconciliation).
+      Time sync_interval = Time::ms(100);
+    };
+    DomainConfig domains;
   };
 
   struct Stats {
@@ -134,6 +175,36 @@ class Controller {
     /// Quench stops sent to a readmitted AP that may still believe it
     /// serves a client that was failed over away while it was dead.
     std::uint64_t quench_stops = 0;
+    // Multi-controller domains (all zero in single-domain runs).
+    std::uint64_t handover_requests = 0;   // handshakes initiated (as source)
+    std::uint64_t handovers_out = 0;       // completed, ownership released
+    std::uint64_t handovers_in = 0;        // accepted, ownership taken
+    std::uint64_t handover_retries = 0;
+    /// Retry budget exhausted (or target refused/died): ownership stays
+    /// here and the target domain is penalty-barred.
+    std::uint64_t handover_aborts = 0;
+    /// Handover attempts suppressed by an armed penalty timer.
+    std::uint64_t penalty_blocked = 0;
+    std::uint64_t csi_forwarded = 0;       // cross-domain CSI relays
+    std::uint64_t uplink_forwarded = 0;
+    std::uint64_t downlink_forwarded = 0;
+    /// Switch acks relayed to the owning domain (the acking AP is homed
+    /// here, e.g. a returned stretch whose clients have not handed over yet).
+    std::uint64_t switch_acks_forwarded = 0;
+    /// Cross-domain traffic dropped because no alive believed owner exists
+    /// (transient while ownership/gossip settles; never re-forwarded).
+    std::uint64_t misrouted_dropped = 0;
+    std::uint64_t peers_marked_dead = 0;
+    std::uint64_t peers_recovered = 0;
+    std::uint64_t aps_adopted = 0;
+    std::uint64_t aps_returned = 0;
+    std::uint64_t clients_adopted = 0;
+    /// Adopted with no usable CSI anywhere: unserved until the re-homed
+    /// APs' first reports re-bootstrap (degraded mode).
+    std::uint64_t adopted_unserved = 0;
+    /// Ownership released to a peer whose gossiped epoch was newer
+    /// (split-brain reconciliation).
+    std::uint64_t ownership_yields = 0;
   };
 
   struct SwitchRecord {
@@ -184,6 +255,50 @@ class Controller {
   /// enables the bounded fan-out fallback / staggered heartbeats when those
   /// knobs are set. Call once, after every add_ap. nullptr detaches.
   void set_spatial(const SpatialIndex* index, double neighbor_radius_m);
+
+  /// Wires the deployment-wide domain map (owned by the scenario; must
+  /// outlive the controller). Sizes the liveness/eviction arrays to the
+  /// TOTAL AP count — forwarded CSI feeds foreign AP indices into this
+  /// controller's tracker, so every per-AP-index array must cover them.
+  /// No-op outside multi-domain mode.
+  void set_domain_map(const DomainMap* map);
+
+  /// Initial ownership, set by the scenario at build time: this controller
+  /// owns the client iff `owner` is its own domain id; otherwise it records
+  /// `owner` as the believed owner for cross-domain forwarding.
+  void set_client_owner(net::ClientId client, std::uint32_t owner);
+
+  /// Controller crash/restart (the fail-stop model): a crashed controller
+  /// handles nothing, its timers stop, and its volatile state — ownership,
+  /// pending handshakes, serving beliefs, peer liveness — is wiped. The
+  /// scenario additionally takes the backhaul node down. Restart is cold:
+  /// ownership beliefs are repopulated by peer gossip.
+  void set_crashed(bool crashed);
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Observation hook fired when this controller takes or releases
+  /// ownership of a client; the argument is the new owning domain. The
+  /// scenario uses it to route server-side downlink.
+  std::function<void(net::ClientId, std::uint32_t)> on_ownership_changed;
+
+  [[nodiscard]] std::uint32_t domain_id() const { return config_.domains.id; }
+  /// Does this controller currently own the client's control plane?
+  [[nodiscard]] bool owns_client(net::ClientId client) const;
+  /// Is an inter-domain handover of this client outstanding here (as the
+  /// source)? Exempted from the single-owner invariant until it settles.
+  [[nodiscard]] bool handover_pending(net::ClientId client) const;
+  /// The domain this controller believes owns the client.
+  [[nodiscard]] std::uint32_t believed_owner(net::ClientId client) const;
+  /// This controller's view of a peer domain's liveness.
+  [[nodiscard]] bool peer_alive(std::uint32_t domain) const;
+  /// Last time this controller changed its mind about a peer's liveness
+  /// (marked dead or recovered). Failover/return churn is in flight until
+  /// this has been quiet for a while; invariant checks exempt that window.
+  [[nodiscard]] std::optional<Time> last_peer_transition() const {
+    return last_peer_transition_;
+  }
+  /// APs this controller currently operates (home plus adopted).
+  [[nodiscard]] const std::vector<net::ApId>& aps() const { return aps_; }
 
   /// Per-AP liveness verdict, driven by the heartbeat state machine.
   /// Dead and Recovering APs are evicted from the downlink fan-out and the
@@ -269,16 +384,80 @@ class Controller {
     // in (-1 while unsharded). Maintained by handle_csi/update_shard.
     int anchor_ap = -1;
     int shard = -1;
+    // --- Multi-domain ownership (inert in single-domain mode) ---
+    bool owned = true;                // this domain owns the control plane
+    std::uint32_t owner_domain = 0;   // believed owner (== domains.id if us)
+    // Outstanding inter-domain handover (as the source domain).
+    bool ho_pending = false;
+    std::uint32_t ho_target_domain = 0;
+    net::ApId ho_target_ap{};
+    std::uint32_t ho_seq = 0;
+    int ho_attempts = 0;
+    Time ho_started;
+    Time ho_timeout;                  // current (backed-off) retry timeout
+    std::unique_ptr<sim::Timer> ho_timer;
+    // Target-side idempotency: the last accepted transfer, so a
+    // retransmitted request replays the ack instead of re-bootstrapping.
+    bool ho_acc_valid = false;
+    std::uint32_t ho_acc_seq = 0;
+    std::uint32_t ho_acc_src = 0;
+    // Last-gossiped state while the client is believed owned elsewhere; the
+    // crash-adoption bootstrap reads it.
+    bool gossip_valid = false;
+    std::uint32_t gossip_epoch = 0;
+    std::uint16_t gossip_next_index = 0;
+    std::uint64_t gossip_downlink_sent = 0;
+    bool gossip_has_serving = false;
+    net::ApId gossip_serving{};
   };
 
   void handle_backhaul(net::NodeId from, net::BackhaulMessage msg);
   void handle_csi(const net::CsiReport& report);
+  void process_csi(const net::CsiReport& report, ClientState& cs);
   void handle_uplink(net::UplinkData&& msg);
   void handle_switch_ack(const net::SwitchAck& msg);
   void maybe_switch(net::ClientId client);
   void initiate_switch(net::ClientId client, net::ApId target);
   void bootstrap(net::ClientId client, net::ApId first_ap);
   [[nodiscard]] bool dedup_accept(const net::Packet& p);
+
+  // Multi-domain machinery (no-ops while multi_domain() is false).
+  [[nodiscard]] bool multi_domain() const {
+    return config_.domains.enabled && config_.domains.num_domains > 1;
+  }
+  [[nodiscard]] net::NodeId self_node() const {
+    return net::NodeId::controller(config_.domains.id);
+  }
+  void consider_handover(net::ClientId client, ClientState& cs,
+                         net::ApId target, std::uint32_t target_domain);
+  void initiate_handover(net::ClientId client, ClientState& cs,
+                         net::ApId target, std::uint32_t target_domain);
+  void send_handover_request(net::ClientId client, ClientState& cs);
+  void abort_handover(net::ClientId client, ClientState& cs);
+  void handle_handover_request(net::HandoverRequest&& msg);
+  void handle_handover_ack(const net::HandoverAck& msg);
+  /// Force-bootstrap `target` from the client's current watermark under its
+  /// current epoch (handover accept and crash adoption share this tail).
+  void bootstrap_forced(net::ClientId client, ClientState& cs,
+                        net::ApId target);
+  [[nodiscard]] std::vector<std::uint32_t> collect_dedup_seed(
+      net::ClientId client) const;
+  void seed_dedup(net::ClientId client, std::uint32_t ip_id);
+  void forward_csi(const net::CsiReport& report, ClientState& cs);
+  void forward_uplink(net::UplinkData&& msg, ClientState& cs);
+  void forward_downlink(net::Packet&& packet, ClientState& cs);
+  void domain_heartbeat_tick();
+  void domain_sync_tick();
+  [[nodiscard]] net::DomainSync build_domain_sync() const;
+  void handle_domain_sync(const net::DomainSync& msg);
+  void peer_dead(std::uint32_t domain);
+  void peer_recovered(std::uint32_t domain);
+  /// Adopt every un-adopted dead domain whose nearest alive controller is
+  /// this one (re-run on each death so chained crashes resolve).
+  void reevaluate_adoptions();
+  void adopt_domain(std::uint32_t dead);
+  void adopt_client(net::ClientId client, ClientState& cs);
+  void return_domain(std::uint32_t recovered);
 
   // Liveness machinery (no-ops while liveness is disabled).
   struct LivenessState {
@@ -335,6 +514,24 @@ class Controller {
   std::vector<bool> ap_evicted_;
   std::unique_ptr<sim::Timer> heartbeat_timer_;
 
+  // Multi-domain state (empty / null in single-domain mode).
+  struct PeerState {
+    bool alive = true;
+    int misses = 0;
+    std::uint32_t hb_seq = 0;
+    bool ack_since_tick = true;  // no miss accrues before the first probe
+    Time state_since = Time::zero();
+  };
+  const DomainMap* domain_map_ = nullptr;
+  std::vector<PeerState> peers_;       // indexed by domain id (self unused)
+  std::vector<bool> adopted_by_me_;    // dead domains whose APs we operate
+  std::optional<Time> last_peer_transition_;
+  std::unique_ptr<sim::Timer> domain_hb_timer_;
+  std::unique_ptr<sim::Timer> domain_sync_timer_;
+  PenaltyTimers penalty_;
+  std::uint32_t ho_seq_counter_ = 0;
+  bool crashed_ = false;
+
   // Bounded FIFO hashset for uplink de-dup (48-bit key: client | ip_id).
   std::unordered_set<std::uint64_t> dedup_set_;
   std::deque<std::uint64_t> dedup_fifo_;
@@ -363,6 +560,24 @@ class Controller {
     obs::Counter* ap_readmitted = nullptr;
     obs::Counter* forced_failovers = nullptr;
     obs::Histogram* heartbeat_rtt_ms = nullptr;
+    // Multi-domain instruments; registered only in multi-domain mode so
+    // single-domain snapshots keep the identical key set.
+    obs::Counter* handover_requests = nullptr;
+    obs::Counter* handovers_out = nullptr;
+    obs::Counter* handovers_in = nullptr;
+    obs::Counter* handover_retries = nullptr;
+    obs::Counter* handover_aborts = nullptr;
+    obs::Counter* penalty_blocked = nullptr;
+    obs::Counter* csi_forwarded = nullptr;
+    obs::Counter* uplink_fwd = nullptr;
+    obs::Counter* downlink_fwd = nullptr;
+    obs::Counter* switch_acks_fwd = nullptr;
+    obs::Counter* misrouted_dropped = nullptr;
+    obs::Counter* peers_marked_dead = nullptr;
+    obs::Counter* aps_adopted = nullptr;
+    obs::Counter* clients_adopted = nullptr;
+    obs::Counter* ownership_yields = nullptr;
+    obs::Histogram* handover_ms = nullptr;
   };
   std::optional<Metrics> metrics_;
 };

@@ -31,8 +31,28 @@ std::size_t wire_bytes(const BackhaulMessage& msg) {
           return 256;  // sta_info struct transfer
         } else if constexpr (std::is_same_v<T, Heartbeat>) {
           return 64;  // UDP/IP + seq + framing
+        } else if constexpr (std::is_same_v<T, HeartbeatAck>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, CsiForward>) {
+          // The inner report plus the forwarding header.
+          return 56 * 2 + 28 + 16 + 8;
+        } else if constexpr (std::is_same_v<T, UplinkForward>) {
+          return m.data.packet.tunnel_bytes() + 8;
+        } else if constexpr (std::is_same_v<T, DownlinkForward>) {
+          return m.packet.tunnel_bytes() + 8;
+        } else if constexpr (std::is_same_v<T, HandoverRequest>) {
+          // Fixed state-transfer header plus the dedup-ring seed.
+          return 96 + m.dedup_seed.size() * 4;
+        } else if constexpr (std::is_same_v<T, HandoverAck>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, DomainHeartbeat>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, DomainHeartbeatAck>) {
+          return 64;
+        } else if constexpr (std::is_same_v<T, DomainSync>) {
+          return 64 + m.entries.size() * 24;
         } else {
-          static_assert(std::is_same_v<T, HeartbeatAck>);
+          static_assert(std::is_same_v<T, AdoptAp>);
           return 64;
         }
       },
@@ -44,7 +64,13 @@ bool is_control(const BackhaulMessage& msg) {
          std::holds_alternative<StartMsg>(msg) ||
          std::holds_alternative<SwitchAck>(msg) ||
          std::holds_alternative<Heartbeat>(msg) ||
-         std::holds_alternative<HeartbeatAck>(msg);
+         std::holds_alternative<HeartbeatAck>(msg) ||
+         std::holds_alternative<HandoverRequest>(msg) ||
+         std::holds_alternative<HandoverAck>(msg) ||
+         std::holds_alternative<DomainHeartbeat>(msg) ||
+         std::holds_alternative<DomainHeartbeatAck>(msg) ||
+         std::holds_alternative<DomainSync>(msg) ||
+         std::holds_alternative<AdoptAp>(msg);
 }
 
 MsgKind kind_of(const BackhaulMessage& msg) {
@@ -61,6 +87,14 @@ MsgKind kind_of(const BackhaulMessage& msg) {
                     static_cast<std::size_t>(MsgKind::kHeartbeatAck),
                     BackhaulMessage>,
                 HeartbeatAck>);
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                    static_cast<std::size_t>(MsgKind::kHandoverRequest),
+                    BackhaulMessage>,
+                HandoverRequest>);
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                    static_cast<std::size_t>(MsgKind::kAdoptAp),
+                    BackhaulMessage>,
+                AdoptAp>);
   return static_cast<MsgKind>(msg.index());
 }
 

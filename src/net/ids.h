@@ -16,6 +16,11 @@ struct NodeId {
   std::uint32_t index = 0;
 
   [[nodiscard]] static NodeId controller() { return {Kind::kController, 0}; }
+  /// Controller of domain `d` in a multi-controller deployment. Domain 0 is
+  /// wire-identical to the legacy single-controller address.
+  [[nodiscard]] static NodeId controller(std::uint32_t domain) {
+    return {Kind::kController, domain};
+  }
   [[nodiscard]] static NodeId ap(ApId id) {
     return {Kind::kAp, static_cast<std::uint32_t>(id)};
   }

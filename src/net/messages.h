@@ -82,6 +82,10 @@ struct SwitchAck {
   ClientId client{};
   ApId from_ap{};
   std::uint32_t epoch = 0;
+  // Set when a controller relays an ack that reached it for a client another
+  // domain owns (the AP is homed here but the switch was driven elsewhere).
+  // Relayed acks are never re-forwarded. Bookkeeping only, not wire bytes.
+  bool relayed = false;
 };
 
 /// Overhearing AP -> serving AP: a block ACK heard in monitor mode
@@ -116,10 +120,111 @@ struct HeartbeatAck {
   std::uint32_t seq = 0;
 };
 
+// --- inter-controller (multi-domain) messages (DESIGN.md §12) ---------------
+
+/// Non-owner controller -> believed owner: a CSI report that arrived at a
+/// foreign domain's AP. Forwarded exactly once (the receiver never
+/// re-forwards) so routing loops cannot form while ownership is in motion.
+struct CsiForward {
+  std::uint32_t src_domain = 0;
+  CsiReport report;
+};
+
+/// Non-owner controller -> believed owner: an uplink data packet overheard
+/// by a foreign domain's AP.
+struct UplinkForward {
+  std::uint32_t src_domain = 0;
+  UplinkData data;
+};
+
+/// Non-owner controller -> believed owner: a downlink packet that the server
+/// handed to the wrong domain while ownership was in motion.
+struct DownlinkForward {
+  std::uint32_t src_domain = 0;
+  Packet packet;
+};
+
+/// Source domain -> target domain: the inter-domain handover state transfer
+/// (step 1). Carries everything the target needs to continue the client's
+/// downlink stream without a 12-bit index regression: the client's switch
+/// epoch, the controller watermark (`next_index`, pre-rewound by the
+/// configured replay margin), and a seed of the uplink dedup ring so
+/// in-flight duplicates don't leak through right after the switch.
+/// `seq` makes retransmits idempotent at the target.
+struct HandoverRequest {
+  ClientId client{};
+  std::uint32_t src_domain = 0;
+  ApId target_ap{};
+  std::uint32_t epoch = 0;
+  std::uint16_t next_index = 0;
+  std::uint64_t downlink_sent = 0;
+  std::vector<std::uint32_t> dedup_seed;
+  std::uint32_t seq = 0;
+};
+
+/// Target domain -> source domain: handover accepted/refused (step 2).
+/// Echoes `seq` so the source can match it to the request it has
+/// outstanding; `epoch` is the (higher) epoch the target minted.
+struct HandoverAck {
+  ClientId client{};
+  std::uint32_t from_domain = 0;
+  bool accepted = false;
+  std::uint32_t seq = 0;
+  std::uint32_t epoch = 0;
+};
+
+/// Controller -> peer controller: liveness probe, the PR-5 heartbeat
+/// machinery reused controller-to-controller.
+struct DomainHeartbeat {
+  std::uint32_t src_domain = 0;
+  std::uint32_t seq = 0;
+};
+
+/// Peer controller -> controller: heartbeat echo, answered immediately.
+struct DomainHeartbeatAck {
+  std::uint32_t src_domain = 0;
+  std::uint32_t seq = 0;
+};
+
+/// Controller -> neighbor controllers: periodic ownership gossip. Each entry
+/// names a client this domain believes it owns plus the client's current
+/// epoch and watermark, so a neighbor that must adopt the client after a
+/// crash can bootstrap from the last-gossiped state, and so split-brain
+/// after a lossy handover resolves by yielding to the higher epoch.
+struct DomainSync {
+  struct Entry {
+    ClientId client{};
+    /// The domain claiming ownership. Usually the sender itself; an entry
+    /// with owner != src_domain is a RELAY — the sender republishing its
+    /// last record of a now-dead owner, so the dead domain's adopter
+    /// learns of clients whose ownership transfer it never observed.
+    /// Relayed entries update belief but never trigger ownership yields.
+    std::uint32_t owner = 0;
+    std::uint32_t epoch = 0;
+    std::uint16_t next_index = 0;
+    std::uint64_t downlink_sent = 0;
+    /// The AP currently draining this client, if any. A crash adopter keeps
+    /// that data plane running instead of force-bootstrapping next to it —
+    /// without this the dead domain's AP would keep serving forever.
+    bool has_serving = false;
+    ApId serving{};
+  };
+  std::uint32_t src_domain = 0;
+  std::vector<Entry> entries;
+};
+
+/// Adopting controller -> AP: re-home the AP to a new controller domain. The
+/// AP re-points its uplink/CSI/ack destination at the new domain's address.
+struct AdoptAp {
+  std::uint32_t new_domain = 0;
+};
+
 using BackhaulMessage =
     std::variant<DownlinkData, UplinkData, CsiReport, StopMsg, StartMsg,
                  SwitchAck, BlockAckForward, AssocSync, Heartbeat,
-                 HeartbeatAck>;
+                 HeartbeatAck, CsiForward, UplinkForward, DownlinkForward,
+                 HandoverRequest, HandoverAck, DomainHeartbeat,
+                 DomainHeartbeatAck, DomainSync, AdoptAp>;
 
 /// Message-type tag, in variant-alternative order; keys the backhaul's
 /// per-type fault-injection plans.
@@ -134,8 +239,17 @@ enum class MsgKind : std::uint8_t {
   kAssocSync,
   kHeartbeat,
   kHeartbeatAck,
+  kCsiForward,
+  kUplinkForward,
+  kDownlinkForward,
+  kHandoverRequest,
+  kHandoverAck,
+  kDomainHeartbeat,
+  kDomainHeartbeatAck,
+  kDomainSync,
+  kAdoptAp,
 };
-inline constexpr std::size_t kNumMsgKinds = 10;
+inline constexpr std::size_t kNumMsgKinds = 19;
 
 [[nodiscard]] MsgKind kind_of(const BackhaulMessage& msg);
 

@@ -145,6 +145,7 @@ ParallelCityResult run_parallel_city(const ParallelCityConfig& config) {
     scfg.geometry.seed = mix_seed(config.seed, static_cast<std::uint64_t>(c));
     scfg.geometry.lazy_links = true;
     scfg.controller.bounded_fallback = true;
+    scfg.num_domains = config.domains_per_corridor;
     // The hub <-> corridor wire is modeled by the engine edge (it IS the
     // lookahead); the in-corridor server stub adds nothing on top.
     scfg.server_latency = Time::zero();
@@ -290,7 +291,9 @@ ParallelCityResult run_parallel_city(const ParallelCityConfig& config) {
       result.client_mbps.push_back(mbps);
       total_mbps += mbps;
     }
-    result.switches += corr.sys->controller().stats().switches_completed;
+    for (int d = 0; d < corr.sys->num_domains(); ++d) {
+      result.switches += corr.sys->controller(d).stats().switches_completed;
+    }
     result.invariant_violations +=
         corr.sys->check_invariants().violations.size();
   }

@@ -56,6 +56,13 @@ struct ParallelCityConfig {
   /// CBR (corridor clients -> hub sinks) — the direction that exercises
   /// the corridor -> hub mailboxes with data traffic.
   bool uplink = false;
+  /// Controller domains per corridor (DESIGN.md §12). 1 (the default)
+  /// keeps the legacy single controller per corridor; N > 1 splits each
+  /// corridor's AP stretch into N ControllerDomains with inter-domain
+  /// handover — the §12 layer running *inside* a §11 engine domain, which
+  /// is how the two "domain" notions compose: engine domains partition
+  /// the event space, controller domains partition ownership.
+  int domains_per_corridor = 1;
   /// Worker threads for the engine (clamped to 1 + corridors).
   int workers = 1;
   /// Horizon override; zero derives drive_span_m / speed.

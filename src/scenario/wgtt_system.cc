@@ -1,5 +1,6 @@
 #include "scenario/wgtt_system.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace wgtt::scenario {
@@ -22,14 +23,54 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
   // study the heartbeat overhead with no faults); with neither, the
   // controller runs exactly as before — no heartbeats, no extra RNG draws.
   if (!config_.ap_faults.empty()) config_.controller.liveness_enabled = true;
-  controller_ = std::make_unique<core::Controller>(sched_, backhaul_,
-                                                   config_.controller);
-  if (config_.use_fanout_pool) {
-    // Single-copy fan-out: controller acquires once, each target AP holds a
-    // reference, and the backhaul drops/refs payloads along with the
-    // messages it loses or duplicates.
-    backhaul_.set_payload_pool(&payload_pool_);
-    controller_->set_payload_pool(&payload_pool_);
+  // The spatial index is built before the controllers so the domain split
+  // can align its cuts to road-segment boundaries. Index construction draws
+  // no RNG, so hoisting it preserves byte-identical seeded runs.
+  if (config_.spatial.use_index) {
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(config_.geometry.num_aps));
+    for (int i = 0; i < config_.geometry.num_aps; ++i) {
+      xs.push_back(geometry_.ap_position(i).x);
+    }
+    spatial_index_.build(std::move(xs), config_.spatial.cell_m);
+    spatial_radius_m_ = config_.spatial.neighbor_radius_m > 0.0
+                            ? config_.spatial.neighbor_radius_m
+                            : 2.0 * config_.medium.sense_range_m + 50.0;
+  }
+  const int nd = std::clamp(config_.num_domains, 1,
+                            std::max(1, config_.geometry.num_aps));
+  if (nd > 1) {
+    if (!spatial_index_.empty()) {
+      domain_map_.build(spatial_index_, static_cast<std::uint32_t>(nd));
+    } else {
+      domain_map_.build(static_cast<std::uint32_t>(config_.geometry.num_aps),
+                        static_cast<std::uint32_t>(nd));
+    }
+  }
+  if (config_.use_fanout_pool) backhaul_.set_payload_pool(&payload_pool_);
+  for (int d = 0; d < nd; ++d) {
+    core::Controller::Config ccfg = config_.controller;
+    if (nd > 1) {
+      ccfg.domains.enabled = true;
+      ccfg.domains.id = static_cast<std::uint32_t>(d);
+      ccfg.domains.num_domains = static_cast<std::uint32_t>(nd);
+    }
+    auto ctrl = std::make_unique<core::Controller>(sched_, backhaul_, ccfg);
+    if (nd > 1) ctrl->set_domain_map(&domain_map_);
+    if (config_.use_fanout_pool) {
+      // Single-copy fan-out: the controller acquires once, each target AP
+      // holds a reference, and the backhaul drops/refs payloads along with
+      // the messages it loses or duplicates.
+      ctrl->set_payload_pool(&payload_pool_);
+    }
+    if (config_.spatial.use_index) {
+      ctrl->set_spatial(&spatial_index_, spatial_radius_m_);
+    }
+    ctrl->on_ownership_changed = [this](net::ClientId c, std::uint32_t owner) {
+      const std::size_t i = net::index_of(c);
+      if (i < owner_of_.size()) owner_of_[i] = static_cast<int>(owner);
+    };
+    controllers_.push_back(std::move(ctrl));
   }
   for (int i = 0; i < config_.geometry.num_aps; ++i) {
     const net::ApId ap_id{static_cast<std::uint32_t>(i)};
@@ -49,21 +90,15 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
       if (it == ap_idx_of_radio_.end()) return std::nullopt;
       return net::ApId{static_cast<std::uint32_t>(it->second)};
     });
-    controller_->add_ap(ap_id);
+    const int home =
+        nd > 1 ? static_cast<int>(domain_map_.domain_of_ap(ap_id)) : 0;
+    ap->set_controller_node(
+        net::NodeId::controller(static_cast<std::uint32_t>(home)));
+    controllers_[static_cast<std::size_t>(home)]->add_ap(ap_id);
     aps_.push_back(std::move(ap));
   }
   ap_channel_before_crash_.assign(aps_.size(), mac::Medium::kNoChannel);
   if (config_.spatial.use_index) {
-    std::vector<double> xs;
-    xs.reserve(aps_.size());
-    for (int i = 0; i < num_aps(); ++i) {
-      xs.push_back(geometry_.ap_position(i).x);
-    }
-    spatial_index_.build(std::move(xs), config_.spatial.cell_m);
-    spatial_radius_m_ = config_.spatial.neighbor_radius_m > 0.0
-                            ? config_.spatial.neighbor_radius_m
-                            : 2.0 * config_.medium.sense_range_m + 50.0;
-    controller_->set_spatial(&spatial_index_, spatial_radius_m_);
     // Medium interest filter: only radios that could possibly be within
     // sense range of the transmit origin get delivery events. AP radios are
     // 0..A-1 in AP-index order and client radios follow in add_client
@@ -119,13 +154,18 @@ WgttSystem::WgttSystem(const WgttSystemConfig& config)
     return -90.0;
   });
 
-  controller_->on_uplink = [this](const net::Packet& p) {
-    if (p.proto == net::Proto::kArp) return;  // background probes stop here
-    if (!on_server_uplink) return;
-    sched_.schedule_in(config_.server_latency,
-                       [this, p] { on_server_uplink(p); },
-                       sim::EventCategory::kBackhaul);
-  };
+  // Only the owning controller delivers a de-duplicated uplink stream (a
+  // non-owner forwards raw uplink to the believed owner), so hooking every
+  // controller yields each server packet exactly once.
+  for (auto& ctrl : controllers_) {
+    ctrl->on_uplink = [this](const net::Packet& p) {
+      if (p.proto == net::Proto::kArp) return;  // background probes stop here
+      if (!on_server_uplink) return;
+      sched_.schedule_in(config_.server_latency,
+                         [this, p] { on_server_uplink(p); },
+                         sim::EventCategory::kBackhaul);
+    };
+  }
 }
 
 int WgttSystem::add_client(const mobility::Trajectory* trajectory) {
@@ -138,7 +178,18 @@ int WgttSystem::add_client(const mobility::Trajectory* trajectory) {
     return sample_for_client(idx, peer);
   });
   if (metrics_ != nullptr) client->mac().set_metrics(metrics_, "client_mac");
-  controller_->add_client(cid);
+  for (auto& ctrl : controllers_) ctrl->add_client(cid);
+  int owner = 0;
+  if (num_domains() > 1) {
+    // Initial owner: the domain homing the AP nearest the client's start
+    // position. Every controller starts from the same belief.
+    owner = static_cast<int>(domain_map_.domain_of_ap(
+        net::ApId{static_cast<std::uint32_t>(nearest_ap(idx))}));
+    for (auto& ctrl : controllers_) {
+      ctrl->set_client_owner(cid, static_cast<std::uint32_t>(owner));
+    }
+  }
+  owner_of_.push_back(owner);
   clients_.push_back(std::move(client));
   return idx;
 }
@@ -147,7 +198,9 @@ void WgttSystem::enable_metrics(obs::MetricsRegistry& registry,
                                 Time sample_period) {
   metrics_ = &registry;
   metrics_sample_period_ = sample_period;
-  controller_->set_metrics(&registry);
+  // Controllers share instruments by key, so multi-domain counters
+  // aggregate across domains in one registry entry.
+  for (auto& ctrl : controllers_) ctrl->set_metrics(&registry);
   for (auto& ap : aps_) {
     ap->set_metrics(&registry);
     ap->mac().set_metrics(&registry, "mac");
@@ -310,6 +363,48 @@ void WgttSystem::start() {
                          sim::EventCategory::kControl);
     }
   }
+
+  // Scripted controller faults (DESIGN.md §12). Meaningless with a single
+  // domain — there is nobody to fail over to — so they are dropped there.
+  if (num_domains() > 1) {
+    for (const auto& fs : config_.controller_faults) {
+      if (fs.domain < 0 || fs.domain >= num_domains()) continue;
+      const int d = fs.domain;
+      if (fs.crash_at) {
+        sched_.schedule_at(*fs.crash_at, [this, d] { crash_controller(d); },
+                           sim::EventCategory::kControl);
+      }
+      if (fs.restart_at) {
+        sched_.schedule_at(*fs.restart_at,
+                           [this, d] { restart_controller(d); },
+                           sim::EventCategory::kControl);
+      }
+    }
+  }
+}
+
+void WgttSystem::crash_controller(int d) {
+  if (num_domains() <= 1) return;
+  auto& ctrl = *controllers_.at(static_cast<std::size_t>(d));
+  if (ctrl.crashed()) return;
+  // Fail-stop: the process and its backhaul port die together. In-flight
+  // messages to it are dropped by the link model, not queued.
+  backhaul_.set_node_up(
+      net::NodeId::controller(static_cast<std::uint32_t>(d)), false);
+  ctrl.set_crashed(true);
+  last_controller_fault_ = sched_.now();
+}
+
+void WgttSystem::restart_controller(int d) {
+  if (num_domains() <= 1) return;
+  auto& ctrl = *controllers_.at(static_cast<std::size_t>(d));
+  if (!ctrl.crashed()) return;
+  backhaul_.set_node_up(
+      net::NodeId::controller(static_cast<std::uint32_t>(d)), true);
+  // Cold restart: ownership is re-learned from peer gossip; the home APs
+  // migrate back via AdoptAp once the peers see the heartbeats again.
+  ctrl.set_crashed(false);
+  last_controller_fault_ = sched_.now();
 }
 
 void WgttSystem::crash_ap(int i) {
@@ -346,17 +441,46 @@ void WgttSystem::set_ap_backhaul(int i, bool up) {
                         up);
 }
 
+core::Controller& WgttSystem::route_controller(int client) {
+  const auto c = static_cast<std::size_t>(client);
+  int d = c < owner_of_.size() ? owner_of_[c] : 0;
+  if (d < 0 || d >= num_domains() ||
+      controllers_[static_cast<std::size_t>(d)]->crashed()) {
+    // Owner down (or unknown): hand to the lowest-index alive controller.
+    // It forwards to — or stands in for — whoever adopts the client; the
+    // adopter re-announces itself through on_ownership_changed.
+    for (int i = 0; i < num_domains(); ++i) {
+      if (!controllers_[static_cast<std::size_t>(i)]->crashed()) {
+        d = i;
+        break;
+      }
+    }
+  }
+  return *controllers_.at(static_cast<std::size_t>(std::max(d, 0)));
+}
+
+const core::Controller& WgttSystem::route_controller(int client) const {
+  return const_cast<WgttSystem*>(this)->route_controller(client);
+}
+
+const core::Controller& WgttSystem::ap_controller(std::size_t a) const {
+  const std::uint32_t d = aps_[a]->controller_node().index;
+  if (d < controllers_.size()) return *controllers_[d];
+  return *controllers_.front();
+}
+
 void WgttSystem::server_send(net::Packet packet) {
   sched_.schedule_in(config_.server_latency,
                      [this, p = std::move(packet)] {
-                       controller_->send_downlink(p);
+                       route_controller(static_cast<int>(net::index_of(p.client)))
+                           .send_downlink(p);
                      },
                      sim::EventCategory::kBackhaul);
 }
 
 int WgttSystem::serving_ap(int client) const {
-  const auto ap =
-      controller_->serving_ap(net::ClientId{static_cast<std::uint32_t>(client)});
+  const auto ap = route_controller(client).serving_ap(
+      net::ClientId{static_cast<std::uint32_t>(client)});
   return ap ? static_cast<int>(net::index_of(*ap)) : -1;
 }
 
@@ -370,8 +494,12 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
   // it would turn every mid-failover snapshot into a false positive.
   const auto settled = [&](std::size_t a) {
     if (aps_[a]->crashed()) return false;
-    const auto h = controller_->ap_health(
-        net::ApId{static_cast<std::uint32_t>(a)});
+    // Judge by the controller currently homing the AP (AdoptAp re-homing
+    // included); an AP whose controller is down holds legitimately stale
+    // serving state until a survivor adopts and re-drives it.
+    const core::Controller& cc = ap_controller(a);
+    if (cc.crashed()) return false;
+    const auto h = cc.ap_health(net::ApId{static_cast<std::uint32_t>(a)});
     return h.state == core::Controller::ApLiveness::kAlive &&
            now - h.since > serving_grace;
   };
@@ -392,10 +520,13 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
   }
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     const net::ClientId cid{static_cast<std::uint32_t>(c)};
+    // The controller whose view of this client we judge: the one the
+    // server currently routes through (the owner, modulo failover).
+    const core::Controller& ctrl = route_controller(static_cast<int>(c));
 
     // Every initiated switch completes or is superseded: an outstanding
     // switch older than the stall bound means the retransmit chain wedged.
-    if (const auto since = controller_->pending_switch_since(cid)) {
+    if (const auto since = ctrl.pending_switch_since(cid)) {
       if (now - *since > stall_bound) {
         ++report.stalled_switches;
         report.violations.push_back(
@@ -410,8 +541,9 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
     // clients with no switch in flight and a completed switch at least
     // `serving_grace` ago.
     const bool quiesced =
-        !controller_->pending_switch_since(cid).has_value() &&
-        now - controller_->last_switch_completed(cid) > serving_grace;
+        !ctrl.pending_switch_since(cid).has_value() &&
+        !ctrl.handover_pending(cid) &&
+        now - ctrl.last_switch_completed(cid) > serving_grace;
     if (quiesced) {
       if (serving_count[c] > 1) {
         ++report.duplicate_serving;
@@ -435,7 +567,8 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
     // the stall under single-AP failure.
     const int ctrl_view = serving_ap(static_cast<int>(c));
     if (ctrl_view >= 0) {
-      const auto h = controller_->ap_health(
+      const auto h = ap_controller(static_cast<std::size_t>(ctrl_view))
+                         .ap_health(
           net::ApId{static_cast<std::uint32_t>(ctrl_view)});
       if (h.state == core::Controller::ApLiveness::kDead &&
           now - h.since > stall_bound) {
@@ -470,6 +603,52 @@ InvariantReport WgttSystem::check_invariants(Time stall_bound,
           "AP " + std::to_string(a) + ": delivered " +
           std::to_string(delivered - aps_[a]->delivered_at_crash()) +
           " MPDU(s) while crashed");
+    }
+  }
+
+  // Multi-domain ownership rules (DESIGN.md §12): once the system has had
+  // a stall bound to settle after the last controller fault, every client
+  // is owned by exactly one non-crashed controller — unless a handover or
+  // transfer-landing switch is in flight, which legitimately overlaps
+  // (source keeps ownership until the ack) or gaps (never) the sets.
+  bool domains_settled =
+      !last_controller_fault_ || now - *last_controller_fault_ > stall_bound;
+  // Peer-liveness churn counts too: under a lossy inter-controller link a
+  // controller can falsely declare a live peer dead, adopt its clients, and
+  // heal via gossip once the heartbeats recover. That dual-ownership window
+  // is failover in flight, not a violation — exempt it the same way as a
+  // scripted crash, keyed off each controller's own transition clock.
+  for (const auto& ctrl : controllers_) {
+    const auto t = ctrl->last_peer_transition();
+    if (t && now - *t <= stall_bound) domains_settled = false;
+  }
+  if (num_domains() > 1 && domains_settled) {
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      const net::ClientId cid{static_cast<std::uint32_t>(c)};
+      int owners = 0;
+      bool in_flight = false;
+      bool any_alive = false;
+      for (const auto& ctrl : controllers_) {
+        if (ctrl->crashed()) continue;
+        any_alive = true;
+        if (ctrl->owns_client(cid)) ++owners;
+        if (ctrl->handover_pending(cid) ||
+            ctrl->pending_switch_since(cid).has_value()) {
+          in_flight = true;
+        }
+      }
+      if (!any_alive || in_flight) continue;
+      if (owners > 1) {
+        ++report.ownership_violations;
+        report.violations.push_back(
+            "client " + std::to_string(c) + ": owned by " +
+            std::to_string(owners) + " domains with no handover in flight");
+      } else if (owners == 0) {
+        ++report.orphaned_clients;
+        report.violations.push_back(
+            "client " + std::to_string(c) +
+            ": no surviving domain owns it after failover settled");
+      }
     }
   }
   return report;

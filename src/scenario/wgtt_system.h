@@ -12,6 +12,7 @@
 
 #include "ap/wgtt_ap.h"
 #include "core/controller.h"
+#include "core/domain_map.h"
 #include "core/spatial_index.h"
 #include "core/wgtt_client.h"
 #include "mac/medium.h"
@@ -48,6 +49,14 @@ struct InvariantReport {
   /// declared Dead for longer than the stall bound: forced failover (or
   /// degraded-mode unserve) should have moved them long before.
   int dead_serving = 0;
+  /// Multi-domain rule: clients owned by more than one non-crashed
+  /// controller with no handover in flight that could explain the overlap
+  /// (split-brain the gossip reconciliation should have collapsed).
+  int ownership_violations = 0;
+  /// Multi-domain rule: clients no non-crashed controller owns and no
+  /// handover is moving — after a failover settles, some surviving domain
+  /// must have adopted them.
+  int orphaned_clients = 0;
   std::vector<std::string> violations;
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
@@ -73,6 +82,16 @@ struct ApFaultScript {
   /// intact. Mechanically like a zombie window; kept separate so scripts
   /// read as what they model.
   std::vector<std::pair<Time, Time>> partitions;
+};
+
+/// Scripted faults for one controller domain (DESIGN.md §12). Fail-stop:
+/// a crash takes the controller process and its backhaul port down
+/// together; a restart comes back cold and re-learns ownership from peer
+/// gossip. Only meaningful with num_domains > 1.
+struct ControllerFaultScript {
+  int domain = 0;
+  std::optional<Time> crash_at;
+  std::optional<Time> restart_at;
 };
 
 /// Spatial interest management (DESIGN.md §9): a road-segment index over
@@ -123,6 +142,14 @@ struct WgttSystemConfig {
   /// Per-AP fault scripts. Empty (the default) schedules nothing — zero
   /// extra events, zero extra RNG draws, byte-identical seeded runs.
   std::vector<ApFaultScript> ap_faults;
+  /// Controller domains (DESIGN.md §12). 1 (the default) instantiates the
+  /// single legacy controller — no inter-controller traffic, no extra
+  /// timers, byte-identical seeded runs. N > 1 splits the AP array into N
+  /// contiguous domains (segment-aligned when the spatial index is on) and
+  /// turns on inter-domain handover + controller-to-controller liveness.
+  int num_domains = 1;
+  /// Scripted controller crashes/restarts. Ignored with num_domains == 1.
+  std::vector<ControllerFaultScript> controller_faults;
   /// Single-copy downlink fan-out: the controller acquires each downlink
   /// packet once in a system-wide net::PacketPool and fans 4-byte
   /// refcounted handles out to the in-range APs instead of N payload
@@ -165,7 +192,21 @@ class WgttSystem {
   [[nodiscard]] sim::Scheduler& sched() { return sched_; }
   [[nodiscard]] Time now() const { return sched_.now(); }
   [[nodiscard]] TestbedGeometry& geometry() { return geometry_; }
-  [[nodiscard]] core::Controller& controller() { return *controller_; }
+  /// Domain 0's controller — the only one with num_domains == 1, so every
+  /// legacy caller keeps working unchanged.
+  [[nodiscard]] core::Controller& controller() { return *controllers_.front(); }
+  [[nodiscard]] core::Controller& controller(int d) {
+    return *controllers_.at(static_cast<std::size_t>(d));
+  }
+  [[nodiscard]] int num_domains() const {
+    return static_cast<int>(controllers_.size());
+  }
+  /// The AP-to-domain partition; empty when num_domains == 1.
+  [[nodiscard]] const core::DomainMap& domain_map() const { return domain_map_; }
+  /// The domain the server currently routes client i's downlink through.
+  [[nodiscard]] int owner_domain(int client) const {
+    return owner_of_.at(static_cast<std::size_t>(client));
+  }
   [[nodiscard]] ap::WgttAp& ap(int i) { return *aps_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] core::WgttClient& client(int i) {
     return *clients_.at(static_cast<std::size_t>(i));
@@ -199,6 +240,13 @@ class WgttSystem {
   /// Takes AP i's backhaul link down/up without touching the node (zombie
   /// mode / partition): the radio keeps serving whatever it has.
   void set_ap_backhaul(int i, bool up);
+  /// Fail-stop crash of controller domain d: backhaul port dark, volatile
+  /// ownership/handover state wiped. No-op with num_domains == 1 intact —
+  /// a single-controller deployment has no one to fail over to.
+  void crash_controller(int d);
+  /// Cold restart of a crashed controller: link restored, state re-learned
+  /// from peer gossip; its home APs migrate back via AdoptAp.
+  void restart_controller(int d);
 
   /// Checks the switching-protocol invariants at the current sim time (see
   /// InvariantReport). `stall_bound` is how long a pending switch may stay
@@ -215,6 +263,13 @@ class WgttSystem {
                                                           mac::RadioId peer);
   [[nodiscard]] channel::CsiMeasurement fallback_csi() const;
   [[nodiscard]] int nearest_ap(int client) const;
+  /// The controller the server should route client c's traffic through:
+  /// the last-announced owner, or the lowest-index alive controller when
+  /// that domain is down (its adopter announces itself within a failover).
+  [[nodiscard]] core::Controller& route_controller(int client);
+  [[nodiscard]] const core::Controller& route_controller(int client) const;
+  /// The controller currently homing AP a (follows AdoptAp re-homing).
+  [[nodiscard]] const core::Controller& ap_controller(std::size_t a) const;
 
   WgttSystemConfig config_;
   Rng rng_;
@@ -229,7 +284,10 @@ class WgttSystem {
   core::SpatialIndex spatial_index_;
   double spatial_radius_m_ = 0.0;
   mutable std::vector<int> spatial_scratch_;
-  std::unique_ptr<core::Controller> controller_;
+  core::DomainMap domain_map_;
+  std::vector<std::unique_ptr<core::Controller>> controllers_;
+  /// Server-side routing table, updated by Controller::on_ownership_changed.
+  std::vector<int> owner_of_;
   std::vector<std::unique_ptr<ap::WgttAp>> aps_;
   std::vector<std::unique_ptr<core::WgttClient>> clients_;
   std::unordered_map<mac::RadioId, int> client_idx_of_radio_;
@@ -239,6 +297,9 @@ class WgttSystem {
   std::vector<bool> client_retuning_;
   std::vector<int> scan_next_offset_;
   std::vector<int> ap_channel_before_crash_;
+  /// When the last scripted/injected controller crash or restart fired —
+  /// check_invariants grants a settle window after it.
+  std::optional<Time> last_controller_fault_;
   bool started_ = false;
 
   void sample_system_metrics();

@@ -15,6 +15,7 @@
 
 #include "core/controller.h"
 #include "core/esnr_tracker.h"
+#include "core/penalty_timers.h"
 #include "core/spatial_index.h"
 #include "core/streaming_median.h"
 #include "net/backhaul.h"
@@ -1002,6 +1003,54 @@ TEST(StreamingMedianTest, ClearResets) {
   EXPECT_FALSE(sm.lower_median(Time::ms(1)).has_value());
   sm.add(Time::ms(2), 9.0);
   EXPECT_EQ(sm.lower_median(Time::ms(2)).value(), 9.0);
+}
+
+// --- penalty timers (DESIGN.md §12: boundary flap damping) --------------------
+
+TEST(PenaltyTimerTest, TickExactArmingAndExpiry) {
+  PenaltyTimers pt;
+  const net::ClientId c{7};
+  pt.arm(c, 1, Time::ms(500));
+  EXPECT_TRUE(pt.barred(c, 1, Time::ms(499)));
+  EXPECT_EQ(pt.remaining(c, 1, Time::ms(100)), Time::ms(400));
+  // The bar is half-open: expired exactly at `until`.
+  EXPECT_FALSE(pt.barred(c, 1, Time::ms(500)));
+  EXPECT_EQ(pt.remaining(c, 1, Time::ms(500)), Time::zero());
+  // Other (client, domain) pairs are independent.
+  EXPECT_FALSE(pt.barred(c, 2, Time::ms(0)));
+  EXPECT_FALSE(pt.barred(net::ClientId{8}, 1, Time::ms(0)));
+  // Re-arming extends but never shortens.
+  pt.arm(c, 1, Time::ms(800));
+  pt.arm(c, 1, Time::ms(600));
+  EXPECT_TRUE(pt.barred(c, 1, Time::ms(799)));
+  EXPECT_FALSE(pt.barred(c, 1, Time::ms(800)));
+  // Lazy sweep drops expired entries only.
+  pt.arm(net::ClientId{9}, 3, Time::ms(10));
+  EXPECT_EQ(pt.size(), 2u);
+  pt.sweep(Time::ms(700));
+  EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PenaltyTimerTest, OscillationPassesOncePerWindow) {
+  // The controller's damping discipline, distilled: every time the argmax
+  // flips toward the neighbor domain it consults the timer, and every
+  // handover attempt (landed or aborted) re-arms it for one penalty window.
+  // A client oscillating across the boundary — attempts every W/10 — must
+  // get through at most once per window, tick-exactly.
+  PenaltyTimers pt;
+  const net::ClientId c{3};
+  const Time window = Time::ms(500);
+  int passes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Time now = Time::ms(50 * i);  // attempts every window/10
+    if (!pt.barred(c, 1, now)) {
+      ++passes;
+      pt.arm(c, 1, now + window);
+    }
+  }
+  // 100 attempts spanning [0, 5000 ms): exactly one pass per 500 ms window,
+  // the first at t=0 and then each tick-exact expiry instant.
+  EXPECT_EQ(passes, 10);
 }
 
 }  // namespace

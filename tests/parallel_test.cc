@@ -356,6 +356,32 @@ TEST(ParallelCityTest, UplinkByteIdenticalAcrossWorkers) {
   }
 }
 
+// §12 inside §11: each corridor's AP stretch split into two
+// ControllerDomains with inter-domain handover live, the whole thing
+// running under the parallel engine. The two "domain" notions must
+// compose without breaking either contract — byte identity across
+// worker counts, zero lookahead violations, zero protocol/ownership
+// invariant violations.
+TEST(ParallelCityTest, MultiControllerCorridorsByteIdenticalAcrossWorkers) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    scenario::ParallelCityConfig cfg = small_city(seed * 17);
+    cfg.aps_per_corridor = 8;  // 2 controller domains of 4 APs each
+    cfg.domains_per_corridor = 2;
+    cfg.drive_span_m = 30.0;   // long enough to cross the controller cut
+    cfg.collect_metrics = true;
+    const scenario::ParallelCityResult ref = scenario::run_parallel_city(cfg);
+    ASSERT_NE(ref.metrics, nullptr);
+    ASSERT_EQ(ref.lookahead_violations, 0u) << "seed " << seed;
+    ASSERT_EQ(ref.invariant_violations, 0u) << "seed " << seed;
+    cfg.workers = 2;
+    const scenario::ParallelCityResult r = scenario::run_parallel_city(cfg);
+    EXPECT_EQ(r.metrics->to_json(), ref.metrics->to_json()) << "seed " << seed;
+    EXPECT_EQ(r.client_mbps, ref.client_mbps) << "seed " << seed;
+    EXPECT_EQ(r.lookahead_violations, 0u);
+    EXPECT_EQ(r.invariant_violations, 0u);
+  }
+}
+
 TEST(ParallelCityTest, RecordPerfExposesThreadAttribution) {
   scenario::ParallelCityConfig cfg = small_city(3);
   cfg.workers = 2;

@@ -523,6 +523,46 @@ TEST(ApFailoverDeterminism, ZeroFaultScriptKeepsSeededRunsByteIdentical) {
   }
 }
 
+// PR-10 satellite: same determinism contract for the multi-controller layer.
+// A single-domain config that *mentions* every domain knob (fault list,
+// handshake tuning, penalty window, gossip cadence) but arms none of them
+// must snapshot byte-identical to a config that never heard of domains.
+// 20 seeds, same probe-driven drive as the AP-liveness sweep above.
+TEST(DomainDeterminism, SingleDomainKeepsSeededRunsByteIdentical) {
+  auto snapshot = [](std::uint64_t seed, bool mention_idle_knobs) {
+    net::reset_packet_uids();
+    scenario::WgttSystemConfig cfg;
+    cfg.geometry.seed = seed;
+    if (mention_idle_knobs) {
+      // Everything at rest: one domain, no fault script, tuning fields
+      // touched but inert while num_domains == 1.
+      cfg.num_domains = 1;
+      cfg.controller_faults.clear();
+      cfg.controller.domains.handover_timeout = Time::ms(20);
+      cfg.controller.domains.handover_max_retries = 6;
+      cfg.controller.domains.penalty_window = Time::ms(250);
+      cfg.controller.domains.epoch_jump = 128;
+      cfg.controller.domains.sync_interval = Time::ms(50);
+    }
+    obs::MetricsRegistry registry;
+    scenario::WgttSystem sys(cfg);
+    sys.enable_metrics(registry);
+    mobility::LineDrive drive(-10.0, 0.0, mph_to_mps(15.0));
+    (void)sys.add_client(&drive);
+    sys.start();
+    sys.run_until(Time::sec(3));
+    return registry.to_json();
+  };
+  for (std::uint64_t seed = 640; seed < 660; ++seed) {
+    const std::string plain = snapshot(seed, false);
+    const std::string with_knobs = snapshot(seed, true);
+    ASSERT_EQ(plain, with_knobs) << "seed " << seed;
+    // Domain metrics must not even register in a single-domain snapshot.
+    EXPECT_EQ(plain.find("domain.handovers_out"), std::string::npos);
+    EXPECT_EQ(plain.find("controller.handover_requests"), std::string::npos);
+  }
+}
+
 TEST(ApFailoverDeterminism, LivenessMetricsAppearOnlyWhenEnabled) {
   net::reset_packet_uids();
   scenario::WgttSystemConfig cfg;

@@ -235,10 +235,13 @@ int main(int argc, char** argv) {
   // The backhaul model runs with ample headroom (200 Mb/s links, batching
   // on) so the gated backhaul.*/net.pool_refs gauges appear in the snapshot
   // and the manifest can pin them, without perturbing the drive's switching
-  // behaviour.
+  // behaviour. --domains 2 likewise brings the gated domain.* /
+  // controller.handover_* instruments into the snapshot so the manifest
+  // covers the multi-controller layer too.
   const std::string cmd = std::string("\"") + argv[1] +
                           "\" --mph 25 --aps 4 --rate 10 --seed 3 "
-                          "--backhaul-rate 200 --backhaul-batching --metrics " +
+                          "--backhaul-rate 200 --backhaul-batching "
+                          "--domains 2 --metrics " +
                           out_path + " > " + out_dir +
                           "metrics_check_stdout.txt";
   const int rc = std::system(cmd.c_str());

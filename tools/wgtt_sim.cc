@@ -38,8 +38,11 @@
 // every N, which `ctest -R ParallelCity` proves 20 seeds deep. --corridors,
 // --aps and --clients size the city (APs and clients are per corridor;
 // --corridors is what changes the domain partition and hence results).
-// --parallel-domains is accepted as a deprecated alias for
-// --parallel-workers.
+//
+// --domains N splits the AP array across N controller domains (DESIGN.md
+// §12): contiguous AP stretches, inter-controller handover at the
+// boundaries, and crash failover. 1 (the default) is the single-controller
+// engine, byte-identical to the seed.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -81,6 +84,7 @@ void usage() {
                "                [--channel-reuse N] [--csv FILE]\n"
                "                [--metrics FILE] [--metrics-interval-ms N]\n"
                "                [--backhaul-rate MBPS] [--backhaul-batching]\n"
+               "                [--domains N]\n"
                "                [--parallel-workers N] [--corridors N]\n");
 }
 
@@ -167,14 +171,17 @@ Options parse(int argc, char** argv) {
           o.drive.backhaul_link_rate_mbps = rate;
         }
       }
-    } else if (arg == "--parallel-workers" || arg == "--parallel-domains") {
-      // --parallel-domains is a deprecated alias: the value sets the worker
-      // *thread* count (wall-clock only); the domain count is --corridors.
-      if (arg == "--parallel-domains") {
-        std::fprintf(stderr,
-                     "warning: --parallel-domains is deprecated; it sets the "
-                     "worker-thread count, use --parallel-workers\n");
+    } else if (arg == "--domains") {
+      const char* v = need_value("--domains");
+      if (v) {
+        o.drive.num_domains = std::atoi(v);
+        if (o.drive.num_domains < 1) {
+          std::fprintf(stderr, "--domains must be >= 1, got '%s'\n", v);
+          usage();
+          o.ok = false;
+        }
       }
+    } else if (arg == "--parallel-workers") {
       const char* v = need_value("--parallel-workers");
       if (v) {
         o.parallel_workers = std::atoi(v);
@@ -365,6 +372,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (o.drive.num_domains > 1 &&
+      (o.drive.system != System::kWgtt || o.parallel_workers > 0 ||
+       !o.csv_path.empty() || channel_reuse > 1)) {
+    std::fprintf(stderr,
+                 "--domains requires the wgtt system on the sequential "
+                 "engine (no --csv/--channel-reuse/--parallel-workers)\n");
+    return 1;
+  }
+
   if (o.parallel_workers > 0) {
     if (o.drive.system != System::kWgtt ||
         o.drive.workload == Workload::kTcpDown || !o.csv_path.empty() ||
@@ -410,6 +426,15 @@ int main(int argc, char** argv) {
     for (double ms : r.switch_protocol_ms) mean += ms;
     mean /= static_cast<double>(r.switch_protocol_ms.size());
     std::printf("switch time : %.1f ms mean\n", mean);
+  }
+  if (o.drive.num_domains > 1) {
+    std::printf("domains     : %d (%llu handovers, %llu retries, %llu "
+                "aborts, %llu penalty-blocked)\n",
+                o.drive.num_domains,
+                static_cast<unsigned long long>(r.handovers_completed),
+                static_cast<unsigned long long>(r.handover_retries),
+                static_cast<unsigned long long>(r.handover_aborts),
+                static_cast<unsigned long long>(r.penalty_blocked));
   }
   for (std::size_t i = 0; i < r.clients.size(); ++i) {
     std::printf("  client %zu : %.2f Mbit/s, tcp %s\n", i, r.clients[i].mbps,
